@@ -1,0 +1,97 @@
+// §6 — "Results and Refinements": CCM2 vs CCM3 physics.
+//
+//   "Initial simulation results with FOAM, performed with CCM2 physics,
+//    were somewhat discouraging. In particular, the tropical Pacific ...
+//    was poorly represented. ... We found that including the new CCM3
+//    moisture physics into our model vastly improved its representation of
+//    the tropical Pacific."
+//
+// Two coupled runs differing only in the physics switch; the reported
+// quantity is the tropical-Pacific SST bias/RMSE against the procedural
+// climatology, plus the tropical precipitation difference that drives it.
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/constants.hpp"
+#include "data/earth.hpp"
+#include "foam/coupled.hpp"
+#include "par/timers.hpp"
+#include "stats/moments.hpp"
+
+using namespace foam;
+namespace c = foam::constants;
+
+namespace {
+
+struct Outcome {
+  double bias = 0.0;
+  double rmse = 0.0;
+  double precip_mm_day = 0.0;
+};
+
+Outcome run_with(atm::PhysicsVersion phys, double spin, double avg) {
+  FoamConfig cfg = FoamConfig::testing();
+  cfg.ocean = ocean::OceanConfig::testing(64, 64, 8);
+  cfg.ocean_accel = 4.0;
+  cfg.atm.physics = phys;
+  CoupledFoam model(cfg);
+  model.run_days(spin);
+  stats::RunningFieldMean sst_mean;
+  double precip = 0.0;
+  int n = 0;
+  for (double d = 0.0; d < avg; d += 1.0) {
+    model.run_days(1.0);
+    sst_mean.add(model.sst());
+    precip += model.atmosphere().mean_precip();
+    ++n;
+  }
+  const auto& grid = model.ocean_grid();
+  const auto& mask = model.ocean_mask();
+  const Field2Dd sst = sst_mean.mean();
+  Outcome out;
+  double num = 0.0, den = 0.0, sq = 0.0;
+  for (int j = 0; j < grid.nlat(); ++j) {
+    const double lat = grid.lat(j) * c::rad2deg;
+    if (lat < -10.0 || lat > 10.0) continue;
+    for (int i = 0; i < grid.nlon(); ++i) {
+      const double lon = grid.lon(i) * c::rad2deg;
+      if (lon < 130.0 || lon > 280.0 || mask(i, j) == 0) continue;
+      const double obs =
+          data::sst_annual_mean(lat, lon);
+      const double d = sst(i, j) - obs;
+      num += d;
+      sq += d * d;
+      den += 1.0;
+    }
+  }
+  out.bias = num / den;
+  out.rmse = std::sqrt(sq / den);
+  out.precip_mm_day = precip / n * 86400.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double spin = argc > 1 ? std::atof(argv[1]) : 12.0;
+  const double avg = argc > 2 ? std::atof(argv[2]) : 10.0;
+  std::printf("=== CCM2 vs CCM3 physics (paper section 6) ===\n");
+  par::Stopwatch sw;
+  const Outcome ccm2 = run_with(atm::PhysicsVersion::kCcm2, spin, avg);
+  const Outcome ccm3 = run_with(atm::PhysicsVersion::kCcm3, spin, avg);
+  std::printf("two coupled runs (%.0f spin + %.0f mean days each) "
+              "in %.0fs wall\n\n",
+              spin, avg, sw.seconds());
+  std::printf("tropical Pacific (10S-10N, 130E-80W) SST vs climatology:\n");
+  std::printf("%-8s %12s %12s %18s\n", "physics", "bias [C]", "rmse [C]",
+              "precip [mm/day]");
+  std::printf("%-8s %12.2f %12.2f %18.2f\n", "CCM2", ccm2.bias, ccm2.rmse,
+              ccm2.precip_mm_day);
+  std::printf("%-8s %12.2f %12.2f %18.2f\n", "CCM3", ccm3.bias, ccm3.rmse,
+              ccm3.precip_mm_day);
+  std::printf("\nrmse change CCM2 -> CCM3: %+.2f C "
+              "(paper: CCM3 moist physics vastly improved the region)\n",
+              ccm3.rmse - ccm2.rmse);
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Figure 3 — annual-average sea surface temperature: model, observations,
+// difference.
+//
+// The paper shows FOAM's annual-mean SST next to the Shea et al.
+// climatology: the broad structure captured, western-boundary gradients
+// smeared, largest errors in the Antarctic attributed to the crude sea-ice
+// treatment. This bench runs the coupled model to a quasi-equilibrium,
+// accumulates an SST mean, and compares with the procedural climatology
+// standing in for the observations (DESIGN.md): global/tropical bias and
+// RMSE, the warm-pool/cold-tongue contrast, the equator-pole gradient, and
+// ASCII renditions of the three panels.
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/constants.hpp"
+#include "data/earth.hpp"
+#include "foam/coupled.hpp"
+#include "par/timers.hpp"
+#include "stats/moments.hpp"
+
+using namespace foam;
+namespace c = foam::constants;
+
+namespace {
+
+void ascii_map(const char* title, const Field2Dd& f, const Field2D<int>& mask,
+               double lo, double hi) {
+  std::printf("%s  (scale: . < %.0fC, - o O @ toward > %.0fC, # land)\n",
+              title, lo, hi);
+  const int ny = f.ny(), nx = f.nx();
+  for (int jj = 15; jj >= 0; --jj) {
+    for (int ii = 0; ii < 64; ++ii) {
+      const int i = ii * nx / 64;
+      const int j = jj * ny / 16 + ny / 32;
+      if (mask(i, j) == 0) {
+        std::putchar('#');
+        continue;
+      }
+      const double t = (f(i, j) - lo) / (hi - lo);
+      const char* ramp = ".-oO@";
+      const int idx = std::max(0, std::min(4, static_cast<int>(t * 5.0)));
+      std::putchar(ramp[idx]);
+    }
+    std::putchar('\n');
+  }
+}
+
+struct RegionStats {
+  double bias = 0.0;
+  double rmse = 0.0;
+};
+
+RegionStats compare(const Field2Dd& model, const Field2Dd& obs,
+                    const Field2D<int>& mask,
+                    const numerics::MercatorGrid& grid, double lat_lo,
+                    double lat_hi, double lon_lo = 0.0,
+                    double lon_hi = 360.0) {
+  double num = 0.0, den = 0.0, sq = 0.0;
+  for (int j = 0; j < grid.nlat(); ++j) {
+    const double lat = grid.lat(j) * c::rad2deg;
+    if (lat < lat_lo || lat > lat_hi) continue;
+    const double a = grid.cell_area(j);
+    for (int i = 0; i < grid.nlon(); ++i) {
+      const double lon = grid.lon(i) * c::rad2deg;
+      if (lon < lon_lo || lon > lon_hi) continue;
+      if (mask(i, j) == 0) continue;
+      const double d = model(i, j) - obs(i, j);
+      num += a * d;
+      sq += a * d * d;
+      den += a;
+    }
+  }
+  RegionStats s;
+  if (den > 0.0) {
+    s.bias = num / den;
+    s.rmse = std::sqrt(sq / den);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double spin_days = argc > 1 ? std::atof(argv[1]) : 25.0;
+  const double mean_days = argc > 2 ? std::atof(argv[2]) : 15.0;
+
+  std::printf("=== Figure 3: annual-average SST, model vs observations ===\n");
+  FoamConfig cfg = FoamConfig::paper_default();
+  cfg.ocean_accel = 4.0;  // accelerate the ocean toward equilibrium
+  CoupledFoam model(cfg);
+
+  par::Stopwatch sw;
+  model.run_days(spin_days);
+  stats::RunningFieldMean mean_sst;
+  const double sample_every = 1.0;
+  for (double d = 0.0; d < mean_days; d += sample_every) {
+    model.run_days(sample_every);
+    mean_sst.add(model.sst());
+  }
+  std::printf("spin %.0f + average %.0f coupled days in %.0fs wall "
+              "(ocean accel %.0fx)\n",
+              spin_days, mean_days, sw.seconds(), cfg.ocean_accel);
+
+  const auto& grid = model.ocean_grid();
+  const auto& mask = model.ocean_mask();
+  const Field2Dd sst_model = mean_sst.mean();
+  const Field2Dd sst_obs = data::sst_annual_mean_field(grid);
+  Field2Dd diff(sst_model);
+  diff -= sst_obs;
+
+  ascii_map("\n(a) FOAM annual-mean SST", sst_model, mask, -2.0, 28.0);
+  ascii_map("\n(b) observations (procedural climatology)", sst_obs, mask,
+            -2.0, 28.0);
+  ascii_map("\n(c) model minus observations", diff, mask, -6.0, 6.0);
+
+  const auto global = compare(sst_model, sst_obs, mask, grid, -70.0, 70.0);
+  const auto tropics = compare(sst_model, sst_obs, mask, grid, -15.0, 15.0);
+  const auto trop_pac =
+      compare(sst_model, sst_obs, mask, grid, -10.0, 10.0, 130.0, 280.0);
+  const auto southern = compare(sst_model, sst_obs, mask, grid, -70.0, -50.0);
+
+  std::printf("\nregion            bias [C]   rmse [C]\n");
+  std::printf("global           %8.2f   %8.2f\n", global.bias, global.rmse);
+  std::printf("tropics 15S-15N  %8.2f   %8.2f\n", tropics.bias, tropics.rmse);
+  std::printf("trop. Pacific    %8.2f   %8.2f\n", trop_pac.bias,
+              trop_pac.rmse);
+  std::printf("Southern Ocean   %8.2f   %8.2f  (paper: largest errors here)\n",
+              southern.bias, southern.rmse);
+
+  // Structural checks the paper's panel conveys.
+  auto mean_box = [&](double lat0, double lat1, double lon0, double lon1,
+                      const Field2Dd& f) {
+    double num = 0.0, den = 0.0;
+    for (int j = 0; j < grid.nlat(); ++j) {
+      const double lat = grid.lat(j) * c::rad2deg;
+      if (lat < lat0 || lat > lat1) continue;
+      for (int i = 0; i < grid.nlon(); ++i) {
+        const double lon = grid.lon(i) * c::rad2deg;
+        if (lon < lon0 || lon > lon1 || mask(i, j) == 0) continue;
+        num += f(i, j);
+        den += 1.0;
+      }
+    }
+    return den > 0.0 ? num / den : 0.0;
+  };
+  const double warm_pool = mean_box(-10, 15, 120, 160, sst_model);
+  const double cold_tongue = mean_box(-5, 5, 230, 270, sst_model);
+  const double equator = mean_box(-5, 5, 0, 360, sst_model);
+  const double subpolar = mean_box(55, 68, 0, 360, sst_model);
+  std::printf("\nstructure:\n");
+  std::printf("warm pool (120-160E)     : %6.2f C\n", warm_pool);
+  std::printf("eq. cold tongue (130-90W): %6.2f C  (contrast %+.2f, obs ~-3)\n",
+              cold_tongue, cold_tongue - warm_pool);
+  std::printf("equatorial mean          : %6.2f C\n", equator);
+  std::printf("subpolar N (55-68N)      : %6.2f C  (eq-pole gradient %.1f)\n",
+              subpolar, equator - subpolar);
+  return 0;
+}

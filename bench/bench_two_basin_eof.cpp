@@ -1,0 +1,148 @@
+// Figure 4 — two-basin variability.
+//
+// The paper: "a pattern (obtained by VARIMAX rotation of empirical
+// orthogonal function decomposition) that accounts for fully 15 percent of
+// 60 month low-pass filtered variance in sea surface temperature",
+// correlating the North Atlantic and North Pacific.
+//
+// Pipeline reproduced here: coupled run -> periodic SST snapshots ->
+// anomalies -> low-pass -> area-weighted EOF -> VARIMAX -> leading-mode
+// explained variance and the N.Atlantic/N.Pacific loading relationship.
+// The run is a reduced-resolution, ocean-accelerated configuration
+// (DESIGN.md: the 500-year production run is scaled down; the statistical
+// machinery and the coupled noise pathway are identical).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "base/constants.hpp"
+#include "foam/coupled.hpp"
+#include "par/timers.hpp"
+#include "stats/eof.hpp"
+#include "stats/lowpass.hpp"
+
+using namespace foam;
+namespace c = foam::constants;
+
+int main(int argc, char** argv) {
+  const int n_samples = argc > 1 ? std::atoi(argv[1]) : 72;
+  const double days_per_sample = argc > 2 ? std::atof(argv[2]) : 3.0;
+
+  std::printf("=== Figure 4: VARIMAX-rotated EOF of low-passed SST ===\n");
+  FoamConfig cfg = FoamConfig::testing();
+  cfg.ocean = ocean::OceanConfig::testing(64, 64, 8);
+  cfg.ocean_accel = 6.0;  // each coupled day ~ 6 ocean days
+  CoupledFoam model(cfg);
+  model.run_days(10.0);  // spin-up
+
+  const auto& grid = model.ocean_grid();
+  const auto& mask = model.ocean_mask();
+
+  // Retain northern-hemisphere ocean points (the two-basin analysis
+  // region) with sqrt(area) weights.
+  std::vector<int> pi, pj;
+  std::vector<double> weight;
+  std::vector<int> basin;  // 0 = Pacific, 1 = Atlantic, -1 = other
+  for (int j = 0; j < grid.nlat(); ++j) {
+    const double lat = grid.lat(j) * c::rad2deg;
+    if (lat < 20.0 || lat > 65.0) continue;
+    for (int i = 0; i < grid.nlon(); ++i) {
+      if (mask(i, j) == 0) continue;
+      const double lon = grid.lon(i) * c::rad2deg;
+      pi.push_back(i);
+      pj.push_back(j);
+      weight.push_back(std::sqrt(grid.cell_area(j)));
+      int b = -1;
+      if (lon > 140.0 && lon < 230.0) b = 0;  // North Pacific
+      if (lon > 285.0 && lon < 350.0) b = 1;  // North Atlantic
+      basin.push_back(b);
+    }
+  }
+  const int npoint = static_cast<int>(pi.size());
+  std::printf("analysis points: %d northern-ocean cells "
+              "(%d N.Pac, %d N.Atl)\n",
+              npoint,
+              static_cast<int>(std::count(basin.begin(), basin.end(), 0)),
+              static_cast<int>(std::count(basin.begin(), basin.end(), 1)));
+
+  // Collect the SST record.
+  par::Stopwatch sw;
+  std::vector<double> record(static_cast<std::size_t>(n_samples) * npoint);
+  for (int t = 0; t < n_samples; ++t) {
+    model.run_days(days_per_sample);
+    const Field2Dd sst = model.sst();
+    for (int p = 0; p < npoint; ++p)
+      record[static_cast<std::size_t>(t) * npoint + p] = sst(pi[p], pj[p]);
+  }
+  std::printf("record: %d samples x %.0f coupled days (x%.0f ocean accel) "
+              "in %.0fs wall\n",
+              n_samples, days_per_sample, cfg.ocean_accel, sw.seconds());
+
+  // Anomalies, then the paper's low-pass (cutoff = 1/5 of the record in
+  // sample units, the scaled analogue of 60-month filtering of monthly
+  // data over 25+ years).
+  // Remove the equilibration drift: the paper analyzed an equilibrated
+  // 500-year run; our scaled run still trends, and the trend would
+  // masquerade as the leading mode.
+  stats::detrend_columns(record, n_samples, npoint);
+  stats::compute_anomalies(record, n_samples, npoint);
+  const double cutoff = n_samples / 5.0;
+  const int half = static_cast<int>(cutoff);
+  const auto w = stats::lanczos_lowpass_weights(cutoff, half);
+  const int n_filtered = n_samples - 2 * half;
+  std::vector<double> filtered(static_cast<std::size_t>(n_filtered) * npoint);
+  for (int p = 0; p < npoint; ++p) {
+    std::vector<double> series(n_samples);
+    for (int t = 0; t < n_samples; ++t)
+      series[t] = record[static_cast<std::size_t>(t) * npoint + p];
+    const auto f = stats::apply_symmetric_filter(series, w);
+    for (int t = 0; t < n_filtered; ++t)
+      filtered[static_cast<std::size_t>(t) * npoint + p] = f[t];
+  }
+  std::printf("low-pass: cutoff %.0f samples, %d filtered samples retained\n",
+              cutoff, n_filtered);
+
+  const int nmodes = 5;
+  const auto eof =
+      stats::eof_analysis(filtered, n_filtered, npoint, weight, nmodes);
+  const auto rot = stats::varimax(eof, 3);
+
+  std::printf("\nEOF explained variance: ");
+  for (int k = 0; k < nmodes; ++k)
+    std::printf("%5.1f%% ", 100.0 * eof.variance_fraction[k]);
+  std::printf("\nVARIMAX factors       : ");
+  for (int k = 0; k < 3; ++k)
+    std::printf("%5.1f%% ", 100.0 * rot.variance_fraction[k]);
+  std::printf("\n(paper: leading rotated pattern ~15%% of low-passed "
+              "variance)\n");
+
+  // Two-basin structure of the leading rotated factor: mean loading per
+  // basin and their relationship (Fig. 4a), plus the factor's time series
+  // (Fig. 4b).
+  for (int k = 0; k < 2; ++k) {
+    double pac = 0.0, atl = 0.0;
+    int np = 0, na = 0;
+    for (int p = 0; p < npoint; ++p) {
+      if (basin[p] == 0) {
+        pac += rot.loadings[k][p];
+        ++np;
+      } else if (basin[p] == 1) {
+        atl += rot.loadings[k][p];
+        ++na;
+      }
+    }
+    pac /= std::max(1, np);
+    atl /= std::max(1, na);
+    std::printf("factor %d: mean loading N.Pac %+.3e, N.Atl %+.3e "
+                "(two-basin %s)\n",
+                k, pac, atl,
+                pac * atl != 0.0 ? (pac * atl > 0 ? "in phase" : "out of phase")
+                                 : "n/a");
+  }
+  std::printf("factor 0 time series (normalized): ");
+  for (int t = 0; t < n_filtered; t += std::max(1, n_filtered / 12))
+    std::printf("%+.2f ", rot.scores[0][t]);
+  std::printf("\n");
+  return 0;
+}

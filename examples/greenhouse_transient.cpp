@@ -1,0 +1,69 @@
+// Transient greenhouse experiment — the workload class the paper's
+// introduction motivates:
+//
+//   "there is enormous practical and theoretical interest in transient
+//    climate responses to rapid changes in atmospheric conditions, such as
+//    changes in atmospheric concentrations of radiatively active
+//    ('greenhouse') gases... To address this question rigorously would
+//    require ensembles of similar runs."
+//
+// Runs a small ensemble of coupled control and elevated-CO2 pairs
+// (differing only in initial-condition seed), and reports the ensemble-mean
+// SST response with its spread — separating the forced signal from
+// intrinsic variability exactly as the paper prescribes.
+//
+//   ./greenhouse_transient [days] [ensemble-size] [co2-factor]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "foam/coupled.hpp"
+#include "par/timers.hpp"
+
+int main(int argc, char** argv) {
+  using namespace foam;
+  const double days = argc > 1 ? std::atof(argv[1]) : 20.0;
+  const int members = argc > 2 ? std::atoi(argv[2]) : 3;
+  const double co2 = argc > 3 ? std::atof(argv[3]) : 4.0;
+
+  std::printf("transient greenhouse ensemble: %d member pairs, %.0f days, "
+              "%gx CO2\n",
+              members, days, co2);
+  par::Stopwatch wall;
+  std::vector<double> responses;
+  for (int m = 0; m < members; ++m) {
+    auto run_one = [&](double co2_factor, unsigned seed) {
+      FoamConfig cfg = FoamConfig::testing();
+      cfg.ocean = ocean::OceanConfig::testing(64, 64, 8);
+      cfg.ocean_accel = 4.0;
+      cfg.atm.co2_factor = co2_factor;
+      CoupledFoam model(cfg);
+      model.atmosphere().init_default(seed);
+      model.run_days(days);
+      return model.ocean_model().diagnostics().mean_sst;
+    };
+    const unsigned seed = 7u + 13u * m;
+    const double control = run_one(1.0, seed);
+    const double warmed = run_one(co2, seed);
+    responses.push_back(warmed - control);
+    std::printf("  member %d: control %.3f C, %gx CO2 %.3f C, "
+                "response %+.3f C\n",
+                m, control, co2, warmed, responses.back());
+  }
+  double mean = 0.0;
+  for (const double r : responses) mean += r;
+  mean /= members;
+  double var = 0.0;
+  for (const double r : responses) var += (r - mean) * (r - mean);
+  const double spread =
+      members > 1 ? std::sqrt(var / (members - 1)) : 0.0;
+  std::printf("\nensemble-mean SST response: %+.3f C (spread %.3f C) "
+              "after %.0f coupled days\n",
+              mean, spread, days);
+  std::printf("(the transient response builds over decades; this scaled run "
+              "shows the early-time signal emerging from variability)\n");
+  std::printf("wall: %.0fs\n", wall.seconds());
+  return 0;
+}

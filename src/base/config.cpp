@@ -1,0 +1,153 @@
+#include "base/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace foam {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Config Config::from_string(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+    const auto eq = stripped.find('=');
+    FOAM_REQUIRE(eq != std::string::npos,
+                 "config line " << lineno << " has no '=': " << stripped);
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    FOAM_REQUIRE(!key.empty(), "config line " << lineno << " has empty key");
+    cfg.entries_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  FOAM_REQUIRE(in.good(), "cannot open config file '" << path << "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return from_string(os.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+void Config::set(const std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  entries_[key] = os.str();
+}
+
+void Config::set(const std::string& key, int value) {
+  entries_[key] = std::to_string(value);
+}
+
+void Config::set(const std::string& key, bool value) {
+  entries_[key] = value ? "true" : "false";
+}
+
+bool Config::has(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+std::optional<std::string> Config::lookup(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  const auto v = lookup(key);
+  FOAM_REQUIRE(v.has_value(), "missing config key '" << key << "'");
+  return *v;
+}
+
+double Config::get_double(const std::string& key) const {
+  const std::string s = get_string(key);
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  FOAM_REQUIRE(pos == s.size() && !s.empty(),
+               "config key '" << key << "' = '" << s << "' is not a double");
+  return v;
+}
+
+int Config::get_int(const std::string& key) const {
+  const std::string s = get_string(key);
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  FOAM_REQUIRE(pos == s.size() && !s.empty(),
+               "config key '" << key << "' = '" << s << "' is not an int");
+  return v;
+}
+
+bool Config::get_bool(const std::string& key) const {
+  std::string s = get_string(key);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  FOAM_REQUIRE(false, "config key '" << key << "' = '" << s
+                                     << "' is not a bool");
+  return false;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& def) const {
+  return has(key) ? get_string(key) : def;
+}
+double Config::get_double(const std::string& key, double def) const {
+  return has(key) ? get_double(key) : def;
+}
+int Config::get_int(const std::string& key, int def) const {
+  return has(key) ? get_int(key) : def;
+}
+bool Config::get_bool(const std::string& key, bool def) const {
+  return has(key) ? get_bool(key) : def;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.entries_) entries_[k] = v;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+}  // namespace foam

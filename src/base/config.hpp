@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file config.hpp
+/// Minimal typed key/value configuration used to parameterize model runs.
+///
+/// Syntax (one entry per line):
+///   key = value        # comment
+/// Values are stored as strings and converted on access; unknown keys are an
+/// error on read, duplicate keys overwrite (last wins), so defaults can be
+/// layered under experiment-specific overrides.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace foam {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from the text of a config file; throws foam::Error on bad syntax.
+  static Config from_string(const std::string& text);
+  static Config from_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, int value);
+  void set(const std::string& key, bool value);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters; throw foam::Error when the key is missing or does not
+  /// convert to the requested type.
+  std::string get_string(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  int get_int(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  /// Defaulted getters.
+  std::string get_string(const std::string& key, const std::string& def) const;
+  double get_double(const std::string& key, double def) const;
+  int get_int(const std::string& key, int def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Merge \p other on top of this config (other's entries win).
+  void merge(const Config& other);
+
+  /// Keys in lexicographic order (for logging reproducibility).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& key) const;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace foam

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling for the FOAM library.
+///
+/// All recoverable errors are reported by throwing foam::Error. The
+/// FOAM_REQUIRE macro is used for precondition checks on public API
+/// boundaries; FOAM_ASSERT is used for internal invariants and compiles to
+/// nothing in NDEBUG builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace foam {
+
+/// Exception type thrown by every FOAM component on failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace foam
+
+/// Precondition check that is always active. \p msg may use stream syntax:
+///   FOAM_REQUIRE(n > 0, "n=" << n);
+#define FOAM_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream foam_require_os;                               \
+      foam_require_os << msg;                                           \
+      ::foam::detail::throw_error(#cond, __FILE__, __LINE__,            \
+                                  foam_require_os.str());               \
+    }                                                                   \
+  } while (0)
+
+/// Internal invariant check; disabled in release (NDEBUG) builds.
+#ifdef NDEBUG
+#define FOAM_ASSERT(cond, msg) ((void)0)
+#else
+#define FOAM_ASSERT(cond, msg) FOAM_REQUIRE(cond, msg)
+#endif

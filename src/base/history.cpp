@@ -1,0 +1,113 @@
+#include "base/history.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/error.hpp"
+
+namespace foam {
+
+namespace {
+constexpr char kMagic[8] = {'F', 'O', 'A', 'M', 'H', 'I', 'S', 'T'};
+}
+
+HistoryWriter::HistoryWriter(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  FOAM_REQUIRE(f != nullptr, "cannot open history file '" << path << "'");
+  file_ = f;
+  FOAM_REQUIRE(std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic),
+               "short write of history magic");
+}
+
+HistoryWriter::~HistoryWriter() { close(); }
+
+void HistoryWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<FILE*>(file_));
+    file_ = nullptr;
+  }
+}
+
+void HistoryWriter::write_record(const std::string& name,
+                                 const std::vector<int>& dims,
+                                 const double* data, std::size_t count) {
+  FOAM_REQUIRE(file_ != nullptr, "history file already closed");
+  FILE* f = static_cast<FILE*>(file_);
+  const std::uint32_t name_len = static_cast<std::uint32_t>(name.size());
+  const std::uint32_t ndims = static_cast<std::uint32_t>(dims.size());
+  bool ok = std::fwrite(&name_len, sizeof(name_len), 1, f) == 1;
+  ok = ok && std::fwrite(name.data(), 1, name.size(), f) == name.size();
+  ok = ok && std::fwrite(&ndims, sizeof(ndims), 1, f) == 1;
+  for (const int d : dims) {
+    const std::int64_t d64 = d;
+    ok = ok && std::fwrite(&d64, sizeof(d64), 1, f) == 1;
+  }
+  ok = ok && std::fwrite(data, sizeof(double), count, f) == count;
+  FOAM_REQUIRE(ok, "short write to history file");
+}
+
+void HistoryWriter::write(const std::string& name, const Field2Dd& field) {
+  write_record(name, {field.nx(), field.ny()}, field.data(), field.size());
+}
+
+void HistoryWriter::write(const std::string& name, const Field3Dd& field) {
+  write_record(name, {field.nx(), field.ny(), field.nz()}, field.data(),
+               field.size());
+}
+
+void HistoryWriter::write_scalar(const std::string& name, double value) {
+  write_record(name, {}, &value, 1);
+}
+
+void HistoryWriter::write_series(const std::string& name,
+                                 const std::vector<double>& v) {
+  write_record(name, {static_cast<int>(v.size())}, v.data(), v.size());
+}
+
+HistoryReader::HistoryReader(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  FOAM_REQUIRE(f != nullptr, "cannot open history file '" << path << "'");
+  char magic[8];
+  FOAM_REQUIRE(std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+                   std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "'" << path << "' is not a FOAM history file");
+  for (;;) {
+    std::uint32_t name_len = 0;
+    if (std::fread(&name_len, sizeof(name_len), 1, f) != 1) break;  // EOF
+    FOAM_REQUIRE(name_len < 4096, "corrupt history record name length");
+    HistoryRecord rec;
+    rec.name.resize(name_len);
+    bool ok = std::fread(rec.name.data(), 1, name_len, f) == name_len;
+    std::uint32_t ndims = 0;
+    ok = ok && std::fread(&ndims, sizeof(ndims), 1, f) == 1;
+    FOAM_REQUIRE(ok && ndims <= 8, "corrupt history record header");
+    std::size_t count = 1;
+    for (std::uint32_t d = 0; d < ndims; ++d) {
+      std::int64_t dim = 0;
+      ok = ok && std::fread(&dim, sizeof(dim), 1, f) == 1;
+      FOAM_REQUIRE(ok && dim > 0, "corrupt history record dims");
+      rec.dims.push_back(static_cast<int>(dim));
+      count *= static_cast<std::size_t>(dim);
+    }
+    rec.data.resize(count);
+    ok = ok && std::fread(rec.data.data(), sizeof(double), count, f) == count;
+    FOAM_REQUIRE(ok, "truncated history record '" << rec.name << "'");
+    records_.push_back(std::move(rec));
+  }
+  std::fclose(f);
+}
+
+const HistoryRecord& HistoryReader::find(const std::string& name) const {
+  for (const auto& r : records_)
+    if (r.name == name) return r;
+  FOAM_REQUIRE(false, "history record '" << name << "' not found");
+  return records_.front();  // unreachable
+}
+
+bool HistoryReader::has(const std::string& name) const {
+  for (const auto& r : records_)
+    if (r.name == name) return true;
+  return false;
+}
+
+}  // namespace foam

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file history.hpp
+/// Simple self-describing binary history format for model output.
+///
+/// A history file is a sequence of records:
+///   magic "FOAMHIST"  (file header, once)
+///   [record]*  where record = name-length, name bytes, ndims, dims[ndims],
+///              then nx*ny*... float64 values, x fastest.
+///
+/// The paper produced "large output files"; this format is the stand-in for
+/// the model's history tapes and is what the Vis5D-style browsing example
+/// reads back.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/field.hpp"
+
+namespace foam {
+
+class HistoryWriter {
+ public:
+  explicit HistoryWriter(const std::string& path);
+  ~HistoryWriter();
+  HistoryWriter(const HistoryWriter&) = delete;
+  HistoryWriter& operator=(const HistoryWriter&) = delete;
+
+  void write(const std::string& name, const Field2Dd& field);
+  void write(const std::string& name, const Field3Dd& field);
+  void write_scalar(const std::string& name, double value);
+  void write_series(const std::string& name, const std::vector<double>& v);
+
+  /// Flush and close; called by the destructor if not called explicitly.
+  void close();
+
+ private:
+  void write_record(const std::string& name, const std::vector<int>& dims,
+                    const double* data, std::size_t count);
+  void* file_ = nullptr;  // FILE*
+};
+
+/// One record read back from a history file.
+struct HistoryRecord {
+  std::string name;
+  std::vector<int> dims;
+  std::vector<double> data;
+};
+
+class HistoryReader {
+ public:
+  explicit HistoryReader(const std::string& path);
+
+  const std::vector<HistoryRecord>& records() const { return records_; }
+
+  /// First record with the given name; throws if absent.
+  const HistoryRecord& find(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+ private:
+  std::vector<HistoryRecord> records_;
+};
+
+}  // namespace foam

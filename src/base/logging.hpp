@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file logging.hpp
+/// Leveled, thread-safe logging. FOAM components log through this sink so
+/// that parallel runs interleave whole lines rather than characters.
+
+#include <sstream>
+#include <string>
+
+namespace foam {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-safe).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace foam
+
+#define FOAM_LOG_DEBUG ::foam::detail::LogLine(::foam::LogLevel::kDebug)
+#define FOAM_LOG_INFO ::foam::detail::LogLine(::foam::LogLevel::kInfo)
+#define FOAM_LOG_WARN ::foam::detail::LogLine(::foam::LogLevel::kWarn)
+#define FOAM_LOG_ERROR ::foam::detail::LogLine(::foam::LogLevel::kError)

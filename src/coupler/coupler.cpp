@@ -1,0 +1,176 @@
+#include "coupler/coupler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "data/earth.hpp"
+
+namespace foam::coupler {
+
+namespace c = foam::constants;
+
+Coupler::Coupler(const numerics::GaussianGrid& agrid,
+                 const numerics::MercatorGrid& ogrid,
+                 const Field2D<int>& ocean_mask_o)
+    : agrid_(agrid),
+      ogrid_(ogrid),
+      overlap_(agrid, ogrid),
+      ocean_mask_o_(ocean_mask_o),
+      land_mask_a_(data::land_mask(agrid)),
+      land_frac_a_(agrid.nlon(), agrid.nlat(), 0.0),
+      ocean_cov_a_(agrid.nlon(), agrid.nlat(), 0.0) {
+  // Valid-ocean coverage of each atmosphere cell from the overlap grid.
+  Field2Dd ones(ogrid.nlon(), ogrid.nlat(), 1.0);
+  Field2Dd cov;
+  overlap_.to_atm(ones, ocean_mask_o_, 0.0, &cov);
+  ocean_cov_a_ = cov;
+  // Land fraction is geographic (the atmosphere mask); watery cells with
+  // no modelled ocean underneath (poleward of the ocean grid) become
+  // prescribed ice in make_atm_surface.
+  for (int j = 0; j < agrid.nlat(); ++j)
+    for (int i = 0; i < agrid.nlon(); ++i)
+      land_frac_a_(i, j) = land_mask_a_(i, j) != 0 ? 1.0 : 0.0;
+
+  land_ = std::make_unique<land::LandModel>(agrid, land_mask_a_,
+                                            data::soil_types(agrid));
+  river_ = std::make_unique<river::RiverModel>(agrid, land_mask_a_,
+                                               data::orography(agrid));
+  ice_ = std::make_unique<ice::SeaIceModel>(ogrid, ocean_mask_o_);
+}
+
+void Coupler::step_land(const atm::FluxFields& f, double dt) {
+  const land::LandModel::Forcing forcing{f.sw_sfc, f.lw_down,  f.sensible,
+                                         f.latent, f.evaporation, f.rain,
+                                         f.snow};
+  land_->step(forcing, dt);
+}
+
+Coupler::OceanForcing Coupler::make_ocean_forcing(
+    const atm::FluxFields& mean_fluxes, const Field2Dd& sst_o,
+    const Field2Dd& frazil_o, double interval) {
+  OceanForcing out;
+  out.taux = overlap_.to_ocean(mean_fluxes.taux);
+  out.tauy = overlap_.to_ocean(mean_fluxes.tauy);
+
+  // Net heat into the ocean: absorbed solar + downward longwave -
+  // upwelling longwave from the actual SST - turbulent fluxes.
+  const Field2Dd sw_o = overlap_.to_ocean(mean_fluxes.sw_sfc);
+  const Field2Dd lwd_o = overlap_.to_ocean(mean_fluxes.lw_down);
+  const Field2Dd sens_o = overlap_.to_ocean(mean_fluxes.sensible);
+  const Field2Dd lat_o = overlap_.to_ocean(mean_fluxes.latent);
+  out.qnet = Field2Dd(ogrid_.nlon(), ogrid_.nlat(), 0.0);
+  for (int j = 0; j < ogrid_.nlat(); ++j) {
+    for (int i = 0; i < ogrid_.nlon(); ++i) {
+      if (ocean_mask_o_(i, j) == 0) continue;
+      const double ts_k = sst_o(i, j) + c::t_melt;
+      const double lw_up = 0.97 * c::stefan_boltzmann * std::pow(ts_k, 4.0);
+      out.qnet(i, j) =
+          sw_o(i, j) + lwd_o(i, j) - lw_up - sens_o(i, j) - lat_o(i, j);
+    }
+  }
+
+  // Sea ice: grows from the ocean's freeze-clamp heat and melts/insulates
+  // under the remapped surface flux.
+  ice_->step(sst_o, frazil_o, out.qnet, interval);
+  // Under ice, the ocean's effective heat flux is the conductive flux
+  // (small); damp qnet by the ice fraction.
+  for (int j = 0; j < ogrid_.nlat(); ++j)
+    for (int i = 0; i < ogrid_.nlon(); ++i)
+      out.qnet(i, j) *= 1.0 - 0.9 * ice_->fraction()(i, j);
+
+  // Freshwater: P - E remapped, plus river mouths, plus ice melt/growth —
+  // the closed hydrological cycle of paper §4.3.
+  Field2Dd pme_a(agrid_.nlon(), agrid_.nlat(), 0.0);
+  for (int j = 0; j < agrid_.nlat(); ++j)
+    for (int i = 0; i < agrid_.nlon(); ++i)
+      pme_a(i, j) = (mean_fluxes.rain(i, j) + mean_fluxes.snow(i, j) -
+                     mean_fluxes.evaporation(i, j)) /
+                    c::rho_fresh_water;
+  out.fw = overlap_.to_ocean(pme_a);
+
+  // River routing: drain the land's accumulated runoff, route it, and
+  // discharge at the mouths.
+  river_->add_runoff(land_->drain_runoff());
+  river_->step(interval);
+  Field2Dd discharge_a = river_->drain_discharge(interval);  // [m^3/s]
+  for (int j = 0; j < agrid_.nlat(); ++j)
+    for (int i = 0; i < agrid_.nlon(); ++i)
+      discharge_a(i, j) /= agrid_.cell_area(j);  // -> [m/s]
+  const Field2Dd discharge_o = overlap_.to_ocean(discharge_a);
+  Field2Dd ice_fw = ice_->drain_freshwater_flux();  // [m over interval]
+  for (int j = 0; j < ogrid_.nlat(); ++j)
+    for (int i = 0; i < ogrid_.nlon(); ++i) {
+      if (ocean_mask_o_(i, j) == 0) continue;
+      out.fw(i, j) += discharge_o(i, j) + ice_fw(i, j) / interval;
+    }
+  return out;
+}
+
+void Coupler::save_state(HistoryWriter& out,
+                         const std::string& prefix) const {
+  land_->save_state(out, prefix + ".land");
+  river_->save_state(out, prefix + ".river");
+  ice_->save_state(out, prefix + ".ice");
+}
+
+void Coupler::load_state(const HistoryReader& in,
+                         const std::string& prefix) {
+  land_->load_state(in, prefix + ".land");
+  river_->load_state(in, prefix + ".river");
+  ice_->load_state(in, prefix + ".ice");
+}
+
+atm::SurfaceFields Coupler::make_atm_surface(const Field2Dd& sst_o) const {
+  atm::SurfaceFields sfc(agrid_.nlon(), agrid_.nlat());
+  // Remap ocean state to the atmosphere grid.
+  Field2Dd sst_a = overlap_.to_atm(sst_o, ocean_mask_o_, 0.0);
+  Field2Dd ice_a = overlap_.to_atm(ice_->fraction(), ocean_mask_o_, 0.0);
+  const Field2Dd wet_land = land_->wetness();
+  const Field2Dd alb_land = land_->albedo();
+  const auto& tsfc_land = land_->tsurf();
+  const auto& rough_land = land_->roughness();
+
+  for (int j = 0; j < agrid_.nlat(); ++j) {
+    const double lat_deg = agrid_.lat(j) * c::rad2deg;
+    for (int i = 0; i < agrid_.nlon(); ++i) {
+      const double fl = land_frac_a_(i, j);
+      const double cov = ocean_cov_a_(i, j);
+      double fo = std::max(0.0, 1.0 - fl);  // watery part
+      double fi = fo * ice_a(i, j);         // modelled sea ice
+      double fw = fo - fi;                  // open modelled ocean
+      // Watery area without modelled ocean below (poleward of the ocean
+      // grid): prescribed polar ice.
+      // Prescribed polar ice only where there is essentially no modelled
+      // ocean underneath; coastal cells with partial coverage use the
+      // covered part's averaged SST for their whole watery fraction.
+      if (land_mask_a_(i, j) == 0 && cov < 0.05 &&
+          std::abs(lat_deg) > 55.0) {
+        fi = fo;
+        fw = 0.0;
+      }
+      const double t_ocean_k = sst_a(i, j) + c::t_melt;
+      const double t_ice_k = std::min(c::t_melt, 260.0 + 0.0 * lat_deg);
+      double tsurf = fl * tsfc_land(i, j) + fw * t_ocean_k + fi * t_ice_k;
+      double albedo = fl * alb_land(i, j) + fw * 0.07 + fi * 0.65;
+      double rough = fl * rough_land(i, j) + fw * 1e-4 + fi * 5e-4;
+      double wet = fl * wet_land(i, j) + fw + fi;  // D_w = 1 on water/ice
+      const double total = fl + fw + fi;
+      if (total > 0.0) {
+        tsurf /= total;
+        albedo /= total;
+        rough /= total;
+        wet /= total;
+      }
+      sfc.tsurf(i, j) = std::clamp(tsurf, 200.0, 330.0);
+      sfc.albedo(i, j) = albedo;
+      sfc.roughness(i, j) = std::max(1e-5, rough);
+      sfc.wetness(i, j) = std::clamp(wet, 0.0, 1.0);
+      sfc.is_ocean(i, j) = (fw + fi) > fl ? 1 : 0;
+      sfc.is_ice(i, j) = fi > 0.5 * (fw + fl + fi) ? 1 : 0;
+    }
+  }
+  return sfc;
+}
+
+}  // namespace foam::coupler

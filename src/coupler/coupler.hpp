@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file coupler.hpp
+/// The FOAM coupler: "essentially a model of the land surface and
+/// atmosphere-ocean interface" (paper §4.3).
+///
+/// Owns the overlap grid, the land model (four-layer soil + bucket
+/// hydrology), the river routing and the sea ice, computes the exchange
+/// fields in both directions and closes the hydrological cycle
+/// (precipitation - evaporation + river discharge + ice freshwater).
+
+#include <memory>
+
+#include "atm/model.hpp"
+#include "base/field.hpp"
+#include "coupler/overlap.hpp"
+#include "ice/sea_ice.hpp"
+#include "land/soil.hpp"
+#include "numerics/grid.hpp"
+#include "river/river.hpp"
+
+namespace foam::coupler {
+
+class Coupler {
+ public:
+  /// Builds the land/river/ice substrates from the procedural geography.
+  Coupler(const numerics::GaussianGrid& agrid,
+          const numerics::MercatorGrid& ogrid,
+          const Field2D<int>& ocean_mask_o);
+
+  /// Land surface update, called every atmosphere step with that step's
+  /// fluxes.
+  void step_land(const atm::FluxFields& step_fluxes, double dt);
+
+  /// Forcing for the ocean at an exchange point. \p mean_fluxes are the
+  /// atmosphere's accumulated fluxes divided by steps; \p sst_o the current
+  /// ocean SST [C]; \p frazil_o the ocean's accumulated freeze-clamp heat
+  /// per cell [J/m^2] (may be a zero field). Steps the river routing and
+  /// the sea ice internally over \p interval seconds.
+  struct OceanForcing {
+    Field2Dd taux, tauy;  ///< [N/m^2]
+    Field2Dd qnet;        ///< net heat into the ocean [W/m^2]
+    Field2Dd fw;          ///< net freshwater into the ocean [m/s]
+  };
+  OceanForcing make_ocean_forcing(const atm::FluxFields& mean_fluxes,
+                                  const Field2Dd& sst_o,
+                                  const Field2Dd& frazil_o, double interval);
+
+  /// Surface boundary condition for the atmosphere, blending land, open
+  /// ocean, sea ice and the prescribed polar caps by their area fractions
+  /// within each atmosphere cell.
+  atm::SurfaceFields make_atm_surface(const Field2Dd& sst_o) const;
+
+  /// Sea-ice fraction on the ocean grid (for OceanModel::set_ice_fraction).
+  const Field2Dd& ice_fraction_o() const { return ice_->fraction(); }
+
+  const land::LandModel& land() const { return *land_; }
+  land::LandModel& land() { return *land_; }
+  const river::RiverModel& river() const { return *river_; }
+  const ice::SeaIceModel& ice() const { return *ice_; }
+  const OverlapGrid& overlap() const { return overlap_; }
+  /// Land fraction of each atmosphere cell (static).
+  const Field2Dd& land_fraction_a() const { return land_frac_a_; }
+
+  /// Checkpoint support (delegates to land/river/ice).
+  void save_state(HistoryWriter& out, const std::string& prefix) const;
+  void load_state(const HistoryReader& in, const std::string& prefix);
+
+ private:
+  const numerics::GaussianGrid& agrid_;
+  const numerics::MercatorGrid& ogrid_;
+  OverlapGrid overlap_;
+  Field2D<int> ocean_mask_o_;
+  Field2D<int> land_mask_a_;
+  Field2Dd land_frac_a_;   // from the overlap coverage
+  Field2Dd ocean_cov_a_;   // valid-ocean coverage of each atm cell
+  std::unique_ptr<land::LandModel> land_;
+  std::unique_ptr<river::RiverModel> river_;
+  std::unique_ptr<ice::SeaIceModel> ice_;
+};
+
+}  // namespace foam::coupler

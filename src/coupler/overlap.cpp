@@ -1,0 +1,120 @@
+#include "coupler/overlap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/constants.hpp"
+
+namespace foam::coupler {
+
+namespace c = foam::constants;
+
+OverlapGrid::OverlapGrid(const numerics::GaussianGrid& atm,
+                         const numerics::MercatorGrid& ocn)
+    : na_lon_(atm.nlon()),
+      na_lat_(atm.nlat()),
+      no_lon_(ocn.nlon()),
+      no_lat_(ocn.nlat()) {
+  atm_area_.resize(na_lat_);
+  for (int j = 0; j < na_lat_; ++j) atm_area_[j] = atm.cell_area(j);
+  ocn_area_.resize(no_lat_);
+  for (int j = 0; j < no_lat_; ++j) ocn_area_[j] = ocn.cell_area(j);
+
+  // Latitude interval intersections.
+  struct LatOverlap {
+    int ja, jo;
+    double sin_lo, sin_hi;
+  };
+  std::vector<LatOverlap> lat_pairs;
+  for (int ja = 0; ja < na_lat_; ++ja) {
+    const double a_lo = atm.lat_edge(ja);
+    const double a_hi = atm.lat_edge(ja + 1);
+    for (int jo = 0; jo < no_lat_; ++jo) {
+      const double o_lo = ocn.lat_edge(jo);
+      const double o_hi = ocn.lat_edge(jo + 1);
+      const double lo = std::max(a_lo, o_lo);
+      const double hi = std::min(a_hi, o_hi);
+      if (hi > lo)
+        lat_pairs.push_back({ja, jo, std::sin(lo), std::sin(hi)});
+    }
+  }
+
+  // Longitude interval intersections with wraparound: compare each
+  // atmosphere interval against the ocean intervals shifted by -360, 0,
+  // +360 degrees.
+  struct LonOverlap {
+    int ia, io;
+    double dlon;  // [radians]
+  };
+  std::vector<LonOverlap> lon_pairs;
+  for (int ia = 0; ia < na_lon_; ++ia) {
+    const double a_lo = atm.lon_edge(ia);
+    const double a_hi = atm.lon_edge(ia + 1);
+    for (int io = 0; io < no_lon_; ++io) {
+      for (int shift = -1; shift <= 1; ++shift) {
+        const double off = shift * c::two_pi;
+        const double o_lo = ocn.lon_edge(io) + off;
+        const double o_hi = ocn.lon_edge(io + 1) + off;
+        const double lo = std::max(a_lo, o_lo);
+        const double hi = std::min(a_hi, o_hi);
+        if (hi > lo) lon_pairs.push_back({ia, io, hi - lo});
+      }
+    }
+  }
+
+  const double r2 = c::earth_radius * c::earth_radius;
+  cells_.reserve(lat_pairs.size() * 3);
+  for (const auto& lp : lat_pairs) {
+    const double band = lp.sin_hi - lp.sin_lo;
+    for (const auto& lo : lon_pairs) {
+      const double area = r2 * lo.dlon * band;
+      cells_.push_back({lo.ia, lp.ja, lo.io, lp.jo, area});
+      total_area_ += area;
+    }
+  }
+}
+
+Field2Dd OverlapGrid::to_ocean(const Field2Dd& atm_field) const {
+  FOAM_REQUIRE(atm_field.nx() == na_lon_ && atm_field.ny() == na_lat_,
+               "atm field shape");
+  Field2Dd num(no_lon_, no_lat_, 0.0);
+  Field2Dd den(no_lon_, no_lat_, 0.0);
+  for (const Cell& cell : cells_) {
+    num(cell.io, cell.jo) += cell.area * atm_field(cell.ia, cell.ja);
+    den(cell.io, cell.jo) += cell.area;
+  }
+  Field2Dd out(no_lon_, no_lat_, 0.0);
+  for (int j = 0; j < no_lat_; ++j)
+    for (int i = 0; i < no_lon_; ++i)
+      if (den(i, j) > 0.0) out(i, j) = num(i, j) / den(i, j);
+  return out;
+}
+
+Field2Dd OverlapGrid::to_atm(const Field2Dd& ocn_field,
+                             const Field2D<int>& valid, double fill,
+                             Field2Dd* coverage) const {
+  FOAM_REQUIRE(ocn_field.nx() == no_lon_ && ocn_field.ny() == no_lat_,
+               "ocean field shape");
+  FOAM_REQUIRE(valid.nx() == no_lon_ && valid.ny() == no_lat_, "valid mask");
+  Field2Dd num(na_lon_, na_lat_, 0.0);
+  Field2Dd den(na_lon_, na_lat_, 0.0);
+  for (const Cell& cell : cells_) {
+    if (valid(cell.io, cell.jo) == 0) continue;
+    num(cell.ia, cell.ja) += cell.area * ocn_field(cell.io, cell.jo);
+    den(cell.ia, cell.ja) += cell.area;
+  }
+  Field2Dd out(na_lon_, na_lat_, fill);
+  for (int j = 0; j < na_lat_; ++j)
+    for (int i = 0; i < na_lon_; ++i)
+      if (den(i, j) > 0.0) out(i, j) = num(i, j) / den(i, j);
+  if (coverage != nullptr) {
+    *coverage = Field2Dd(na_lon_, na_lat_, 0.0);
+    for (int j = 0; j < na_lat_; ++j)
+      for (int i = 0; i < na_lon_; ++i)
+        (*coverage)(i, j) =
+            den(i, j) / (atm_area_[j] > 0.0 ? atm_area_[j] : 1.0);
+  }
+  return out;
+}
+
+}  // namespace foam::coupler

@@ -1,0 +1,294 @@
+#include "foam/coupled.hpp"
+
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "data/earth.hpp"
+
+namespace foam {
+
+namespace c = foam::constants;
+
+namespace {
+constexpr int kTagForcing = 300;  // atm -> ocean forcing fields
+}  // namespace
+
+CoupledFoam::CoupledFoam(const FoamConfig& cfg)
+    : cfg_(cfg),
+      ogrid_(cfg.ocean.nx, cfg.ocean.ny, ocean::OceanConfig::kStandardLatMax),
+      bathy_(data::bathymetry(ogrid_)),
+      omask_(data::ocean_mask(ogrid_)) {
+  atm_ = std::make_unique<atm::AtmosphereModel>(cfg_.atm);
+  ocean_ = std::make_unique<ocean::OceanModel>(cfg_.ocean, ogrid_, bathy_);
+  // The ocean model may bury boundary rows; use its mask.
+  for (int j = 0; j < ogrid_.nlat(); ++j)
+    for (int i = 0; i < ogrid_.nlon(); ++i)
+      omask_(i, j) = ocean_->levels()(i, j) > 0 ? 1 : 0;
+  coupler_ = std::make_unique<coupler::Coupler>(atm_->grid(), ogrid_, omask_);
+  atm_->init_default();
+  ocean_->init_climatology();
+  atm_->set_surface(coupler_->make_atm_surface(ocean_->sst()));
+}
+
+void CoupledFoam::exchange() {
+  const int steps = std::max(1, atm_->accumulated_steps());
+  atm::FluxFields mean = atm_->accumulated_fluxes();
+  const double inv = 1.0 / steps;
+  for (Field2Dd* f : {&mean.sw_sfc, &mean.lw_down, &mean.sensible,
+                      &mean.latent, &mean.evaporation, &mean.rain,
+                      &mean.snow, &mean.taux, &mean.tauy})
+    *f *= inv;
+
+  const Field2Dd sst = ocean_->sst();
+  const Field2Dd frazil = ocean_->drain_frazil();
+  const auto forcing = coupler_->make_ocean_forcing(mean, sst, frazil,
+                                                    cfg_.exchange_seconds);
+  ocean_->set_wind_stress(forcing.taux, forcing.tauy);
+  ocean_->set_heat_flux(forcing.qnet);
+  ocean_->set_freshwater_flux(forcing.fw);
+  ocean_->set_ice_fraction(coupler_->ice_fraction_o());
+  const double ocean_seconds = cfg_.exchange_seconds * cfg_.ocean_accel;
+  ocean_->run_days(ocean_seconds / 86400.0);
+
+  atm_->set_surface(coupler_->make_atm_surface(ocean_->sst()));
+  atm_->reset_flux_accumulation();
+}
+
+void CoupledFoam::step() {
+  atm_->step(now_);
+  coupler_->step_land(atm_->last_fluxes(), cfg_.atm.dt);
+  ++atm_steps_;
+  now_.advance(static_cast<std::int64_t>(cfg_.atm.dt));
+  const auto exchange_steps =
+      static_cast<std::int64_t>(cfg_.exchange_seconds / cfg_.atm.dt);
+  if (atm_steps_ % exchange_steps == 0) exchange();
+}
+
+void CoupledFoam::run_days(double days) {
+  const auto n = static_cast<std::int64_t>(
+      std::llround(days * 86400.0 / cfg_.atm.dt));
+  for (std::int64_t s = 0; s < n; ++s) step();
+}
+
+void CoupledFoam::checkpoint(const std::string& path) const {
+  HistoryWriter out(path);
+  out.write_scalar("foam.now_seconds", static_cast<double>(now_.seconds()));
+  out.write_scalar("foam.atm_steps", static_cast<double>(atm_steps_));
+  atm_->save_state(out, "foam.atm");
+  ocean_->save_state(out, "foam.ocean");
+  coupler_->save_state(out, "foam.coupler");
+}
+
+void CoupledFoam::restore(const std::string& path) {
+  HistoryReader in(path);
+  now_ = ModelTime(static_cast<std::int64_t>(
+      in.find("foam.now_seconds").data[0]));
+  atm_steps_ =
+      static_cast<std::int64_t>(in.find("foam.atm_steps").data[0]);
+  atm_->load_state(in, "foam.atm");
+  ocean_->load_state(in, "foam.ocean");
+  coupler_->load_state(in, "foam.coupler");
+  // Rebuild the atmosphere's surface from the restored coupled state.
+  atm_->set_surface(coupler_->make_atm_surface(ocean_->sst()));
+}
+
+double CoupledFoam::work_points() const {
+  return atm_->work_points() + ocean_->work_points();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel driver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void send_field(par::Comm& comm, int dst, const Field2Dd& f) {
+  comm.send_vec(dst, kTagForcing, f.vec());
+}
+
+void recv_field(par::Comm& comm, int src, Field2Dd& f) {
+  std::vector<double> buf;
+  comm.recv_vec(src, kTagForcing, buf);
+  FOAM_REQUIRE(buf.size() == f.size(), "field size mismatch in exchange");
+  std::copy(buf.begin(), buf.end(), f.vec().begin());
+}
+
+}  // namespace
+
+ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
+                                       const FoamConfig& cfg, double days) {
+  FOAM_REQUIRE(n_atm >= 1 && n_atm < world.size(),
+               "n_atm=" << n_atm << " of " << world.size());
+  const int n_ocean = world.size() - n_atm;
+  const bool is_atm = world.rank() < n_atm;
+  auto sub = world.split(is_atm ? 0 : 1, world.rank());
+  FOAM_REQUIRE(sub != nullptr, "split failed");
+  (void)n_ocean;
+
+  numerics::MercatorGrid ogrid(cfg.ocean.nx, cfg.ocean.ny,
+                               ocean::OceanConfig::kStandardLatMax);
+  const Field2Dd bathy = data::bathymetry(ogrid);
+
+  par::ActivityRecorder rec;
+  const auto exchange_steps =
+      static_cast<std::int64_t>(cfg.exchange_seconds / cfg.atm.dt);
+  const auto total_steps = static_cast<std::int64_t>(
+      std::llround(days * 86400.0 / cfg.atm.dt));
+  const std::int64_t n_exchanges = total_steps / exchange_steps;
+
+  par::Stopwatch wall;
+  rec.reset();
+
+  if (is_atm) {
+    atm::AtmosphereModel atm(cfg.atm, sub.get());
+    // A serial ocean shell provides masks/initial SST for the coupler on
+    // atmosphere rank 0 (state itself lives on the ocean ranks).
+    std::unique_ptr<coupler::Coupler> coupler;
+    Field2D<int> omask = data::ocean_mask(ogrid);
+    Field2Dd sst_o(ogrid.nlon(), ogrid.nlat(), 0.0);
+    Field2Dd frazil_o(ogrid.nlon(), ogrid.nlat(), 0.0);
+    if (world.rank() == 0) {
+      ocean::OceanModel shell(cfg.ocean, ogrid, bathy);
+      for (int j = 0; j < ogrid.nlat(); ++j)
+        for (int i = 0; i < ogrid.nlon(); ++i)
+          omask(i, j) = shell.levels()(i, j) > 0 ? 1 : 0;
+      shell.init_climatology();
+      sst_o = shell.sst();
+      coupler = std::make_unique<coupler::Coupler>(atm.grid(), ogrid, omask);
+    }
+    atm.init_default();
+    {
+      // Initial surface, broadcast to all atmosphere ranks.
+      atm::SurfaceFields sfc(cfg.atm.nlon, cfg.atm.nlat);
+      if (world.rank() == 0) sfc = coupler->make_atm_surface(sst_o);
+      for (Field2Dd* f :
+           {&sfc.tsurf, &sfc.albedo, &sfc.roughness, &sfc.wetness})
+        sub->bcast_bytes(f->data(), f->size() * sizeof(double), 0);
+      sub->bcast_bytes(sfc.is_ocean.data(),
+                       sfc.is_ocean.size() * sizeof(int), 0);
+      sub->bcast_bytes(sfc.is_ice.data(), sfc.is_ice.size() * sizeof(int),
+                       0);
+      atm.set_surface(sfc);
+    }
+
+    ModelTime now;
+    for (std::int64_t ex = 0; ex < n_exchanges; ++ex) {
+      for (std::int64_t s = 0; s < exchange_steps; ++s) {
+        rec.begin(par::Region::kAtmosphere);
+        atm.step(now);
+        now.advance(static_cast<std::int64_t>(cfg.atm.dt));
+        rec.end();
+      }
+      // --- exchange: gather fluxes, compute forcing, talk to the ocean ---
+      rec.begin(par::Region::kCoupler);
+      const int steps = std::max(1, atm.accumulated_steps());
+      atm::FluxFields mean = atm.accumulated_fluxes();
+      const double inv = 1.0 / steps;
+      for (Field2Dd* f : {&mean.sw_sfc, &mean.lw_down, &mean.sensible,
+                          &mean.latent, &mean.evaporation, &mean.rain,
+                          &mean.snow, &mean.taux, &mean.tauy}) {
+        *f *= inv;
+        // Reduce the row-decomposed accumulations to rank 0 (each rank
+        // contributed only its rows; others are zero).
+        std::vector<double> out(f->size());
+        sub->reduce(f->data(), out.data(), f->size(), par::ReduceOp::kSum,
+                    0);
+        if (sub->rank() == 0) std::copy(out.begin(), out.end(), f->data());
+      }
+      if (world.rank() == 0) {
+        coupler->step_land(mean, cfg.exchange_seconds);
+        const auto forcing = coupler->make_ocean_forcing(
+            mean, sst_o, frazil_o, cfg.exchange_seconds);
+        // Ship forcing to the ocean lead rank.
+        send_field(world, n_atm, forcing.taux);
+        send_field(world, n_atm, forcing.tauy);
+        send_field(world, n_atm, forcing.qnet);
+        send_field(world, n_atm, forcing.fw);
+        send_field(world, n_atm, coupler->ice_fraction_o());
+      }
+      rec.end();
+      // Receive the ocean state produced for this interval.
+      rec.begin(par::Region::kIdle);
+      if (world.rank() == 0) {
+        recv_field(world, n_atm, sst_o);
+        recv_field(world, n_atm, frazil_o);
+      }
+      rec.end();
+      rec.begin(world.rank() == 0 ? par::Region::kCoupler
+                                  : par::Region::kIdle);
+      atm::SurfaceFields sfc(cfg.atm.nlon, cfg.atm.nlat);
+      if (world.rank() == 0) sfc = coupler->make_atm_surface(sst_o);
+      // Broadcast the new surface over the atmosphere ranks (non-root
+      // ranks are effectively waiting here).
+      for (Field2Dd* f :
+           {&sfc.tsurf, &sfc.albedo, &sfc.roughness, &sfc.wetness})
+        sub->bcast_bytes(f->data(), f->size() * sizeof(double), 0);
+      sub->bcast_bytes(sfc.is_ocean.data(),
+                       sfc.is_ocean.size() * sizeof(int), 0);
+      sub->bcast_bytes(sfc.is_ice.data(), sfc.is_ice.size() * sizeof(int),
+                       0);
+      atm.set_surface(sfc);
+      atm.reset_flux_accumulation();
+      rec.end();
+    }
+  } else {
+    // Ocean ranks.
+    ocean::OceanModel ocn(cfg.ocean, ogrid, bathy, sub.get());
+    ocn.init_climatology();
+    Field2Dd taux(ogrid.nlon(), ogrid.nlat(), 0.0), tauy(taux), qnet(taux),
+        fw(taux), icef(taux);
+    for (std::int64_t ex = 0; ex < n_exchanges; ++ex) {
+      rec.begin(par::Region::kIdle);
+      if (sub->rank() == 0 && world.rank() == n_atm) {
+        recv_field(world, 0, taux);
+        recv_field(world, 0, tauy);
+        recv_field(world, 0, qnet);
+        recv_field(world, 0, fw);
+        recv_field(world, 0, icef);
+      }
+      // Share forcing across ocean ranks.
+      for (Field2Dd* f : {&taux, &tauy, &qnet, &fw, &icef})
+        sub->bcast_bytes(f->data(), f->size() * sizeof(double), 0);
+      rec.end();
+      rec.begin(par::Region::kOcean);
+      ocn.set_wind_stress(taux, tauy);
+      ocn.set_heat_flux(qnet);
+      ocn.set_freshwater_flux(fw);
+      ocn.set_ice_fraction(icef);
+      ocn.run_days(cfg.exchange_seconds * cfg.ocean_accel / 86400.0);
+      const Field2Dd sst = ocn.gather(ocn.sst());
+      const Field2Dd frazil = ocn.gather(ocn.drain_frazil());
+      if (world.rank() == n_atm) {
+        world.send_vec(0, kTagForcing, sst.vec());
+        world.send_vec(0, kTagForcing, frazil.vec());
+      }
+      rec.end();
+    }
+  }
+
+  ParallelRunResult result;
+  result.wall_seconds = wall.seconds();
+  result.simulated_seconds =
+      static_cast<double>(n_exchanges) * cfg.exchange_seconds;
+  // Gather timelines from every rank to everyone.
+  const std::vector<double> mine = rec.serialize();
+  std::vector<int> counts(world.size(), 0);
+  const double n_mine = static_cast<double>(mine.size());
+  std::vector<double> all_counts(world.size());
+  world.allgather(&n_mine, 1, all_counts.data());
+  for (int r = 0; r < world.size(); ++r)
+    counts[r] = static_cast<int>(all_counts[r]);
+  std::vector<double> flat;
+  world.gatherv(mine, flat, counts, 0);
+  world.bcast_vec(flat, 0);
+  result.timelines.resize(world.size());
+  std::size_t off = 0;
+  for (int r = 0; r < world.size(); ++r) {
+    result.timelines[r] = par::ActivityRecorder::deserialize(
+        flat.data() + off, counts[r]);
+    off += counts[r];
+  }
+  return result;
+}
+
+}  // namespace foam

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file coupled.hpp
+/// The Fast Ocean-Atmosphere Model: coupled driver.
+///
+/// Scheduling follows paper §5 / Figure 2: the atmosphere takes 30-minute
+/// steps (48 per simulated day) with radiation recomputed twice daily; the
+/// ocean is called every 6 hours (4 times per day); the coupler exchanges
+/// averaged fluxes at the ocean calls and runs the land / river / ice
+/// substrate in between.
+///
+/// Two drivers are provided:
+///  * CoupledFoam — single-process, used by the science benches (Fig. 3,
+///    Fig. 4, CCM2-vs-CCM3) and the examples;
+///  * run_coupled_parallel — SPMD over a foam::par world, with the ocean on
+///    its own rank(s) and the coupler co-resident with the atmosphere
+///    ranks, instrumented with per-rank activity timelines (Fig. 2 and the
+///    scaling "table").
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <string>
+
+#include "atm/model.hpp"
+#include "base/calendar.hpp"
+#include "coupler/coupler.hpp"
+#include "ocean/model.hpp"
+#include "par/timers.hpp"
+
+namespace foam {
+
+struct FoamConfig {
+  atm::AtmConfig atm = atm::AtmConfig::r15_default();
+  ocean::OceanConfig ocean = ocean::OceanConfig::foam_default();
+  /// Coupling (= ocean call) interval [s]; paper: 6 hours.
+  double exchange_seconds = 6.0 * 3600.0;
+  /// Acceleration factor for the ocean in long climate runs: the ocean
+  /// advances accel * exchange interval of its own time per coupling
+  /// (distorted-physics acceleration; 1 = synchronous).
+  double ocean_accel = 1.0;
+
+  static FoamConfig paper_default() { return FoamConfig{}; }
+  /// Small configuration for tests.
+  static FoamConfig testing() {
+    FoamConfig c;
+    c.atm = atm::AtmConfig::testing();
+    c.ocean = ocean::OceanConfig::testing(48, 48, 8);
+    return c;
+  }
+};
+
+/// Single-process coupled model.
+class CoupledFoam {
+ public:
+  explicit CoupledFoam(const FoamConfig& cfg);
+
+  /// One atmosphere step (30 min), including any due ocean call/exchange.
+  void step();
+  void run_days(double days);
+
+  const ModelTime& now() const { return now_; }
+  const atm::AtmosphereModel& atmosphere() const { return *atm_; }
+  atm::AtmosphereModel& atmosphere() { return *atm_; }
+  const ocean::OceanModel& ocean_model() const { return *ocean_; }
+  const coupler::Coupler& coupling() const { return *coupler_; }
+  const numerics::MercatorGrid& ocean_grid() const { return ogrid_; }
+  const Field2D<int>& ocean_mask() const { return omask_; }
+
+  /// SST on the ocean grid [C] (land cells 0).
+  Field2Dd sst() const { return ocean_->sst(); }
+
+  /// Abstract cost so far (atmosphere + ocean grid-point updates).
+  double work_points() const;
+
+  /// Write a restart file; a model constructed with the same FoamConfig
+  /// and restored with restore() continues bitwise-identically (the
+  /// stochastic stirring state is checkpointed too).
+  void checkpoint(const std::string& path) const;
+  void restore(const std::string& path);
+
+ private:
+  void exchange();
+
+  FoamConfig cfg_;
+  numerics::MercatorGrid ogrid_;
+  Field2Dd bathy_;
+  Field2D<int> omask_;
+  std::unique_ptr<atm::AtmosphereModel> atm_;
+  std::unique_ptr<ocean::OceanModel> ocean_;
+  std::unique_ptr<coupler::Coupler> coupler_;
+  ModelTime now_;
+  std::int64_t atm_steps_ = 0;
+};
+
+/// Result of a parallel coupled run.
+struct ParallelRunResult {
+  double simulated_seconds = 0.0;
+  double wall_seconds = 0.0;
+  /// Model speedup: simulated time / wall time.
+  double speedup() const {
+    return wall_seconds > 0.0 ? simulated_seconds / wall_seconds : 0.0;
+  }
+  /// Per-world-rank activity timelines (atmosphere/coupler/ocean/idle).
+  std::vector<std::vector<par::Segment>> timelines;
+};
+
+/// Run the coupled model SPMD on \p world with the first \p n_atm ranks
+/// hosting the atmosphere + coupler and the remaining ranks the ocean
+/// (paper §5: e.g. 17 nodes = 16 atmosphere + 1 ocean). Must be called by
+/// every rank of the communicator. The result (with gathered timelines) is
+/// returned on every rank.
+ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
+                                       const FoamConfig& cfg, double days);
+
+}  // namespace foam

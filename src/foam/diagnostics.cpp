@@ -1,0 +1,66 @@
+#include "foam/diagnostics.hpp"
+
+#include "base/constants.hpp"
+
+namespace foam::diag {
+
+namespace c = foam::constants;
+
+Field2Dd meridional_overturning_sv(const ocean::OceanModel& ocean,
+                                   const numerics::MercatorGrid& grid) {
+  const auto& cfg = ocean.config();
+  const auto& vg = ocean.vgrid();
+  Field2Dd psi(grid.nlat(), cfg.nz, 0.0);  // (j, k)
+  for (int j = 0; j < grid.nlat(); ++j) {
+    const double dx = grid.dx(j);
+    double cum = 0.0;
+    for (int k = 0; k < cfg.nz; ++k) {
+      double transport = 0.0;  // m^3/s northward in layer k at row j
+      for (int i = 0; i < cfg.nx; ++i)
+        if (ocean.levels()(i, j) > k)
+          transport += ocean.v_total(i, j, k) * dx * vg.dz(k);
+      cum += transport;
+      psi(j, k) = cum * 1.0e-6;  // Sverdrups
+    }
+  }
+  return psi;
+}
+
+std::vector<double> poleward_heat_transport_pw(
+    const ocean::OceanModel& ocean, const numerics::MercatorGrid& grid) {
+  const auto& cfg = ocean.config();
+  const auto& vg = ocean.vgrid();
+  const auto& t = ocean.temperature();
+  std::vector<double> pht(grid.nlat(), 0.0);
+  for (int j = 0; j < grid.nlat(); ++j) {
+    const double dx = grid.dx(j);
+    double sum = 0.0;
+    for (int k = 0; k < cfg.nz; ++k)
+      for (int i = 0; i < cfg.nx; ++i)
+        if (ocean.levels()(i, j) > k)
+          sum += cfg.rho0 * c::cp_sea_water * ocean.v_total(i, j, k) *
+                 (t(i, j, k) - cfg.t_ref) * dx * vg.dz(k);
+    pht[j] = sum * 1.0e-15;  // petawatts
+  }
+  return pht;
+}
+
+std::vector<double> zonal_mean_sst(const ocean::OceanModel& ocean,
+                                   double fill) {
+  const auto& cfg = ocean.config();
+  const Field2Dd sst = ocean.sst();
+  std::vector<double> out(cfg.ny, fill);
+  for (int j = 0; j < cfg.ny; ++j) {
+    double sum = 0.0;
+    int n = 0;
+    for (int i = 0; i < cfg.nx; ++i)
+      if (ocean.levels()(i, j) > 0) {
+        sum += sst(i, j);
+        ++n;
+      }
+    if (n > 0) out[j] = sum / n;
+  }
+  return out;
+}
+
+}  // namespace foam::diag

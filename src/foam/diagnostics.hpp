@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file diagnostics.hpp
+/// Scientific diagnostics computed from model state.
+///
+/// The quantities climate modelers watch over long runs (and that the
+/// paper's analyses build on): the meridional overturning circulation of
+/// the ocean, the poleward ocean heat transport, and zonal means.
+
+#include <vector>
+
+#include "base/field.hpp"
+#include "ocean/model.hpp"
+
+namespace foam::diag {
+
+/// Meridional overturning streamfunction psi(j, k) [Sv]: the zonally and
+/// vertically cumulated northward transport above the bottom interface of
+/// layer k at latitude row j. psi > 0 = clockwise (northward near the
+/// surface) in the latitude-depth plane.
+Field2Dd meridional_overturning_sv(const ocean::OceanModel& ocean,
+                                   const numerics::MercatorGrid& grid);
+
+/// Northward ocean heat transport per latitude row [PW], measured against
+/// the configuration's reference temperature (a constant offset is
+/// arbitrary when the net mass transport through a section is nonzero):
+///   sum_i sum_k rho cp v (T - t_ref) dx dz.
+std::vector<double> poleward_heat_transport_pw(
+    const ocean::OceanModel& ocean, const numerics::MercatorGrid& grid);
+
+/// Zonal-mean SST per latitude row [C] over wet cells (NaN-free: rows with
+/// no ocean report the fill value).
+std::vector<double> zonal_mean_sst(const ocean::OceanModel& ocean,
+                                   double fill = 0.0);
+
+}  // namespace foam::diag

@@ -1,0 +1,84 @@
+#include "foam/run_config.hpp"
+
+#include <set>
+
+#include "base/error.hpp"
+
+namespace foam {
+
+namespace {
+
+const std::set<std::string>& known_keys() {
+  static const std::set<std::string> keys = {
+      "atm.nlon",          "atm.nlat",
+      "atm.mmax",          "atm.nlev",
+      "atm.dt_seconds",    "atm.physics",
+      "atm.co2_factor",    "atm.emulate_full_core_cost",
+      "ocean.nx",          "ocean.ny",
+      "ocean.nz",          "ocean.dt_seconds",
+      "ocean.nsub_baro",   "ocean.tracer_every",
+      "ocean.slow_factor", "ocean.split_barotropic",
+      "ocean.ri_exponent", "coupling.exchange_seconds",
+      "coupling.ocean_accel", "run.days",
+      "run.history_path",  "run.restart_path",
+  };
+  return keys;
+}
+
+}  // namespace
+
+FoamConfig foam_config_from(const Config& cfg) {
+  for (const auto& key : cfg.keys())
+    FOAM_REQUIRE(known_keys().count(key) != 0,
+                 "unknown configuration key '" << key << "'");
+  FoamConfig out;
+  out.atm.nlon = cfg.get_int("atm.nlon", out.atm.nlon);
+  out.atm.nlat = cfg.get_int("atm.nlat", out.atm.nlat);
+  out.atm.mmax = cfg.get_int("atm.mmax", out.atm.mmax);
+  out.atm.nlev = cfg.get_int("atm.nlev", out.atm.nlev);
+  out.atm.dt = cfg.get_double("atm.dt_seconds", out.atm.dt);
+  const std::string phys = cfg.get_string("atm.physics", "ccm3");
+  if (phys == "ccm2") {
+    out.atm.physics = atm::PhysicsVersion::kCcm2;
+  } else if (phys == "ccm3") {
+    out.atm.physics = atm::PhysicsVersion::kCcm3;
+  } else {
+    FOAM_REQUIRE(false, "atm.physics must be ccm2 or ccm3, got '" << phys
+                                                                  << "'");
+  }
+  out.atm.co2_factor = cfg.get_double("atm.co2_factor", out.atm.co2_factor);
+  out.atm.emulate_full_core_cost =
+      cfg.get_bool("atm.emulate_full_core_cost",
+                   out.atm.emulate_full_core_cost);
+  out.ocean.nx = cfg.get_int("ocean.nx", out.ocean.nx);
+  out.ocean.ny = cfg.get_int("ocean.ny", out.ocean.ny);
+  out.ocean.nz = cfg.get_int("ocean.nz", out.ocean.nz);
+  out.ocean.dt_mom = cfg.get_double("ocean.dt_seconds", out.ocean.dt_mom);
+  out.ocean.nsub_baro = cfg.get_int("ocean.nsub_baro", out.ocean.nsub_baro);
+  out.ocean.tracer_every =
+      cfg.get_int("ocean.tracer_every", out.ocean.tracer_every);
+  out.ocean.slow_factor =
+      cfg.get_double("ocean.slow_factor", out.ocean.slow_factor);
+  out.ocean.split_barotropic =
+      cfg.get_bool("ocean.split_barotropic", out.ocean.split_barotropic);
+  out.ocean.ri_exponent =
+      cfg.get_double("ocean.ri_exponent", out.ocean.ri_exponent);
+  out.exchange_seconds =
+      cfg.get_double("coupling.exchange_seconds", out.exchange_seconds);
+  out.ocean_accel = cfg.get_double("coupling.ocean_accel", out.ocean_accel);
+  FOAM_REQUIRE(out.exchange_seconds >= out.atm.dt,
+               "coupling.exchange_seconds must be >= atm.dt_seconds");
+  return out;
+}
+
+RunPlan run_plan_from(const Config& cfg) {
+  RunPlan plan;
+  plan.model = foam_config_from(cfg);
+  plan.days = cfg.get_double("run.days", 1.0);
+  FOAM_REQUIRE(plan.days > 0.0, "run.days must be positive");
+  plan.history_path = cfg.get_string("run.history_path", "");
+  plan.restart_path = cfg.get_string("run.restart_path", "");
+  return plan;
+}
+
+}  // namespace foam

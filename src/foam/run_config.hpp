@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file run_config.hpp
+/// Text-configuration binding for model runs.
+///
+/// Production climate models are driven by namelist files; this is FOAM's
+/// equivalent: a flat key=value file (base/config.hpp) mapped onto
+/// FoamConfig. Unknown keys are rejected so typos fail loudly.
+///
+/// Recognized keys (defaults in parentheses = the paper configuration):
+///   atm.nlon (48) atm.nlat (40) atm.mmax (15) atm.nlev (18)
+///   atm.dt_seconds (1800) atm.physics (ccm3|ccm2)
+///   atm.co2_factor (1.0) atm.emulate_full_core_cost (false)
+///   ocean.nx (128) ocean.ny (128) ocean.nz (16)
+///   ocean.dt_seconds (3600) ocean.nsub_baro (8) ocean.tracer_every (2)
+///   ocean.slow_factor (100) ocean.split_barotropic (true)
+///   ocean.ri_exponent (3)
+///   coupling.exchange_seconds (21600) coupling.ocean_accel (1)
+///   run.days run.history_path run.restart_path
+
+#include <string>
+
+#include "base/config.hpp"
+#include "foam/coupled.hpp"
+
+namespace foam {
+
+/// Translate a parsed Config into a FoamConfig; throws foam::Error on
+/// unknown keys or invalid values.
+FoamConfig foam_config_from(const Config& cfg);
+
+/// Run description beyond the model configuration.
+struct RunPlan {
+  FoamConfig model;
+  double days = 1.0;
+  std::string history_path;  ///< empty = no history output
+  std::string restart_path;  ///< empty = cold start
+};
+
+RunPlan run_plan_from(const Config& cfg);
+
+}  // namespace foam

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file sea_ice.hpp
+/// Thermodynamic sea ice (paper §4.3).
+///
+/// "The temperature of the sea ice is determined by treating it as another
+/// soil type. The sea surface may continue to lose heat by conduction with
+/// the lowest ice layer so a clamp on temperature is imposed by the ocean
+/// model at -1.92 degrees Celsius. Sea ice roughness and albedos are
+/// prescribed. For the hydrologic cycle, the formation of sea ice is
+/// treated as a flux of 2 m of water out of the ocean. The stress between
+/// the ice and the atmosphere is arbitrarily divided by 15 before passing
+/// to the ocean model." The paper calls this representation crude and a
+/// priority for replacement; this module reproduces that crude scheme.
+
+#include "base/field.hpp"
+#include "base/history.hpp"
+#include "numerics/grid.hpp"
+
+namespace foam::ice {
+
+struct IceConfig {
+  double albedo = 0.65;
+  double roughness = 5.0e-4;    ///< [m]
+  double conductivity = 2.2;    ///< [W/(m K)]
+  double h_initial = 0.5;       ///< thickness of newly formed ice [m]
+  double h_max = 4.0;           ///< cap [m]
+};
+
+class SeaIceModel {
+ public:
+  SeaIceModel(const numerics::MercatorGrid& grid,
+              const Field2D<int>& ocean_mask, IceConfig cfg = {});
+
+  /// One thermodynamic step.
+  ///   sst          — ocean surface temperature [C]
+  ///   frazil_heat  — heat deficit from the ocean's -1.92 C clamp [J/m^2]
+  ///                  accumulated since the last call (grows ice)
+  ///   net_sfc_flux — net atmosphere-to-surface energy flux over ice
+  ///                  [W/m^2] (melts or thickens ice from above)
+  void step(const Field2Dd& sst, const Field2Dd& frazil_heat,
+            const Field2Dd& net_sfc_flux, double dt);
+
+  /// Ice fraction per ocean cell in [0, 1].
+  const Field2Dd& fraction() const { return fraction_; }
+  /// Mean thickness over the ice-covered part [m].
+  const Field2Dd& thickness() const { return thickness_; }
+  /// Ice surface (skin) temperature [K], from the conductive balance.
+  const Field2Dd& tsurf() const { return tsurf_; }
+
+  /// Freshwater flux to the ocean from freezing/melting since the last
+  /// drain [m of liquid water, negative = water removed from the ocean;
+  /// includes the paper's 2 m formation flux].
+  Field2Dd drain_freshwater_flux();
+
+  const IceConfig& config() const { return cfg_; }
+
+  /// Checkpoint support.
+  void save_state(HistoryWriter& out, const std::string& prefix) const;
+  void load_state(const HistoryReader& in, const std::string& prefix);
+
+ private:
+  const numerics::MercatorGrid& grid_;
+  Field2D<int> mask_;
+  IceConfig cfg_;
+  Field2Dd thickness_;
+  Field2Dd fraction_;
+  Field2Dd tsurf_;
+  Field2Dd fw_accum_;
+};
+
+}  // namespace foam::ice

@@ -1,0 +1,205 @@
+#include "land/soil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/constants.hpp"
+
+namespace foam::land {
+
+namespace c = foam::constants;
+
+const SoilProperties& soil_properties(data::SoilType type) {
+  // conductivity, volumetric heat capacity, albedo, roughness.
+  static const SoilProperties kIce{2.2, 1.9e6, 0.70, 1.0e-3};
+  static const SoilProperties kTundra{0.8, 2.2e6, 0.22, 5.0e-3};
+  static const SoilProperties kGrass{1.0, 2.5e6, 0.20, 3.0e-2};
+  static const SoilProperties kForest{1.2, 2.8e6, 0.13, 5.0e-1};
+  static const SoilProperties kDesert{0.6, 1.6e6, 0.32, 5.0e-3};
+  switch (type) {
+    case data::SoilType::kIceSheet:
+      return kIce;
+    case data::SoilType::kTundra:
+      return kTundra;
+    case data::SoilType::kGrassland:
+      return kGrass;
+    case data::SoilType::kForest:
+      return kForest;
+    case data::SoilType::kDesert:
+      return kDesert;
+  }
+  return kGrass;
+}
+
+namespace {
+/// Layer thicknesses [m], thin at the surface (diurnal skin) to thick at
+/// depth (annual memory).
+constexpr double kThickness[LandModel::kLayers] = {0.1, 0.3, 1.0, 3.0};
+}  // namespace
+
+LandModel::LandModel(const numerics::GaussianGrid& grid,
+                     const Field2D<int>& land_mask,
+                     const Field2D<int>& soil_types)
+    : grid_(grid),
+      mask_(land_mask),
+      types_(soil_types),
+      tsoil_top_(grid.nlon(), grid.nlat(), 280.0),
+      bucket_(grid.nlon(), grid.nlat(), 0.075),
+      snow_(grid.nlon(), grid.nlat(), 0.0),
+      runoff_(grid.nlon(), grid.nlat(), 0.0),
+      roughness_(grid.nlon(), grid.nlat(), 1e-2) {
+  FOAM_REQUIRE(land_mask.nx() == grid.nlon() && land_mask.ny() == grid.nlat(),
+               "land mask shape");
+  tsoil_.assign(kLayers, Field2Dd(grid.nlon(), grid.nlat(), 280.0));
+  for (int j = 0; j < grid.nlat(); ++j) {
+    // Initialize toward a plausible zonal climatology.
+    const double lat = grid.lat(j);
+    const double t0 =
+        262.0 + 36.0 * std::exp(-std::pow(lat / (35.0 * c::deg2rad), 2.0));
+    for (int i = 0; i < grid.nlon(); ++i) {
+      if (mask_(i, j) == 0) continue;
+      const auto type = static_cast<data::SoilType>(types_(i, j));
+      for (int l = 0; l < kLayers; ++l) tsoil_[l](i, j) = t0;
+      roughness_(i, j) = soil_properties(type).roughness;
+      if (type == data::SoilType::kIceSheet) snow_(i, j) = 0.5;
+    }
+  }
+  tsoil_top_ = tsoil_[0];
+}
+
+double LandModel::soil_temperature(int i, int j, int layer) const {
+  FOAM_REQUIRE(layer >= 0 && layer < kLayers, "layer " << layer);
+  return tsoil_[layer](i, j);
+}
+
+void LandModel::step(const Forcing& f, double dt) {
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    for (int i = 0; i < grid_.nlon(); ++i) {
+      if (mask_(i, j) == 0) continue;
+      const auto type = static_cast<data::SoilType>(types_(i, j));
+      const SoilProperties& prop = soil_properties(type);
+
+      // --- surface energy balance on the top layer ----------------------
+      const double lw_up =
+          c::stefan_boltzmann * std::pow(tsoil_[0](i, j), 4.0);
+      const double net = f.sw_absorbed(i, j) + f.lw_down(i, j) - lw_up -
+                         f.sensible(i, j) - f.latent(i, j);
+      // Snow modifies the effective heat capacity of the top layer.
+      const double snow_cap =
+          std::min(snow_(i, j), 0.5) * c::rho_fresh_water * 2100.0;
+      const double cap0 = prop.heat_capacity * kThickness[0] + snow_cap;
+      tsoil_[0](i, j) =
+          std::clamp(tsoil_[0](i, j) + net * dt / cap0, 200.0, 340.0);
+
+      // --- diffusion between layers -------------------------------------
+      for (int l = 0; l < kLayers - 1; ++l) {
+        const double dz = 0.5 * (kThickness[l] + kThickness[l + 1]);
+        const double flux =
+            prop.conductivity * (tsoil_[l](i, j) - tsoil_[l + 1](i, j)) / dz;
+        tsoil_[l](i, j) -= flux * dt / (prop.heat_capacity * kThickness[l]);
+        tsoil_[l + 1](i, j) +=
+            flux * dt / (prop.heat_capacity * kThickness[l + 1]);
+      }
+      // Deep layer relaxes very slowly toward its own mean (no geothermal).
+
+      // --- hydrology ------------------------------------------------------
+      const double rain_m = f.rain(i, j) * dt / c::rho_fresh_water;
+      const double snow_m = f.snow(i, j) * dt / c::rho_fresh_water;
+      const double evap_m = f.evaporation(i, j) * dt / c::rho_fresh_water;
+      snow_(i, j) += snow_m;
+      // Snow melt when the surface is above freezing: energy-limited.
+      if (tsoil_[0](i, j) > c::t_melt && snow_(i, j) > 0.0) {
+        const double melt_energy =
+            (tsoil_[0](i, j) - c::t_melt) * prop.heat_capacity *
+            kThickness[0];
+        const double melt_m = std::min(
+            snow_(i, j),
+            melt_energy / (c::rho_fresh_water * c::latent_fus));
+        snow_(i, j) -= melt_m;
+        bucket_(i, j) += melt_m;
+        tsoil_[0](i, j) -= melt_m * c::rho_fresh_water * c::latent_fus /
+                           (prop.heat_capacity * kThickness[0]);
+      }
+      // Evaporation first empties snow, then the bucket.
+      double evap_left = evap_m;
+      const double from_snow = std::min(snow_(i, j), evap_left);
+      snow_(i, j) -= from_snow;
+      evap_left -= from_snow;
+      bucket_(i, j) = std::max(0.0, bucket_(i, j) - evap_left);
+      // Rain into the bucket; overflow above 15 cm is runoff (paper).
+      bucket_(i, j) += rain_m;
+      if (bucket_(i, j) > c::bucket_capacity_m) {
+        runoff_(i, j) += bucket_(i, j) - c::bucket_capacity_m;
+        bucket_(i, j) = c::bucket_capacity_m;
+      }
+      // Snow above 1 m liquid equivalent drains to the river model,
+      // mimicking ice-sheet near-equilibrium (paper).
+      if (snow_(i, j) > c::snow_cap_lwe_m) {
+        runoff_(i, j) += snow_(i, j) - c::snow_cap_lwe_m;
+        snow_(i, j) = c::snow_cap_lwe_m;
+      }
+    }
+  }
+  tsoil_top_ = tsoil_[0];
+}
+
+Field2Dd LandModel::wetness() const {
+  Field2Dd w(grid_.nlon(), grid_.nlat(), 1.0);
+  for (int j = 0; j < grid_.nlat(); ++j)
+    for (int i = 0; i < grid_.nlon(); ++i) {
+      if (mask_(i, j) == 0) continue;  // ocean/ice handled by the coupler
+      const auto type = static_cast<data::SoilType>(types_(i, j));
+      if (type == data::SoilType::kIceSheet || snow_(i, j) > 0.01) {
+        w(i, j) = 1.0;  // D_w = 1 for land ice and snow cover (paper)
+      } else {
+        w(i, j) = bucket_(i, j) / c::bucket_capacity_m;
+      }
+    }
+  return w;
+}
+
+Field2Dd LandModel::albedo() const {
+  Field2Dd a(grid_.nlon(), grid_.nlat(), 0.1);
+  for (int j = 0; j < grid_.nlat(); ++j)
+    for (int i = 0; i < grid_.nlon(); ++i) {
+      if (mask_(i, j) == 0) continue;
+      const auto type = static_cast<data::SoilType>(types_(i, j));
+      const double base = soil_properties(type).albedo;
+      // Snow masking: approach the snow albedo as depth builds.
+      const double cover = std::min(1.0, snow_(i, j) / 0.05);
+      a(i, j) = base * (1.0 - cover) + 0.75 * cover;
+    }
+  return a;
+}
+
+void LandModel::save_state(HistoryWriter& out,
+                           const std::string& prefix) const {
+  for (int l = 0; l < kLayers; ++l)
+    out.write(prefix + ".tsoil" + std::to_string(l), tsoil_[l]);
+  out.write(prefix + ".bucket", bucket_);
+  out.write(prefix + ".snow", snow_);
+  out.write(prefix + ".runoff", runoff_);
+}
+
+void LandModel::load_state(const HistoryReader& in,
+                           const std::string& prefix) {
+  auto load = [&](const std::string& name, Field2Dd& f) {
+    const auto& rec = in.find(name);
+    FOAM_REQUIRE(rec.data.size() == f.size(), "checkpoint size " << name);
+    std::copy(rec.data.begin(), rec.data.end(), f.vec().begin());
+  };
+  for (int l = 0; l < kLayers; ++l)
+    load(prefix + ".tsoil" + std::to_string(l), tsoil_[l]);
+  load(prefix + ".bucket", bucket_);
+  load(prefix + ".snow", snow_);
+  load(prefix + ".runoff", runoff_);
+  tsoil_top_ = tsoil_[0];
+}
+
+Field2Dd LandModel::drain_runoff() {
+  Field2Dd out = runoff_;
+  runoff_.fill(0.0);
+  return out;
+}
+
+}  // namespace foam::land

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file soil.hpp
+/// The FOAM land surface: four-layer soil heat diffusion plus the
+/// Manabe/Budyko bucket hydrology (paper §4.3).
+///
+/// "The land surface in FOAM (and in CCM2) is represented by a four-layer
+/// diffusion model with heat capacities, thicknesses and thermal
+/// conductivities specified for each layer. Soil types vary in the
+/// horizontal direction, with 5 distinct types... Precipitation is added
+/// to a 15 cm soil moisture box or to the snow cover... Evaporation
+/// removes water from the box and any excess over 15 cm is designated as
+/// runoff and sent to the river model. ... Snow depths greater than 1 m
+/// liquid water equivalent are also sent to the river model."
+
+#include "base/field.hpp"
+#include "base/history.hpp"
+#include "data/earth.hpp"
+#include "numerics/grid.hpp"
+
+namespace foam::land {
+
+/// Thermal and radiative properties of one soil type.
+struct SoilProperties {
+  double conductivity;   ///< [W/(m K)]
+  double heat_capacity;  ///< volumetric [J/(m^3 K)]
+  double albedo;         ///< snow-free broadband albedo
+  double roughness;      ///< [m]
+};
+
+/// Properties of the five FOAM soil types.
+const SoilProperties& soil_properties(data::SoilType type);
+
+class LandModel {
+ public:
+  /// Grid is the atmosphere's Gaussian grid; mask is 1 over land.
+  LandModel(const numerics::GaussianGrid& grid, const Field2D<int>& land_mask,
+            const Field2D<int>& soil_types);
+
+  /// One step of the land surface given the atmosphere's surface fluxes
+  /// (per-step means on the atmosphere grid). Updates soil temperatures,
+  /// the moisture bucket and the snow pack; accumulates runoff.
+  struct Forcing {
+    const Field2Dd& sw_absorbed;   ///< [W/m^2]
+    const Field2Dd& lw_down;       ///< [W/m^2]
+    const Field2Dd& sensible;      ///< positive upward [W/m^2]
+    const Field2Dd& latent;        ///< positive upward [W/m^2]
+    const Field2Dd& evaporation;   ///< [kg/m^2/s]
+    const Field2Dd& rain;          ///< [kg/m^2/s]
+    const Field2Dd& snow;          ///< [kg/m^2/s]
+  };
+  void step(const Forcing& f, double dt);
+
+  // --- state the coupler hands to the atmosphere --------------------------
+  /// Skin (top-layer) temperature [K].
+  const Field2Dd& tsurf() const { return tsoil_top_; }
+  /// Evaporation wetness factor D_w: bucket fraction, 1 for snow/ice.
+  Field2Dd wetness() const;
+  /// Albedo including snow masking.
+  Field2Dd albedo() const;
+  /// Roughness length [m].
+  const Field2Dd& roughness() const { return roughness_; }
+
+  // --- hydrology -----------------------------------------------------------
+  /// Runoff generated since the last drain [m of liquid water per cell].
+  const Field2Dd& pending_runoff() const { return runoff_; }
+  /// Hand the accumulated runoff to the river model and reset it.
+  Field2Dd drain_runoff();
+
+  const Field2Dd& snow_depth() const { return snow_; }      ///< [m lwe]
+  const Field2Dd& bucket() const { return bucket_; }        ///< [m]
+  double soil_temperature(int i, int j, int layer) const;
+
+  static constexpr int kLayers = 4;
+
+  /// Checkpoint support.
+  void save_state(HistoryWriter& out, const std::string& prefix) const;
+  void load_state(const HistoryReader& in, const std::string& prefix);
+
+ private:
+  const numerics::GaussianGrid& grid_;
+  Field2D<int> mask_;
+  Field2D<int> types_;
+  Field2Dd tsoil_top_;                    // layer 0 [K]
+  std::vector<Field2Dd> tsoil_;           // all layers [K]
+  Field2Dd bucket_;                       // soil moisture [m]
+  Field2Dd snow_;                         // snow pack [m lwe]
+  Field2Dd runoff_;                       // accumulated [m]
+  Field2Dd roughness_;
+};
+
+}  // namespace foam::land

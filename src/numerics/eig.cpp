@@ -1,0 +1,90 @@
+#include "numerics/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace foam::numerics {
+
+EigResult jacobi_eigensolver(const std::vector<double>& matrix, int n,
+                             int max_sweeps, double tol) {
+  FOAM_REQUIRE(n > 0 && matrix.size() == static_cast<std::size_t>(n) * n,
+               "jacobi matrix size " << matrix.size() << " for n=" << n);
+  // Working copy, symmetrized.
+  std::vector<double> a(matrix);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double s = 0.5 * (a[i * n + j] + a[j * n + i]);
+      a[i * n + j] = s;
+      a[j * n + i] = s;
+    }
+  // Eigenvector accumulator, starts as identity.
+  std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  const double scale = std::max(
+      1e-300, std::accumulate(a.begin(), a.end(), 0.0,
+                              [](double s, double x) {
+                                return s + std::abs(x);
+                              }));
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) off += std::abs(a[i * n + j]);
+    if (off / scale < tol) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) / scale < tol * 1e-2) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation to A (rows/cols p and q).
+        for (int k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+
+  EigResult out;
+  out.values.resize(n);
+  out.vectors.resize(n);
+  for (int k = 0; k < n; ++k) {
+    const int src = order[k];
+    out.values[k] = a[src * n + src];
+    out.vectors[k].resize(n);
+    for (int i = 0; i < n; ++i) out.vectors[k][i] = v[i * n + src];
+  }
+  return out;
+}
+
+}  // namespace foam::numerics

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file eig.hpp
+/// Dense symmetric eigensolver (cyclic Jacobi).
+///
+/// The EOF analysis behind Figure 4 diagonalizes an SST covariance matrix;
+/// at FOAM problem sizes (a few hundred retained points or time samples)
+/// cyclic Jacobi is simple, robust and plenty fast.
+
+#include <vector>
+
+namespace foam::numerics {
+
+struct EigResult {
+  /// Eigenvalues sorted descending.
+  std::vector<double> values;
+  /// Column-major eigenvectors: vectors[k] is the unit eigenvector for
+  /// values[k].
+  std::vector<std::vector<double>> vectors;
+};
+
+/// Diagonalize the symmetric n x n matrix given in row-major order.
+/// Off-diagonal asymmetry is averaged away (inputs come from covariance
+/// accumulation and may carry round-off asymmetry).
+EigResult jacobi_eigensolver(const std::vector<double>& matrix, int n,
+                             int max_sweeps = 64, double tol = 1e-12);
+
+}  // namespace foam::numerics

@@ -1,0 +1,110 @@
+#include "numerics/filters.hpp"
+
+#include <cmath>
+
+#include "base/constants.hpp"
+
+namespace foam::numerics {
+
+using constants::deg2rad;
+
+PolarFourierFilter::PolarFourierFilter(const MercatorGrid& grid,
+                                       double crit_lat_deg)
+    : grid_(grid), crit_lat_deg_(crit_lat_deg),
+      cos_crit_(std::cos(crit_lat_deg * deg2rad)), fft_(grid.nlon()) {
+  FOAM_REQUIRE(crit_lat_deg > 0.0 && crit_lat_deg < 90.0,
+               "crit_lat_deg=" << crit_lat_deg);
+}
+
+double PolarFourierFilter::factor(int m, int j) const {
+  if (m == 0) return 1.0;
+  const double cos_lat = grid_.cos_lat(j);
+  if (cos_lat >= cos_crit_) return 1.0;  // equatorward of critical latitude
+  const double m_max = 0.5 * grid_.nlon() * cos_lat / cos_crit_;
+  return std::min(1.0, m_max / m);
+}
+
+void PolarFourierFilter::apply(Field2Dd& f) const {
+  const int nlon = grid_.nlon();
+  std::vector<double> row(nlon);
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    if (grid_.cos_lat(j) >= cos_crit_) continue;
+    for (int i = 0; i < nlon; ++i) row[i] = f(i, j);
+    auto spec = fft_.forward_real(row);
+    for (int m = 1; m <= nlon / 2; ++m) spec[m] *= factor(m, j);
+    row = fft_.inverse_real(spec);
+    for (int i = 0; i < nlon; ++i) f(i, j) = row[i];
+  }
+}
+
+void PolarFourierFilter::apply(Field2Dd& f, const Field2D<int>& mask) const {
+  FOAM_REQUIRE(f.same_shape(Field2Dd(mask.nx(), mask.ny())),
+               "mask shape mismatch");
+  const int nlon = grid_.nlon();
+  std::vector<double> row(nlon);
+  std::vector<double> saved(nlon);
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    if (grid_.cos_lat(j) >= cos_crit_) continue;
+    bool any_ocean = false;
+    double ocean_mean = 0.0;
+    int n_ocean = 0;
+    for (int i = 0; i < nlon; ++i) {
+      saved[i] = f(i, j);
+      if (mask(i, j) != 0) {
+        any_ocean = true;
+        ocean_mean += saved[i];
+        ++n_ocean;
+      }
+    }
+    if (!any_ocean) continue;
+    ocean_mean /= n_ocean;
+    // Fill land with the row's ocean mean so the filter sees no artificial
+    // jumps at coastlines, then restore land values afterwards.
+    for (int i = 0; i < nlon; ++i)
+      row[i] = (mask(i, j) != 0) ? saved[i] : ocean_mean;
+    auto spec = fft_.forward_real(row);
+    for (int m = 1; m <= nlon / 2; ++m) spec[m] *= factor(m, j);
+    row = fft_.inverse_real(spec);
+    for (int i = 0; i < nlon; ++i)
+      f(i, j) = (mask(i, j) != 0) ? row[i] : saved[i];
+  }
+}
+
+void laplacian_masked(const MercatorGrid& grid, const Field2Dd& f,
+                      const Field2D<int>& mask, Field2Dd& out) {
+  const int nx = grid.nlon();
+  const int ny = grid.nlat();
+  FOAM_REQUIRE(f.nx() == nx && f.ny() == ny, "field shape");
+  if (out.nx() != nx || out.ny() != ny) out = Field2Dd(nx, ny);
+  for (int j = 0; j < ny; ++j) {
+    const double inv_dx2 = 1.0 / (grid.dx(j) * grid.dx(j));
+    const double inv_dy2 = 1.0 / (grid.dy(j) * grid.dy(j));
+    for (int i = 0; i < nx; ++i) {
+      if (mask(i, j) == 0) {
+        out(i, j) = 0.0;
+        continue;
+      }
+      const double fc = f(i, j);
+      // No-flux closure: a land (or domain-edge) neighbour contributes the
+      // center value, i.e. zero gradient across the wall.
+      const double fe = (mask.wrap_x(i + 1, j) != 0) ? f.wrap_x(i + 1, j) : fc;
+      const double fw = (mask.wrap_x(i - 1, j) != 0) ? f.wrap_x(i - 1, j) : fc;
+      const double fn =
+          (j + 1 < ny && mask(i, j + 1) != 0) ? f(i, j + 1) : fc;
+      const double fs = (j - 1 >= 0 && mask(i, j - 1) != 0) ? f(i, j - 1) : fc;
+      out(i, j) =
+          (fe - 2.0 * fc + fw) * inv_dx2 + (fn - 2.0 * fc + fs) * inv_dy2;
+    }
+  }
+}
+
+void biharmonic_tendency(const MercatorGrid& grid, const Field2Dd& f,
+                         const Field2D<int>& mask, double k4, Field2Dd& out) {
+  FOAM_REQUIRE(k4 >= 0.0, "k4=" << k4);
+  Field2Dd lap;
+  laplacian_masked(grid, f, mask, lap);
+  laplacian_masked(grid, lap, mask, out);
+  out *= -k4;
+}
+
+}  // namespace foam::numerics

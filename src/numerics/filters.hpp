@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file filters.hpp
+/// Horizontal filters and dissipation operators for grid-point models.
+///
+/// * PolarFourierFilter — the "spatial filter similar to the sort used in
+///   atmospheric models" that keeps the FOAM ocean stable in the Arctic:
+///   poleward of a critical latitude, zonal wavenumbers whose physical
+///   wavelength falls below the critical-latitude resolution are attenuated.
+/// * laplacian_masked / biharmonic_tendency — metric-aware 5-point Laplacian
+///   with land masking (no-flux walls) and the del^4 dissipation built from
+///   it ("spatial mode splitting on the grid is prevented through the use of
+///   a del^4 numerical dissipation").
+
+#include <vector>
+
+#include "base/field.hpp"
+#include "numerics/fft.hpp"
+#include "numerics/grid.hpp"
+
+namespace foam::numerics {
+
+/// Zonal Fourier filter applied poleward of a critical latitude.
+/// Wavenumber m at latitude phi keeps the fraction
+///   f_m(phi) = min(1, m_max(phi) / m),  m_max = (nlon/2) cos(phi)/cos(phi_c)
+/// so the shortest retained physical wavelength never falls below the one
+/// resolved at the critical latitude. m = 0 (the zonal mean) always passes
+/// unchanged, and the filter never amplifies.
+class PolarFourierFilter {
+ public:
+  PolarFourierFilter(const MercatorGrid& grid, double crit_lat_deg = 60.0);
+
+  /// Filter one 2-D field in place. Land cells (mask == 0) participate via
+  /// zero-filled rows only when the whole row is ocean-free; mixed rows are
+  /// filtered with land values left in place and restored after (the filter
+  /// is a numerical-stability device, exact conservation near coasts is not
+  /// required — the paper's usage).
+  void apply(Field2Dd& f, const Field2D<int>& mask) const;
+  void apply(Field2Dd& f) const;
+
+  /// Attenuation factor for wavenumber m at latitude row j (1 = untouched).
+  double factor(int m, int j) const;
+
+  double crit_lat_deg() const { return crit_lat_deg_; }
+
+ private:
+  const MercatorGrid& grid_;
+  double crit_lat_deg_;
+  double cos_crit_;
+  Fft fft_;
+};
+
+/// Masked metric Laplacian on a Mercator grid: for each ocean cell,
+///   lap = (1/dx^2)(f_e - 2f + f_w) + (1/(dy^2))(f_n - 2f + f_s)
+/// with one-sided closure at land (no-flux). Longitude wraps periodically.
+void laplacian_masked(const MercatorGrid& grid, const Field2Dd& f,
+                      const Field2D<int>& mask, Field2Dd& out);
+
+/// Biharmonic (del^4) dissipation tendency: out = -k4 * lap(lap(f)).
+/// k4 in m^4/s.
+void biharmonic_tendency(const MercatorGrid& grid, const Field2Dd& f,
+                         const Field2D<int>& mask, double k4, Field2Dd& out);
+
+}  // namespace foam::numerics

@@ -1,0 +1,45 @@
+#include "numerics/gauss.hpp"
+
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+
+namespace foam::numerics {
+
+GaussNodes gauss_legendre(int n) {
+  FOAM_REQUIRE(n > 0, "gauss_legendre n=" << n);
+  GaussNodes out;
+  out.mu.resize(n);
+  out.weight.resize(n);
+  const int half = (n + 1) / 2;
+  for (int i = 0; i < half; ++i) {
+    // Chebyshev-based initial guess for the i-th root (descending).
+    double x = std::cos(constants::pi * (i + 0.75) / (n + 0.5));
+    double pp = 0.0;
+    for (int it = 0; it < 100; ++it) {
+      // Evaluate P_n(x) and P_{n-1}(x) by upward recurrence.
+      double p0 = 1.0;
+      double p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      // P'_n(x) from P_n and P_{n-1}.
+      pp = n * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / pp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    // Roots are symmetric; store ascending.
+    out.mu[i] = -x;
+    out.mu[n - 1 - i] = x;
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    out.weight[i] = w;
+    out.weight[n - 1 - i] = w;
+  }
+  return out;
+}
+
+}  // namespace foam::numerics

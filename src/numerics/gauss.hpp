@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file gauss.hpp
+/// Gauss-Legendre quadrature nodes and weights.
+///
+/// The spectral atmosphere's Gaussian grid places latitudes at the roots of
+/// the Legendre polynomial P_nlat(mu), mu = sin(lat); the same weights make
+/// the forward Legendre transform exact for the truncation in use.
+
+#include <vector>
+
+namespace foam::numerics {
+
+struct GaussNodes {
+  std::vector<double> mu;      ///< nodes in (-1, 1), ascending
+  std::vector<double> weight;  ///< weights; sum equals 2
+};
+
+/// Compute the n-point Gauss-Legendre rule by Newton iteration on P_n.
+GaussNodes gauss_legendre(int n);
+
+}  // namespace foam::numerics

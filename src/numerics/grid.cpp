@@ -1,0 +1,95 @@
+#include "numerics/grid.hpp"
+
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "numerics/gauss.hpp"
+
+namespace foam::numerics {
+
+using constants::deg2rad;
+using constants::earth_radius;
+using constants::pi;
+using constants::two_pi;
+
+double LatLonGrid::total_area() const {
+  double sum = 0.0;
+  for (int j = 0; j < nlat(); ++j) sum += area_[j] * nlon_;
+  return sum;
+}
+
+void LatLonGrid::finalize() {
+  FOAM_REQUIRE(nlon_ > 0, "grid nlon=" << nlon_);
+  FOAM_REQUIRE(lat_edge_.size() == lat_.size() + 1, "lat edges incomplete");
+  const double dlon = two_pi / nlon_;
+  lon_.resize(nlon_);
+  lon_edge_.resize(nlon_ + 1);
+  for (int i = 0; i < nlon_; ++i) lon_[i] = i * dlon;
+  for (int i = 0; i <= nlon_; ++i) lon_edge_[i] = (i - 0.5) * dlon;
+  area_.resize(lat_.size());
+  for (std::size_t j = 0; j < lat_.size(); ++j) {
+    // Exact area of a spherical rectangle: R^2 dlon (sin(top) - sin(bot)).
+    area_[j] = earth_radius * earth_radius * dlon *
+               (std::sin(lat_edge_[j + 1]) - std::sin(lat_edge_[j]));
+    FOAM_REQUIRE(area_[j] > 0.0, "non-positive cell area at j=" << j);
+  }
+}
+
+GaussianGrid::GaussianGrid(int nlon, int nlat) {
+  FOAM_REQUIRE(nlon > 0 && nlat > 1 && nlat % 2 == 0,
+               "GaussianGrid(" << nlon << "," << nlat << ")");
+  nlon_ = nlon;
+  const GaussNodes nodes = gauss_legendre(nlat);
+  mu_ = nodes.mu;
+  weight_ = nodes.weight;
+  lat_.resize(nlat);
+  for (int j = 0; j < nlat; ++j) lat_[j] = std::asin(mu_[j]);
+  // Latitude edges from cumulative Gaussian weights: sin(edge) partitions
+  // [-1, 1] so each cell's area equals its quadrature weight share.
+  lat_edge_.resize(nlat + 1);
+  double s = -1.0;
+  lat_edge_[0] = -pi / 2.0;
+  for (int j = 0; j < nlat; ++j) {
+    s += weight_[j];
+    lat_edge_[j + 1] = std::asin(std::min(1.0, std::max(-1.0, s)));
+  }
+  lat_edge_[nlat] = pi / 2.0;
+  finalize();
+}
+
+MercatorGrid::MercatorGrid(int nlon, int nlat, double lat_max_deg) {
+  FOAM_REQUIRE(nlon > 0 && nlat > 1,
+               "MercatorGrid(" << nlon << "," << nlat << ")");
+  FOAM_REQUIRE(lat_max_deg < 90.0, "lat_max_deg=" << lat_max_deg);
+  nlon_ = nlon;
+  auto to_merc = [](double lat) {
+    return std::log(std::tan(pi / 4.0 + lat / 2.0));
+  };
+  auto from_merc = [](double y) {
+    return 2.0 * (std::atan(std::exp(y)) - pi / 4.0);
+  };
+  // Conformal default: Mercator spacing equal to the longitude spacing
+  // (square cells); otherwise clip at the requested latitude.
+  const double y_max = (lat_max_deg <= 0.0)
+                           ? (nlat / 2.0) * (two_pi / nlon)
+                           : to_merc(lat_max_deg * deg2rad);
+  const double dy_merc = 2.0 * y_max / nlat;
+  lat_.resize(nlat);
+  lat_edge_.resize(nlat + 1);
+  for (int j = 0; j <= nlat; ++j)
+    lat_edge_[j] = from_merc(-y_max + j * dy_merc);
+  for (int j = 0; j < nlat; ++j)
+    lat_[j] = from_merc(-y_max + (j + 0.5) * dy_merc);
+  finalize();
+  cos_lat_.resize(nlat);
+  dx_.resize(nlat);
+  dy_.resize(nlat);
+  const double dlon = two_pi / nlon;
+  for (int j = 0; j < nlat; ++j) {
+    cos_lat_[j] = std::cos(lat_[j]);
+    dx_[j] = earth_radius * cos_lat_[j] * dlon;
+    dy_[j] = earth_radius * (lat_edge_[j + 1] - lat_edge_[j]);
+  }
+}
+
+}  // namespace foam::numerics

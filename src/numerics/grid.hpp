@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file grid.hpp
+/// The two horizontal grids of FOAM.
+///
+/// * GaussianGrid — the atmosphere grid: uniformly spaced longitudes and
+///   Gaussian latitudes (roots of P_nlat). R15 uses 48 x 40.
+/// * MercatorGrid — the ocean grid: uniformly spaced longitudes and
+///   latitudes equally spaced in the Mercator coordinate
+///   y = ln(tan(pi/4 + lat/2)), clipped at +-lat_max. FOAM uses 128 x 128,
+///   roughly 1.4 deg lat x 2.8 deg lon in the tropics.
+///
+/// Both expose cell centers, cell edges and true spherical cell areas; the
+/// coupler's overlap grid is built from the edges, and conservation checks
+/// use the areas.
+
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace foam::numerics {
+
+/// Common interface data for a rectangular lat-lon-indexed global grid.
+/// Longitude cells are uniform and periodic; latitude spacing varies.
+/// Latitude index 0 is the southernmost row.
+class LatLonGrid {
+ public:
+  virtual ~LatLonGrid() = default;
+
+  int nlon() const { return nlon_; }
+  int nlat() const { return static_cast<int>(lat_.size()); }
+
+  /// Cell-center longitude [radians, in [0, 2 pi)).
+  double lon(int i) const { return lon_[check_i(i)]; }
+  /// Cell-center latitude [radians].
+  double lat(int j) const { return lat_[check_j(j)]; }
+
+  /// Cell edges; lon edges have nlon+1 entries (edge 0 at -dlon/2), lat
+  /// edges nlat+1 entries from the south pole side upward.
+  double lon_edge(int i) const { return lon_edge_[i]; }
+  double lat_edge(int j) const { return lat_edge_[j]; }
+
+  /// True spherical cell area [m^2]; depends only on j.
+  double cell_area(int j) const { return area_[check_j(j)]; }
+
+  /// Sum of all cell areas [m^2].
+  double total_area() const;
+
+  const std::vector<double>& latitudes() const { return lat_; }
+  const std::vector<double>& longitudes() const { return lon_; }
+
+ protected:
+  void finalize();  // compute lon arrays + areas from lat_edge_ and nlon_
+
+  int nlon_ = 0;
+  std::vector<double> lon_;
+  std::vector<double> lat_;
+  std::vector<double> lon_edge_;
+  std::vector<double> lat_edge_;
+  std::vector<double> area_;
+
+ private:
+  int check_i(int i) const {
+    FOAM_ASSERT(i >= 0 && i < nlon_, "lon index " << i);
+    return i;
+  }
+  int check_j(int j) const {
+    FOAM_ASSERT(j >= 0 && j < nlat(), "lat index " << j);
+    return j;
+  }
+};
+
+/// Atmosphere grid: Gaussian latitudes, uniform longitudes.
+class GaussianGrid : public LatLonGrid {
+ public:
+  GaussianGrid(int nlon, int nlat);
+
+  /// Gaussian quadrature weight of latitude j (sums to 2 over latitudes).
+  double gauss_weight(int j) const { return weight_[j]; }
+  /// mu = sin(lat_j), the Gaussian node.
+  double mu(int j) const { return mu_[j]; }
+  const std::vector<double>& mus() const { return mu_; }
+
+ private:
+  std::vector<double> mu_;
+  std::vector<double> weight_;
+};
+
+/// Ocean grid: uniform Mercator latitudes between +-lat_max.
+/// By default (lat_max_deg <= 0) the grid is *conformal*: the Mercator
+/// spacing equals the longitude spacing, making cells square (dx == dy) at
+/// every latitude. For 128 x 128 this spans about +-85 deg with a mean
+/// latitude spacing of ~1.4 deg — the FOAM ocean grid. An explicit
+/// lat_max_deg overrides the conformal extent.
+class MercatorGrid : public LatLonGrid {
+ public:
+  MercatorGrid(int nlon, int nlat, double lat_max_deg = 0.0);
+
+  /// Metric coefficient 1/cos(lat) used by the Mercator-space operators.
+  double sec_lat(int j) const { return 1.0 / cos_lat_[j]; }
+  double cos_lat(int j) const { return cos_lat_[j]; }
+
+  /// Grid spacing in physical meters at latitude j.
+  double dx(int j) const { return dx_[j]; }
+  double dy(int j) const { return dy_[j]; }
+
+ private:
+  std::vector<double> cos_lat_;
+  std::vector<double> dx_;
+  std::vector<double> dy_;
+};
+
+}  // namespace foam::numerics

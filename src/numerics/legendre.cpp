@@ -1,0 +1,79 @@
+#include "numerics/legendre.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace foam::numerics {
+
+namespace {
+
+/// epsilon_{n,m} = sqrt((n^2 - m^2) / (4 n^2 - 1)); the coupling constant of
+/// the three-term recurrence mu*Pbar_n = eps_{n+1} Pbar_{n+1} + eps_n
+/// Pbar_{n-1}.
+double eps(int n, int m) {
+  return std::sqrt((static_cast<double>(n) * n - static_cast<double>(m) * m) /
+                   (4.0 * n * n - 1.0));
+}
+
+/// Fill column[n - m] = Pbar_n^m(mu) for n = m .. m + len - 1.
+void pbar_column(int m, int len, double mu, std::vector<double>& column) {
+  column.resize(len);
+  if (len == 0) return;
+  // Sectoral start Pbar_m^m.
+  double pmm = 1.0;
+  const double s2 = std::max(0.0, 1.0 - mu * mu);
+  const double s = std::sqrt(s2);
+  for (int k = 1; k <= m; ++k)
+    pmm *= std::sqrt((2.0 * k + 1.0) / (2.0 * k)) * s;
+  column[0] = pmm;
+  if (len == 1) return;
+  column[1] = mu * std::sqrt(2.0 * m + 3.0) * pmm;
+  for (int n = m + 2; n < m + len; ++n) {
+    column[n - m] =
+        (mu * column[n - m - 1] - eps(n - 1, m) * column[n - m - 2]) /
+        eps(n, m);
+  }
+}
+
+}  // namespace
+
+double legendre_pbar(int n, int m, double mu) {
+  FOAM_REQUIRE(m >= 0 && n >= m, "legendre_pbar(n=" << n << ",m=" << m << ")");
+  std::vector<double> column;
+  pbar_column(m, n - m + 1, mu, column);
+  return column.back();
+}
+
+LegendreTable::LegendreTable(int mmax, int kmax,
+                             const std::vector<double>& mu)
+    : mmax_(mmax), kmax_(kmax), mu_(mu) {
+  FOAM_REQUIRE(mmax >= 0 && kmax >= 1, "LegendreTable(" << mmax << ","
+                                                        << kmax << ")");
+  FOAM_REQUIRE(!mu.empty(), "LegendreTable needs latitudes");
+  const std::size_t total =
+      mu.size() * static_cast<std::size_t>(mmax + 1) * kmax;
+  p_.resize(total);
+  h_.resize(total);
+  std::vector<double> column;
+  for (int j = 0; j < nlat(); ++j) {
+    for (int m = 0; m <= mmax_; ++m) {
+      // One extra degree so the derivative relation has Pbar_{n+1}.
+      pbar_column(m, kmax_ + 1, mu_[j], column);
+      for (int k = 0; k < kmax_; ++k) {
+        const int n = m + k;
+        p_[index(m, k, j)] = column[k];
+        // (1-mu^2) dPbar_n/dmu = (n+1) eps_{n,m} Pbar_{n-1}
+        //                        - n eps_{n+1,m} Pbar_{n+1}
+        const double below = (k > 0) ? column[k - 1] : 0.0;
+        const double above = column[k + 1];
+        double h = -n * eps(n + 1, m) * above;
+        if (n > m) h += (n + 1) * eps(n, m) * below;
+        h_[index(m, k, j)] = h;
+      }
+    }
+  }
+}
+
+}  // namespace foam::numerics

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file legendre.hpp
+/// Normalized associated Legendre functions for the spectral transform.
+///
+/// We use the convention orthonormal under the weight dmu/2:
+///   (1/2) * integral_{-1}^{1} Pbar_n^m Pbar_{n'}^m dmu = delta_{nn'}
+/// so Pbar_0^0 = 1 and the grid-spectral round trip needs no extra scaling.
+/// The Condon-Shortley phase is omitted (meteorological convention).
+
+#include <vector>
+
+namespace foam::numerics {
+
+/// Table of Pbar_n^m(mu) and the derivative term
+/// Hbar_n^m(mu) = (1 - mu^2) dPbar_n^m/dmu for all m in [0, mmax] and
+/// n in [m, m + nmax_per_m - 1] (rhomboidal layout) at a set of latitudes.
+class LegendreTable {
+ public:
+  /// Rhomboidal truncation: for each zonal wavenumber m, degrees
+  /// n = m .. m+kmax-1 (kmax values). mu holds the Gaussian latitudes.
+  LegendreTable(int mmax, int kmax, const std::vector<double>& mu);
+
+  int mmax() const { return mmax_; }
+  int kmax() const { return kmax_; }
+  int nlat() const { return static_cast<int>(mu_.size()); }
+
+  /// Pbar_{m+k}^m at latitude j.
+  double p(int m, int k, int j) const { return p_[index(m, k, j)]; }
+  /// Hbar_{m+k}^m = (1-mu^2) d/dmu Pbar_{m+k}^m at latitude j.
+  double h(int m, int k, int j) const { return h_[index(m, k, j)]; }
+
+ private:
+  std::size_t index(int m, int k, int j) const {
+    return (static_cast<std::size_t>(j) * (mmax_ + 1) + m) * kmax_ + k;
+  }
+  int mmax_;
+  int kmax_;
+  std::vector<double> mu_;
+  std::vector<double> p_;
+  std::vector<double> h_;
+};
+
+/// Single-point evaluation of Pbar_n^m for testing and tooling.
+/// Computes the full column m..n at one mu; returns Pbar_n^m(mu).
+double legendre_pbar(int n, int m, double mu);
+
+}  // namespace foam::numerics

@@ -1,0 +1,333 @@
+#include "numerics/spectral.hpp"
+
+#include <cmath>
+
+#include "base/constants.hpp"
+
+namespace foam::numerics {
+
+using cplx = std::complex<double>;
+using constants::earth_radius;
+
+SpectralField& SpectralField::operator+=(const SpectralField& o) {
+  FOAM_REQUIRE(same_shape(o), "spectral shape mismatch");
+  for (std::size_t i = 0; i < c_.size(); ++i) c_[i] += o.c_[i];
+  return *this;
+}
+
+SpectralField& SpectralField::operator-=(const SpectralField& o) {
+  FOAM_REQUIRE(same_shape(o), "spectral shape mismatch");
+  for (std::size_t i = 0; i < c_.size(); ++i) c_[i] -= o.c_[i];
+  return *this;
+}
+
+SpectralField& SpectralField::operator*=(double s) {
+  for (auto& v : c_) v *= s;
+  return *this;
+}
+
+void SpectralField::axpy(double a, const SpectralField& o) {
+  FOAM_REQUIRE(same_shape(o), "spectral shape mismatch");
+  for (std::size_t i = 0; i < c_.size(); ++i) c_[i] += a * o.c_[i];
+}
+
+double SpectralField::power() const {
+  double sum = 0.0;
+  for (int m = 0; m <= mmax_; ++m) {
+    const double fac = (m == 0) ? 1.0 : 2.0;
+    for (int k = 0; k < kmax_; ++k) sum += fac * std::norm(at(m, k));
+  }
+  return sum;
+}
+
+SpectralTransform::SpectralTransform(const GaussianGrid& grid, int mmax)
+    : grid_(grid),
+      mmax_(mmax),
+      kmax_(mmax + 1),
+      fft_(grid.nlon()),
+      table_(mmax, /*kmax=*/mmax + 1, grid.mus()) {
+  FOAM_REQUIRE(mmax >= 1, "mmax=" << mmax);
+  // Alias-free quadratic products need nlon >= 3*mmax + 1 and
+  // nlat >= (3*mmax + 1)/2 for rhomboidal truncation.
+  FOAM_REQUIRE(grid.nlon() >= 3 * mmax + 1,
+               "nlon=" << grid.nlon() << " too small for R" << mmax);
+  FOAM_REQUIRE(grid.nlat() >= (3 * mmax + 1) / 2,
+               "nlat=" << grid.nlat() << " too small for R" << mmax);
+}
+
+void SpectralTransform::fourier_row(const Field2Dd& f, int j,
+                                    std::vector<cplx>& fm) const {
+  const int nlon = grid_.nlon();
+  std::vector<double> row(nlon);
+  for (int i = 0; i < nlon; ++i) row[i] = f(i, j);
+  std::vector<cplx> spec = fft_.forward_real(row);
+  fm.resize(mmax_ + 1);
+  const double inv_n = 1.0 / nlon;
+  for (int m = 0; m <= mmax_; ++m) fm[m] = spec[m] * inv_n;
+}
+
+void SpectralTransform::inv_fourier_row(const std::vector<cplx>& fm,
+                                        Field2Dd& f, int j) const {
+  const int nlon = grid_.nlon();
+  std::vector<cplx> spec(nlon / 2 + 1, cplx(0.0, 0.0));
+  for (int m = 0; m <= mmax_; ++m)
+    spec[m] = fm[m] * static_cast<double>(nlon);
+  std::vector<double> row = fft_.inverse_real(spec);
+  for (int i = 0; i < nlon; ++i) f(i, j) = row[i];
+}
+
+SpectralField SpectralTransform::analyze(const Field2Dd& f) const {
+  FOAM_REQUIRE(f.nx() == grid_.nlon() && f.ny() == grid_.nlat(),
+               "field shape " << f.nx() << "x" << f.ny());
+  SpectralField s(mmax_, kmax_);
+  std::vector<cplx> fm;
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    fourier_row(f, j, fm);
+    const double wj = 0.5 * grid_.gauss_weight(j);
+    for (int m = 0; m <= mmax_; ++m) {
+      const cplx wfm = wj * fm[m];
+      for (int k = 0; k < kmax_; ++k) s.at(m, k) += wfm * table_.p(m, k, j);
+    }
+  }
+  return s;
+}
+
+Field2Dd SpectralTransform::synthesize(const SpectralField& s) const {
+  FOAM_REQUIRE(s.mmax() == mmax_ && s.kmax() == kmax_, "truncation mismatch");
+  Field2Dd f(grid_.nlon(), grid_.nlat());
+  std::vector<cplx> fm(mmax_ + 1);
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    for (int m = 0; m <= mmax_; ++m) {
+      cplx acc(0.0, 0.0);
+      for (int k = 0; k < kmax_; ++k) acc += s.at(m, k) * table_.p(m, k, j);
+      fm[m] = acc;
+    }
+    inv_fourier_row(fm, f, j);
+  }
+  return f;
+}
+
+SpectralField SpectralTransform::analyze_div(const Field2Dd& A,
+                                             const Field2Dd& B) const {
+  SpectralField s(mmax_, kmax_);
+  std::vector<cplx> am, bm;
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    fourier_row(A, j, am);
+    fourier_row(B, j, bm);
+    const double mu = grid_.mu(j);
+    const double one_minus_mu2 = 1.0 - mu * mu;
+    const double wj =
+        0.5 * grid_.gauss_weight(j) / (earth_radius * one_minus_mu2);
+    for (int m = 0; m <= mmax_; ++m) {
+      const cplx ia = cplx(0.0, static_cast<double>(m)) * am[m] * wj;
+      const cplx b = bm[m] * wj;
+      for (int k = 0; k < kmax_; ++k) {
+        s.at(m, k) += ia * table_.p(m, k, j) - b * table_.h(m, k, j);
+      }
+    }
+  }
+  return s;
+}
+
+SpectralField SpectralTransform::analyze_curl(const Field2Dd& A,
+                                              const Field2Dd& B) const {
+  SpectralField s(mmax_, kmax_);
+  std::vector<cplx> am, bm;
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    fourier_row(A, j, am);
+    fourier_row(B, j, bm);
+    const double mu = grid_.mu(j);
+    const double one_minus_mu2 = 1.0 - mu * mu;
+    const double wj =
+        0.5 * grid_.gauss_weight(j) / (earth_radius * one_minus_mu2);
+    for (int m = 0; m <= mmax_; ++m) {
+      const cplx ib = cplx(0.0, static_cast<double>(m)) * bm[m] * wj;
+      const cplx a = am[m] * wj;
+      for (int k = 0; k < kmax_; ++k) {
+        s.at(m, k) += ib * table_.p(m, k, j) + a * table_.h(m, k, j);
+      }
+    }
+  }
+  return s;
+}
+
+void SpectralTransform::uv_from_psi_chi(const SpectralField& psi,
+                                        const SpectralField& chi,
+                                        Field2Dd& U, Field2Dd& V) const {
+  FOAM_REQUIRE(psi.mmax() == mmax_ && chi.mmax() == mmax_,
+               "truncation mismatch");
+  if (U.nx() != grid_.nlon() || U.ny() != grid_.nlat())
+    U = Field2Dd(grid_.nlon(), grid_.nlat());
+  if (V.nx() != grid_.nlon() || V.ny() != grid_.nlat())
+    V = Field2Dd(grid_.nlon(), grid_.nlat());
+  std::vector<cplx> um(mmax_ + 1), vm(mmax_ + 1);
+  const double inv_a = 1.0 / earth_radius;
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    for (int m = 0; m <= mmax_; ++m) {
+      const cplx im(0.0, static_cast<double>(m));
+      cplx u(0.0, 0.0), v(0.0, 0.0);
+      for (int k = 0; k < kmax_; ++k) {
+        const double p = table_.p(m, k, j);
+        const double h = table_.h(m, k, j);
+        u += im * chi.at(m, k) * p - psi.at(m, k) * h;
+        v += im * psi.at(m, k) * p + chi.at(m, k) * h;
+      }
+      um[m] = u * inv_a;
+      vm[m] = v * inv_a;
+    }
+    inv_fourier_row(um, U, j);
+    inv_fourier_row(vm, V, j);
+  }
+}
+
+double SpectralTransform::laplacian_eigenvalue(int n) const {
+  return -static_cast<double>(n) * (n + 1) / (earth_radius * earth_radius);
+}
+
+void SpectralTransform::laplacian(SpectralField& s) const {
+  for (int m = 0; m <= mmax_; ++m)
+    for (int k = 0; k < kmax_; ++k) s.at(m, k) *= laplacian_eigenvalue(m + k);
+}
+
+void SpectralTransform::inverse_laplacian(SpectralField& s) const {
+  for (int m = 0; m <= mmax_; ++m) {
+    for (int k = 0; k < kmax_; ++k) {
+      const int n = m + k;
+      if (n == 0) {
+        s.at(m, k) = cplx(0.0, 0.0);
+      } else {
+        s.at(m, k) /= laplacian_eigenvalue(n);
+      }
+    }
+  }
+}
+
+SpectralField SpectralTransform::d_dlon(const SpectralField& s) const {
+  SpectralField out(s);
+  for (int m = 0; m <= mmax_; ++m) {
+    const cplx im(0.0, static_cast<double>(m));
+    for (int k = 0; k < kmax_; ++k) out.at(m, k) = im * s.at(m, k);
+  }
+  return out;
+}
+
+ParSpectralTransform::ParSpectralTransform(const SpectralTransform& serial,
+                                           std::vector<int> my_lats)
+    : serial_(serial), my_lats_(std::move(my_lats)) {
+  for (const int j : my_lats_)
+    FOAM_REQUIRE(j >= 0 && j < serial_.grid().nlat(), "latitude " << j);
+}
+
+void ParSpectralTransform::allreduce_spectral(par::Comm& comm,
+                                              SpectralField& s) const {
+  const std::size_t n = s.size() * 2;  // complex -> 2 doubles
+  std::vector<double> buf(n);
+  const double* raw = reinterpret_cast<const double*>(s.data());
+  std::copy(raw, raw + n, buf.begin());
+  std::vector<double> out(n);
+  comm.allreduce(buf.data(), out.data(), n, par::ReduceOp::kSum);
+  double* dst = reinterpret_cast<double*>(s.data());
+  std::copy(out.begin(), out.end(), dst);
+}
+
+SpectralField ParSpectralTransform::analyze(par::Comm& comm,
+                                            const Field2Dd& f) const {
+  SpectralField s(serial_.mmax(), serial_.kmax());
+  std::vector<cplx> fm;
+  for (const int j : my_lats_) {
+    serial_.fourier_row(f, j, fm);
+    const double wj = 0.5 * serial_.grid().gauss_weight(j);
+    for (int m = 0; m <= serial_.mmax(); ++m) {
+      const cplx wfm = wj * fm[m];
+      for (int k = 0; k < serial_.kmax(); ++k)
+        s.at(m, k) += wfm * serial_.table_.p(m, k, j);
+    }
+  }
+  allreduce_spectral(comm, s);
+  return s;
+}
+
+void ParSpectralTransform::synthesize(const SpectralField& s,
+                                      Field2Dd& f) const {
+  std::vector<cplx> fm(serial_.mmax() + 1);
+  for (const int j : my_lats_) {
+    for (int m = 0; m <= serial_.mmax(); ++m) {
+      cplx acc(0.0, 0.0);
+      for (int k = 0; k < serial_.kmax(); ++k)
+        acc += s.at(m, k) * serial_.table_.p(m, k, j);
+      fm[m] = acc;
+    }
+    serial_.inv_fourier_row(fm, f, j);
+  }
+}
+
+SpectralField ParSpectralTransform::analyze_div(par::Comm& comm,
+                                                const Field2Dd& A,
+                                                const Field2Dd& B) const {
+  SpectralField s(serial_.mmax(), serial_.kmax());
+  std::vector<cplx> am, bm;
+  for (const int j : my_lats_) {
+    serial_.fourier_row(A, j, am);
+    serial_.fourier_row(B, j, bm);
+    const double mu = serial_.grid().mu(j);
+    const double wj = 0.5 * serial_.grid().gauss_weight(j) /
+                      (earth_radius * (1.0 - mu * mu));
+    for (int m = 0; m <= serial_.mmax(); ++m) {
+      const cplx ia = cplx(0.0, static_cast<double>(m)) * am[m] * wj;
+      const cplx b = bm[m] * wj;
+      for (int k = 0; k < serial_.kmax(); ++k)
+        s.at(m, k) +=
+            ia * serial_.table_.p(m, k, j) - b * serial_.table_.h(m, k, j);
+    }
+  }
+  allreduce_spectral(comm, s);
+  return s;
+}
+
+SpectralField ParSpectralTransform::analyze_curl(par::Comm& comm,
+                                                 const Field2Dd& A,
+                                                 const Field2Dd& B) const {
+  SpectralField s(serial_.mmax(), serial_.kmax());
+  std::vector<cplx> am, bm;
+  for (const int j : my_lats_) {
+    serial_.fourier_row(A, j, am);
+    serial_.fourier_row(B, j, bm);
+    const double mu = serial_.grid().mu(j);
+    const double wj = 0.5 * serial_.grid().gauss_weight(j) /
+                      (earth_radius * (1.0 - mu * mu));
+    for (int m = 0; m <= serial_.mmax(); ++m) {
+      const cplx ib = cplx(0.0, static_cast<double>(m)) * bm[m] * wj;
+      const cplx a = am[m] * wj;
+      for (int k = 0; k < serial_.kmax(); ++k)
+        s.at(m, k) +=
+            ib * serial_.table_.p(m, k, j) + a * serial_.table_.h(m, k, j);
+    }
+  }
+  allreduce_spectral(comm, s);
+  return s;
+}
+
+void ParSpectralTransform::uv_from_psi_chi(const SpectralField& psi,
+                                           const SpectralField& chi,
+                                           Field2Dd& U, Field2Dd& V) const {
+  std::vector<cplx> um(serial_.mmax() + 1), vm(serial_.mmax() + 1);
+  const double inv_a = 1.0 / earth_radius;
+  for (const int j : my_lats_) {
+    for (int m = 0; m <= serial_.mmax(); ++m) {
+      const cplx im(0.0, static_cast<double>(m));
+      cplx u(0.0, 0.0), v(0.0, 0.0);
+      for (int k = 0; k < serial_.kmax(); ++k) {
+        const double p = serial_.table_.p(m, k, j);
+        const double h = serial_.table_.h(m, k, j);
+        u += im * chi.at(m, k) * p - psi.at(m, k) * h;
+        v += im * psi.at(m, k) * p + chi.at(m, k) * h;
+      }
+      um[m] = u * inv_a;
+      vm[m] = v * inv_a;
+    }
+    serial_.inv_fourier_row(um, U, j);
+    serial_.inv_fourier_row(vm, V, j);
+  }
+}
+
+}  // namespace foam::numerics

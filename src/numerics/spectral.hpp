@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file spectral.hpp
+/// Spherical-harmonic spectral transform with rhomboidal truncation.
+///
+/// The FOAM atmosphere is a spectral-transform model derived from CCM2 at
+/// R15: zonal wavenumbers m = 0..15 each carry 16 total wavenumbers
+/// n = m..m+15 (the rhomboidal set). A scalar grid field on the Gaussian
+/// grid maps to coefficients
+///   f_n^m = (1/2) sum_j w_j f_m(mu_j) Pbar_n^m(mu_j),
+/// where f_m(mu_j) are the Fourier coefficients of latitude row j and w_j
+/// the Gaussian weights; synthesis is the adjoint sum. Vector analysis
+/// (divergence / curl of flux pairs) uses integration by parts so no grid
+/// derivative is ever taken (the standard transform-method trick that also
+/// shapes the parallel data flow).
+///
+/// ParSpectralTransform layers the same operations over a latitude-band
+/// decomposition on foam::par — FFTs are local to a rank's latitudes and the
+/// Legendre stage completes partial sums with an allreduce, the
+/// "distributed Legendre transform" variant studied for PCCM2.
+
+#include <complex>
+#include <vector>
+
+#include "base/field.hpp"
+#include "numerics/fft.hpp"
+#include "numerics/grid.hpp"
+#include "numerics/legendre.hpp"
+#include "par/comm.hpp"
+
+namespace foam::numerics {
+
+/// Coefficients of a rhomboidally truncated field: index (m, k) with
+/// n = m + k, m in [0, mmax], k in [0, kmax).
+class SpectralField {
+ public:
+  SpectralField() = default;
+  SpectralField(int mmax, int kmax)
+      : mmax_(mmax), kmax_(kmax),
+        c_(static_cast<std::size_t>(mmax + 1) * kmax) {}
+
+  int mmax() const { return mmax_; }
+  int kmax() const { return kmax_; }
+  std::size_t size() const { return c_.size(); }
+
+  std::complex<double>& at(int m, int k) { return c_[index(m, k)]; }
+  const std::complex<double>& at(int m, int k) const {
+    return c_[index(m, k)];
+  }
+
+  std::complex<double>* data() { return c_.data(); }
+  const std::complex<double>* data() const { return c_.data(); }
+
+  void fill(std::complex<double> v) { std::fill(c_.begin(), c_.end(), v); }
+
+  SpectralField& operator+=(const SpectralField& o);
+  SpectralField& operator-=(const SpectralField& o);
+  SpectralField& operator*=(double s);
+  /// this += a * o
+  void axpy(double a, const SpectralField& o);
+
+  /// Power in the field: sum over coefficients of (2 - delta_m0)|c|^2,
+  /// equal to the area-weighted mean square of the grid field.
+  double power() const;
+
+  bool same_shape(const SpectralField& o) const {
+    return mmax_ == o.mmax_ && kmax_ == o.kmax_;
+  }
+
+ private:
+  std::size_t index(int m, int k) const {
+    FOAM_ASSERT(m >= 0 && m <= mmax_ && k >= 0 && k < kmax_,
+                "(" << m << "," << k << ")");
+    return static_cast<std::size_t>(m) * kmax_ + k;
+  }
+  int mmax_ = 0;
+  int kmax_ = 0;
+  std::vector<std::complex<double>> c_;
+};
+
+/// Serial spectral transform bound to one Gaussian grid and truncation.
+class SpectralTransform {
+ public:
+  /// Rhomboidal truncation R(mmax): kmax = mmax + 1 degrees per m.
+  SpectralTransform(const GaussianGrid& grid, int mmax);
+
+  int mmax() const { return mmax_; }
+  int kmax() const { return kmax_; }
+  const GaussianGrid& grid() const { return grid_; }
+
+  /// Scalar analysis: grid -> spectral.
+  SpectralField analyze(const Field2Dd& f) const;
+
+  /// Scalar synthesis: spectral -> grid.
+  Field2Dd synthesize(const SpectralField& s) const;
+
+  /// Vector analysis of the flux pair (A, B) = (U q, V q) with U = u cos(lat):
+  ///   analyze_div  -> spectral of  (1/(a(1-mu^2))) dA/dlon + (1/a) dB/dmu
+  ///   analyze_curl -> spectral of  (1/(a(1-mu^2))) dB/dlon - (1/a) dA/dmu
+  /// computed by integration by parts (exact under Gaussian quadrature).
+  SpectralField analyze_div(const Field2Dd& A, const Field2Dd& B) const;
+  SpectralField analyze_curl(const Field2Dd& A, const Field2Dd& B) const;
+
+  /// Winds from streamfunction and velocity potential:
+  ///   U = (1/a)(dchi/dlon - (1-mu^2) dpsi/dmu)
+  ///   V = (1/a)(dpsi/dlon + (1-mu^2) dchi/dmu)
+  /// where (U, V) = (u, v) cos(lat).
+  void uv_from_psi_chi(const SpectralField& psi, const SpectralField& chi,
+                       Field2Dd& U, Field2Dd& V) const;
+
+  /// Spectral Laplacian: c_n^m *= -n(n+1)/a^2.
+  void laplacian(SpectralField& s) const;
+  /// Inverse Laplacian; the n = 0 coefficient (undetermined) is zeroed.
+  void inverse_laplacian(SpectralField& s) const;
+  /// d/dlon: c_n^m *= i m.
+  SpectralField d_dlon(const SpectralField& s) const;
+
+  /// Eigenvalue of the Laplacian for total wavenumber n: -n(n+1)/a^2.
+  double laplacian_eigenvalue(int n) const;
+
+ private:
+  friend class ParSpectralTransform;
+  friend class TransposeSpectralTransform;
+
+  /// Fourier analysis of one latitude row (truncated to mmax+1 modes, with
+  /// the 1/nlon normalization folded in).
+  void fourier_row(const Field2Dd& f, int j,
+                   std::vector<std::complex<double>>& fm) const;
+  /// Inverse: place mmax+1 Fourier modes into grid row j.
+  void inv_fourier_row(const std::vector<std::complex<double>>& fm,
+                       Field2Dd& f, int j) const;
+
+  const GaussianGrid& grid_;
+  int mmax_;
+  int kmax_;
+  Fft fft_;
+  LegendreTable table_;
+};
+
+/// Latitude-distributed spectral transform. Each rank owns a set of latitude
+/// rows (as produced by par::paired_latitudes or any partition); analysis
+/// ends with an allreduce so every rank holds the full spectral state, and
+/// synthesis fills only the rank's own rows of the output field (other rows
+/// are left untouched).
+class ParSpectralTransform {
+ public:
+  ParSpectralTransform(const SpectralTransform& serial,
+                       std::vector<int> my_lats);
+
+  const std::vector<int>& my_lats() const { return my_lats_; }
+
+  SpectralField analyze(par::Comm& comm, const Field2Dd& f) const;
+  void synthesize(const SpectralField& s, Field2Dd& f) const;
+  SpectralField analyze_div(par::Comm& comm, const Field2Dd& A,
+                            const Field2Dd& B) const;
+  SpectralField analyze_curl(par::Comm& comm, const Field2Dd& A,
+                             const Field2Dd& B) const;
+  void uv_from_psi_chi(const SpectralField& psi, const SpectralField& chi,
+                       Field2Dd& U, Field2Dd& V) const;
+
+ private:
+  void allreduce_spectral(par::Comm& comm, SpectralField& s) const;
+  const SpectralTransform& serial_;
+  std::vector<int> my_lats_;
+};
+
+}  // namespace foam::numerics

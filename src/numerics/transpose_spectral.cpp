@@ -1,0 +1,180 @@
+#include "numerics/transpose_spectral.hpp"
+
+#include <algorithm>
+
+#include "par/decomp.hpp"
+
+namespace foam::numerics {
+
+using cplx = std::complex<double>;
+
+TransposeSpectralTransform::TransposeSpectralTransform(
+    const SpectralTransform& serial, std::vector<int> my_lats,
+    par::Comm& comm)
+    : serial_(serial), my_lats_(std::move(my_lats)), nranks_(comm.size()) {
+  const int nlat = serial_.grid().nlat();
+  const int nm = serial_.mmax() + 1;
+  FOAM_REQUIRE(nranks_ <= nm,
+               "more ranks (" << nranks_ << ") than wavenumbers (" << nm
+                              << ")");
+  const par::Range mr = par::block_range(nm, nranks_, comm.rank());
+  m_lo_ = mr.lo;
+  m_hi_ = mr.hi;
+  m_lo_of_.resize(nranks_);
+  m_hi_of_.resize(nranks_);
+  for (int r = 0; r < nranks_; ++r) {
+    const par::Range rr = par::block_range(nm, nranks_, r);
+    m_lo_of_[r] = rr.lo;
+    m_hi_of_[r] = rr.hi;
+    max_ms_per_rank_ = std::max(max_ms_per_rank_, rr.count());
+  }
+  // Latitude ownership: gather each rank's row count, assume the same
+  // block decomposition on all ranks (validated against my_lats).
+  lat_owner_.assign(nlat, -1);
+  for (int r = 0; r < nranks_; ++r) {
+    const par::Range lr = par::block_range(nlat, nranks_, r);
+    for (int j = lr.lo; j < lr.hi; ++j) lat_owner_[j] = r;
+    max_lats_per_rank_ = std::max(max_lats_per_rank_, lr.count());
+  }
+  const par::Range mine = par::block_range(nlat, nranks_, comm.rank());
+  FOAM_REQUIRE(static_cast<int>(my_lats_.size()) == mine.count(),
+               "my_lats must be the block decomposition ("
+                   << my_lats_.size() << " vs " << mine.count() << ")");
+  for (std::size_t n = 0; n < my_lats_.size(); ++n)
+    FOAM_REQUIRE(my_lats_[n] == mine.lo + static_cast<int>(n),
+                 "my_lats must be the contiguous block rows");
+}
+
+std::vector<std::vector<cplx>> TransposeSpectralTransform::forward_transpose(
+    par::Comm& comm,
+    const std::vector<std::vector<cplx>>& fm_rows) const {
+  FOAM_REQUIRE(fm_rows.size() == my_lats_.size(), "row count");
+  const int nlat = serial_.grid().nlat();
+  // Equal-size padded blocks: per destination rank, my rows x its m's.
+  const std::size_t block =
+      static_cast<std::size_t>(max_lats_per_rank_) * max_ms_per_rank_ * 2;
+  std::vector<double> send(block * nranks_, 0.0);
+  for (int dst = 0; dst < nranks_; ++dst) {
+    double* out = send.data() + block * dst;
+    for (std::size_t row = 0; row < my_lats_.size(); ++row) {
+      for (int m = m_lo_of_[dst]; m < m_hi_of_[dst]; ++m) {
+        const std::size_t slot =
+            (row * max_ms_per_rank_ + (m - m_lo_of_[dst])) * 2;
+        out[slot] = fm_rows[row][m].real();
+        out[slot + 1] = fm_rows[row][m].imag();
+      }
+    }
+  }
+  std::vector<double> recv(block * nranks_, 0.0);
+  comm.alltoall(send.data(), recv.data(), block);
+  // Assemble owned-m columns over all latitudes.
+  std::vector<std::vector<cplx>> columns(
+      m_hi_ - m_lo_, std::vector<cplx>(nlat, cplx(0.0, 0.0)));
+  for (int src = 0; src < nranks_; ++src) {
+    const par::Range lr = par::block_range(nlat, nranks_, src);
+    const double* in = recv.data() + block * src;
+    for (int j = lr.lo; j < lr.hi; ++j) {
+      const std::size_t row = j - lr.lo;
+      for (int m = m_lo_; m < m_hi_; ++m) {
+        const std::size_t slot =
+            (row * max_ms_per_rank_ + (m - m_lo_)) * 2;
+        columns[m - m_lo_][j] = cplx(in[slot], in[slot + 1]);
+      }
+    }
+  }
+  return columns;
+}
+
+SpectralField TransposeSpectralTransform::analyze(par::Comm& comm,
+                                                  const Field2Dd& f) const {
+  // Latitude-local FFTs.
+  std::vector<std::vector<cplx>> fm_rows(my_lats_.size());
+  for (std::size_t row = 0; row < my_lats_.size(); ++row)
+    serial_.fourier_row(f, my_lats_[row], fm_rows[row]);
+
+  // Transpose to the m decomposition, then local full Legendre sums.
+  const auto columns = forward_transpose(comm, fm_rows);
+  const int nlat = serial_.grid().nlat();
+  const int kmax = serial_.kmax();
+  std::vector<double> mine(static_cast<std::size_t>(max_ms_per_rank_) *
+                               kmax * 2,
+                           0.0);
+  for (int m = m_lo_; m < m_hi_; ++m) {
+    for (int k = 0; k < kmax; ++k) {
+      cplx acc(0.0, 0.0);
+      for (int j = 0; j < nlat; ++j) {
+        const double wj = 0.5 * serial_.grid().gauss_weight(j);
+        acc += wj * columns[m - m_lo_][j] * serial_.table_.p(m, k, j);
+      }
+      const std::size_t slot =
+          (static_cast<std::size_t>(m - m_lo_) * kmax + k) * 2;
+      mine[slot] = acc.real();
+      mine[slot + 1] = acc.imag();
+    }
+  }
+  // Allgather the m-blocks so every rank holds the full spectral field.
+  std::vector<double> all(mine.size() * nranks_);
+  comm.allgather(mine.data(), mine.size(), all.data());
+  SpectralField s(serial_.mmax(), kmax);
+  for (int r = 0; r < nranks_; ++r) {
+    const double* in = all.data() + mine.size() * r;
+    for (int m = m_lo_of_[r]; m < m_hi_of_[r]; ++m)
+      for (int k = 0; k < kmax; ++k) {
+        const std::size_t slot =
+            (static_cast<std::size_t>(m - m_lo_of_[r]) * kmax + k) * 2;
+        s.at(m, k) = cplx(in[slot], in[slot + 1]);
+      }
+  }
+  return s;
+}
+
+void TransposeSpectralTransform::synthesize(par::Comm& comm,
+                                            const SpectralField& s,
+                                            Field2Dd& f) const {
+  const int nlat = serial_.grid().nlat();
+  const int nm = serial_.mmax() + 1;
+  // Inverse Legendre on owned m's: f_m(j) for all j.
+  std::vector<std::vector<cplx>> columns(
+      m_hi_ - m_lo_, std::vector<cplx>(nlat, cplx(0.0, 0.0)));
+  for (int m = m_lo_; m < m_hi_; ++m)
+    for (int j = 0; j < nlat; ++j) {
+      cplx acc(0.0, 0.0);
+      for (int k = 0; k < serial_.kmax(); ++k)
+        acc += s.at(m, k) * serial_.table_.p(m, k, j);
+      columns[m - m_lo_][j] = acc;
+    }
+  // Inverse transpose: send to each rank its latitudes of my m-columns.
+  const std::size_t block =
+      static_cast<std::size_t>(max_lats_per_rank_) * max_ms_per_rank_ * 2;
+  std::vector<double> send(block * nranks_, 0.0);
+  for (int dst = 0; dst < nranks_; ++dst) {
+    const par::Range lr = par::block_range(nlat, nranks_, dst);
+    double* out = send.data() + block * dst;
+    for (int j = lr.lo; j < lr.hi; ++j) {
+      const std::size_t row = j - lr.lo;
+      for (int m = m_lo_; m < m_hi_; ++m) {
+        const std::size_t slot =
+            (row * max_ms_per_rank_ + (m - m_lo_)) * 2;
+        out[slot] = columns[m - m_lo_][j].real();
+        out[slot + 1] = columns[m - m_lo_][j].imag();
+      }
+    }
+  }
+  std::vector<double> recv(block * nranks_, 0.0);
+  comm.alltoall(send.data(), recv.data(), block);
+  // Assemble full Fourier rows for my latitudes, inverse FFT into f.
+  for (std::size_t row = 0; row < my_lats_.size(); ++row) {
+    std::vector<cplx> fm(nm, cplx(0.0, 0.0));
+    for (int src = 0; src < nranks_; ++src) {
+      const double* in = recv.data() + block * src;
+      for (int m = m_lo_of_[src]; m < m_hi_of_[src]; ++m) {
+        const std::size_t slot =
+            (row * max_ms_per_rank_ + (m - m_lo_of_[src])) * 2;
+        fm[m] = cplx(in[slot], in[slot + 1]);
+      }
+    }
+    serial_.inv_fourier_row(fm, f, my_lats_[row]);
+  }
+}
+
+}  // namespace foam::numerics

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file transpose_spectral.hpp
+/// Transpose-based parallel spectral transform.
+///
+/// PCCM2 incorporated "parallel spectral transform algorithms developed at
+/// Argonne and Oak Ridge" (Foster & Worley): the two principal strategies
+/// are the *distributed* Legendre transform (partial sums completed by a
+/// reduction — ParSpectralTransform in spectral.hpp) and the *transpose*
+/// algorithm implemented here: after the latitude-local FFTs, an
+/// all-to-all redistributes the Fourier coefficients so each rank owns a
+/// subset of zonal wavenumbers over *all* latitudes, computes those m's
+/// full Legendre sums locally with no further communication, and an
+/// all-gather (or the inverse transpose on synthesis) restores the
+/// latitude decomposition.
+///
+/// The two variants produce identical results; they trade collective
+/// bandwidth (transpose) against reduction latency (distributed sum) — the
+/// choice that mattered on the paper's SP2.
+
+#include <vector>
+
+#include "numerics/spectral.hpp"
+
+namespace foam::numerics {
+
+class TransposeSpectralTransform {
+ public:
+  /// \p my_lats must be the rows owned by this rank under the same
+  /// decomposition on every rank of \p comm (sizes may differ by one).
+  /// Wavenumbers m in [0, mmax] are block-distributed over ranks.
+  TransposeSpectralTransform(const SpectralTransform& serial,
+                             std::vector<int> my_lats, par::Comm& comm);
+
+  /// Zonal wavenumbers owned by this rank, [m_lo, m_hi).
+  int m_lo() const { return m_lo_; }
+  int m_hi() const { return m_hi_; }
+
+  /// Grid -> spectral with the transpose data flow; every rank returns the
+  /// full spectral field (the trailing allgather; a production dycore
+  /// would keep the m-decomposition, which the m-local entry points below
+  /// expose).
+  SpectralField analyze(par::Comm& comm, const Field2Dd& f) const;
+
+  /// Spectral -> grid: inverse Legendre on owned m's, inverse transpose,
+  /// then latitude-local inverse FFTs into the rank's rows of \p f.
+  void synthesize(par::Comm& comm, const SpectralField& s, Field2Dd& f) const;
+
+  /// The forward transpose alone (exposed for tests and the communication
+  /// bench): input Fourier rows for the rank's latitudes, output this
+  /// rank's m-columns over all latitudes.
+  /// fm_rows is indexed [row][m] over my_lats; the result is indexed
+  /// [m - m_lo][j] over all nlat latitudes.
+  std::vector<std::vector<std::complex<double>>> forward_transpose(
+      par::Comm& comm,
+      const std::vector<std::vector<std::complex<double>>>& fm_rows) const;
+
+ private:
+  const SpectralTransform& serial_;
+  std::vector<int> my_lats_;
+  int nranks_;
+  int m_lo_ = 0;
+  int m_hi_ = 0;
+  std::vector<int> lat_owner_;    // owning rank of each latitude row
+  std::vector<int> m_lo_of_;      // m range per rank
+  std::vector<int> m_hi_of_;
+  int max_lats_per_rank_ = 0;
+  int max_ms_per_rank_ = 0;
+};
+
+}  // namespace foam::numerics

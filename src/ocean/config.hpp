@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file config.hpp
+/// Configuration of the ocean model.
+///
+/// The same OceanModel implements both the FOAM ocean and the conventional
+/// baseline; the config selects the three speed techniques of paper §4.2:
+///   1. slowed barotropic dynamics  (slow_factor > 1),
+///   2. split free surface subcycled against the internal step
+///      (split_barotropic),
+///   3. a longer tracer (advective/diffusive) step (tracer_every > 1).
+
+namespace foam::ocean {
+
+struct OceanConfig {
+  int nx = 128;
+  int ny = 128;
+  int nz = 16;
+
+  double total_depth = 4800.0;  ///< [m]
+  double dz_top = 25.0;         ///< surface layer thickness [m]
+
+  /// Internal (baroclinic momentum) time step [s].
+  double dt_mom = 3600.0;
+  /// Barotropic subcycles per internal step (split mode).
+  int nsub_baro = 8;
+  /// Tracer step = tracer_every * dt_mom.
+  int tracer_every = 2;
+  /// External gravity-wave slowing: continuity is scaled by 1/slow_factor,
+  /// i.e. the wave speed is reduced by sqrt(slow_factor). 1 = true gravity.
+  double slow_factor = 100.0;
+  /// Split the free surface into a subcycled 2-D subsystem. When false the
+  /// barotropic terms are advanced inside the internal step (conventional
+  /// explicit free-surface formulation) and dt_mom must satisfy the
+  /// external-wave CFL.
+  bool split_barotropic = true;
+
+  /// Robert-Asselin filter coefficient for the leapfrog steps.
+  double asselin = 0.08;
+  /// Clamp on the diagnosed vertical velocity [m/s] (~70 m/day); larger
+  /// values at this resolution are cliff-column artifacts.
+  double w_clamp = 1.5e-5;
+
+  /// Laplacian lateral viscosity [m^2/s]; the Munk-layer-scale friction
+  /// every coarse z-level ocean of this era carried.
+  double visc_h = 2.0e5;
+  /// Divergence damping on the baroclinic velocities [m^2/s], capped per
+  /// row at 0.1*dx^2/dt: damps the divergent (internal-gravity-wave) part
+  /// of the flow, leaving the rotational circulation untouched.
+  double div_damp = 2.0e6;
+  /// Rayleigh drag on the baroclinic deviation velocities [1/s].
+  double rayleigh = 4.0e-5;
+  /// Hard safety clamps [m/s]; currents beyond these are numerical.
+  double max_baroclinic = 0.8;
+  double max_barotropic = 0.5;
+  /// Per-step retention factor applied to the wall-normal velocity
+  /// component of wall-adjacent cells (a staggered grid would carry that
+  /// component on the wall and zero it).
+  double wall_normal_retain = 0.7;
+  /// Biharmonic momentum dissipation [m^4/s] ("del^4 numerical dissipation"
+  /// preventing A-grid mode splitting), capped per row for stability.
+  double visc4 = 8.0e15;
+  /// Laplacian tracer diffusivity [m^2/s].
+  double kappa_h = 2.0e3;
+  /// Background vertical viscosity / diffusivity [m^2/s].
+  double nu_b = 1.0e-4;
+  double kappa_b = 1.0e-5;
+  /// Pacanowski-Philander surface mixing scale [m^2/s].
+  double nu0 = 1.0e-2;
+  /// Richardson-number exponent: 2 = PP81, 3 = the steeper dependency
+  /// consistent with Peters, Gregg & Toole that the paper adopted.
+  double ri_exponent = 3.0;
+  /// Linear bottom drag on the barotropic mode [1/s].
+  double bottom_drag = 4.0e-5;
+  /// Linear drag on the deepest layer's deviation velocity [1/s];
+  /// stands in for an unresolved bottom boundary layer.
+  double deep_drag = 1.0e-5;
+  /// Strength of the index-space del^4 filter on the barotropic fields.
+  double baro_filter_eps = 0.4;
+
+  /// Polar Fourier filter critical latitude [deg].
+  double filter_lat = 60.0;
+
+  /// Linear equation of state.
+  double rho0 = 1025.0;
+  double alpha_t = 2.0e-4;  ///< 1/K
+  double beta_s = 8.0e-4;   ///< 1/psu
+  double t_ref = 10.0;      ///< deg C
+  double s_ref = 35.0;      ///< psu
+
+  // --- process switches (ablation/debug; all on for production) ----------
+  bool enable_baroclinic_pg = true;
+  bool enable_vert_adv = true;
+  bool enable_horiz_adv = true;
+  bool enable_vmix = true;
+  bool enable_convect = true;
+  bool enable_ts_filter = true;
+
+  /// FOAM production configuration (paper §4.2).
+  static OceanConfig foam_default() { return OceanConfig{}; }
+
+  /// Conventional explicit free-surface ocean: no splitting, no slowing,
+  /// tracers every step, dt limited by the external wave CFL.
+  static OceanConfig conventional() {
+    OceanConfig c;
+    c.split_barotropic = false;
+    c.slow_factor = 1.0;
+    c.tracer_every = 1;
+    c.dt_mom = 45.0;  // sqrt(g*H) ~ 217 m/s at dx_min ~ 20 km
+    return c;
+  }
+
+  /// Latitude extent of the standard FOAM ocean grid [deg]. The ice-
+  /// covered polar caps beyond ~70 degrees are not represented as ocean
+  /// (the coupler treats them as prescribed ice; the paper's own polar
+  /// ocean treatment was crude and flagged for replacement).
+  static constexpr double kStandardLatMax = 70.0;
+
+  /// Reduced-size configuration for tests: same physics, small grid.
+  static OceanConfig testing(int nx = 36, int ny = 36, int nz = 6) {
+    OceanConfig c;
+    c.nx = nx;
+    c.ny = ny;
+    c.nz = nz;
+    c.dt_mom = 3600.0;
+    c.nsub_baro = 8;
+    return c;
+  }
+};
+
+}  // namespace foam::ocean

@@ -1,0 +1,65 @@
+#include "ocean/vgrid.hpp"
+
+#include <cmath>
+
+namespace foam::ocean {
+
+VerticalGrid::VerticalGrid(int nz, double dz_top, double total_depth) {
+  FOAM_REQUIRE(nz >= 1, "nz=" << nz);
+  FOAM_REQUIRE(dz_top > 0.0 && total_depth > dz_top * nz * 0.999,
+               "vertical grid: dz_top=" << dz_top
+                                        << " total=" << total_depth);
+  // Find the geometric stretch ratio r with dz_top * (r^nz - 1)/(r - 1) =
+  // total_depth by bisection.
+  double lo = 1.0 + 1e-9;
+  double hi = 3.0;
+  auto total = [&](double r) {
+    return dz_top * (std::pow(r, nz) - 1.0) / (r - 1.0);
+  };
+  while (total(hi) < total_depth) hi *= 1.5;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (total(mid) < total_depth) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double r = 0.5 * (lo + hi);
+  dz_.resize(nz);
+  zb_.resize(nz);
+  zc_.resize(nz);
+  double z = 0.0;
+  double dz = dz_top;
+  for (int k = 0; k < nz; ++k) {
+    dz_[k] = dz;
+    zc_[k] = z + 0.5 * dz;
+    z += dz;
+    zb_[k] = z;
+    dz *= r;
+  }
+  // Absorb the bisection residual into the bottom layer.
+  const double excess = total_depth - zb_.back();
+  dz_.back() += excess;
+  zb_.back() += excess;
+  zc_.back() += 0.5 * excess;
+}
+
+int VerticalGrid::wet_layers(double depth) const {
+  if (depth <= 0.0) return 0;
+  int n = 1;  // any positive depth gets at least the surface layer
+  for (int k = 1; k < nz(); ++k)
+    if (depth >= zb_[k - 1] + 0.5 * dz_[k]) n = k + 1;
+  return n;
+}
+
+Field2D<int> column_levels(const VerticalGrid& vgrid,
+                           const Field2Dd& bathymetry) {
+  Field2D<int> levels(bathymetry.nx(), bathymetry.ny());
+  for (int j = 0; j < bathymetry.ny(); ++j)
+    for (int i = 0; i < bathymetry.nx(); ++i)
+      levels(i, j) = vgrid.wet_layers(bathymetry(i, j));
+  return levels;
+}
+
+}  // namespace foam::ocean

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file vgrid.hpp
+/// Stretched vertical grid and 3-D land/sea mask for the ocean model.
+///
+/// "The vertical discretization is with height, with a stretched vertical
+/// coordinate maximizing resolution in the upper layers. For the runs
+/// reported here, a sixteen layer version was used."
+
+#include <vector>
+
+#include "base/field.hpp"
+#include "numerics/grid.hpp"
+
+namespace foam::ocean {
+
+/// Vertical grid: nz layers, thickness growing geometrically with depth.
+class VerticalGrid {
+ public:
+  /// Build nz layers whose thicknesses grow by a constant ratio from
+  /// dz_top at the surface down to total_depth.
+  VerticalGrid(int nz, double dz_top, double total_depth);
+
+  int nz() const { return static_cast<int>(dz_.size()); }
+  /// Thickness of layer k [m]; k = 0 is the surface layer.
+  double dz(int k) const { return dz_[k]; }
+  /// Depth of the center of layer k [m, positive down].
+  double z_center(int k) const { return zc_[k]; }
+  /// Depth of the bottom interface of layer k [m].
+  double z_bottom(int k) const { return zb_[k]; }
+  double total_depth() const { return zb_.back(); }
+
+  /// Number of wet layers for a water column of the given depth (columns
+  /// shallower than the first layer still get one layer so every ocean
+  /// point has an SST).
+  int wet_layers(double depth) const;
+
+ private:
+  std::vector<double> dz_;
+  std::vector<double> zc_;
+  std::vector<double> zb_;
+};
+
+/// Column mask: number of wet layers at each horizontal point (0 = land).
+Field2D<int> column_levels(const VerticalGrid& vgrid,
+                           const Field2Dd& bathymetry);
+
+}  // namespace foam::ocean

@@ -1,0 +1,384 @@
+#include "par/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <tuple>
+
+namespace foam::par {
+
+namespace {
+
+/// Reserved tags for runtime-internal traffic.
+constexpr int kCollTag = kMaxUserTag + 1;   // collectives
+constexpr int kSplitTag = kMaxUserTag + 2;  // communicator split bookkeeping
+
+/// Set when any rank throws; blocked receives abort instead of deadlocking.
+std::atomic<bool> g_abort{false};
+
+void check_abort() {
+  if (g_abort.load(std::memory_order_relaxed))
+    throw Error("parallel run aborted by failure on another rank");
+}
+
+}  // namespace
+
+int Comm::local_rank_of_global(int g) const {
+  for (std::size_t r = 0; r < members_.size(); ++r)
+    if (members_[r] == g) return static_cast<int>(r);
+  FOAM_REQUIRE(false, "global rank " << g << " not in communicator");
+  return -1;
+}
+
+void Comm::send_internal(int dst, int tag, const void* data,
+                         std::size_t bytes) {
+  FOAM_REQUIRE(dst >= 0 && dst < size(), "send to rank " << dst << " of "
+                                                         << size());
+  check_abort();
+  detail::Message msg;
+  msg.comm_id = comm_id_;
+  msg.src_global = members_[rank_];
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  detail::Mailbox& box = ctx_->boxes[members_[dst]];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+detail::Message Comm::recv_internal(int src, int tag) {
+  FOAM_REQUIRE(src == kAnySource || (src >= 0 && src < size()),
+               "recv from rank " << src);
+  const int want_global = (src == kAnySource) ? -1 : members_[src];
+  detail::Mailbox& box = ctx_->boxes[members_[rank_]];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    check_abort();
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->comm_id != comm_id_) continue;
+      if (want_global != -1 && it->src_global != want_global) continue;
+      if (tag != kAnyTag && it->tag != tag) continue;
+      detail::Message msg = std::move(*it);
+      box.queue.erase(it);
+      return msg;
+    }
+    box.cv.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
+  FOAM_REQUIRE(tag >= 0 && tag <= kMaxUserTag, "user tag " << tag);
+  send_internal(dst, tag, data, bytes);
+}
+
+RecvStatus Comm::recv_bytes(int src, int tag, void* data,
+                            std::size_t max_bytes) {
+  FOAM_REQUIRE(tag == kAnyTag || (tag >= 0 && tag <= kMaxUserTag),
+               "user tag " << tag);
+  detail::Message msg = recv_internal(src, tag);
+  FOAM_REQUIRE(msg.payload.size() <= max_bytes,
+               "message of " << msg.payload.size()
+                             << " bytes overflows buffer of " << max_bytes);
+  if (!msg.payload.empty())
+    std::memcpy(data, msg.payload.data(), msg.payload.size());
+  RecvStatus st;
+  st.source = local_rank_of_global(msg.src_global);
+  st.tag = msg.tag;
+  st.bytes = msg.payload.size();
+  return st;
+}
+
+void Comm::barrier() {
+  if (size() == 1) return;
+  const char token = 0;
+  if (rank_ == 0) {
+    // Receive from each rank specifically: per-source FIFO keeps successive
+    // collective rounds from stealing each other's messages.
+    for (int r = 1; r < size(); ++r) recv_internal(r, kCollTag);
+    for (int r = 1; r < size(); ++r) send_internal(r, kCollTag, &token, 0);
+  } else {
+    send_internal(0, kCollTag, &token, 0);
+    recv_internal(0, kCollTag);
+  }
+}
+
+void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  FOAM_REQUIRE(root >= 0 && root < size(), "root " << root);
+  if (size() == 1) return;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send_internal(r, kCollTag, data, bytes);
+  } else {
+    detail::Message msg = recv_internal(root, kCollTag);
+    FOAM_REQUIRE(msg.payload.size() == bytes,
+                 "bcast size mismatch: " << msg.payload.size() << " vs "
+                                         << bytes);
+    if (bytes > 0) std::memcpy(data, msg.payload.data(), bytes);
+  }
+}
+
+namespace {
+
+void apply_op(double* acc, const double* in, std::size_t count, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+void Comm::reduce(const double* in, double* out, std::size_t count,
+                  ReduceOp op, int root) {
+  FOAM_REQUIRE(root >= 0 && root < size(), "root " << root);
+  if (rank_ == root) {
+    std::copy(in, in + count, out);
+    // Receive in rank order: deterministic combination (bitwise-reproducible
+    // sums) and no cross-round message mixing.
+    std::vector<double> v(count);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      detail::Message msg = recv_internal(r, kCollTag);
+      FOAM_REQUIRE(msg.payload.size() == count * sizeof(double),
+                   "reduce size mismatch");
+      std::memcpy(v.data(), msg.payload.data(), msg.payload.size());
+      apply_op(out, v.data(), count, op);
+    }
+  } else {
+    send_internal(root, kCollTag, in, count * sizeof(double));
+  }
+}
+
+void Comm::allreduce(const double* in, double* out, std::size_t count,
+                     ReduceOp op) {
+  reduce(in, out, count, op, 0);
+  bcast_bytes(out, count * sizeof(double), 0);
+}
+
+double Comm::allreduce_scalar(double v, ReduceOp op) {
+  double out = 0.0;
+  allreduce(&v, &out, 1, op);
+  return out;
+}
+
+std::int64_t Comm::allreduce_scalar(std::int64_t v, ReduceOp op) {
+  const double d = static_cast<double>(v);
+  return static_cast<std::int64_t>(allreduce_scalar(d, op));
+}
+
+void Comm::gather(const double* in, std::size_t count, double* out,
+                  int root) {
+  if (rank_ == root) {
+    std::copy(in, in + count, out + static_cast<std::size_t>(root) * count);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      detail::Message msg = recv_internal(r, kCollTag);
+      FOAM_REQUIRE(msg.payload.size() == count * sizeof(double),
+                   "gather size mismatch");
+      std::memcpy(out + static_cast<std::size_t>(r) * count,
+                  msg.payload.data(), msg.payload.size());
+    }
+  } else {
+    send_internal(root, kCollTag, in, count * sizeof(double));
+  }
+}
+
+void Comm::scatter(const double* in, std::size_t count, double* out,
+                   int root) {
+  FOAM_REQUIRE(root >= 0 && root < size(), "root " << root);
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) {
+        std::copy(in + static_cast<std::size_t>(r) * count,
+                  in + static_cast<std::size_t>(r + 1) * count, out);
+      } else {
+        send_internal(r, kCollTag, in + static_cast<std::size_t>(r) * count,
+                      count * sizeof(double));
+      }
+    }
+  } else {
+    detail::Message msg = recv_internal(root, kCollTag);
+    FOAM_REQUIRE(msg.payload.size() == count * sizeof(double),
+                 "scatter size mismatch");
+    std::memcpy(out, msg.payload.data(), msg.payload.size());
+  }
+}
+
+void Comm::allgather(const double* in, std::size_t count, double* out) {
+  gather(in, count, out, 0);
+  bcast_bytes(out, static_cast<std::size_t>(size()) * count * sizeof(double),
+              0);
+}
+
+void Comm::gatherv(const std::vector<double>& in, std::vector<double>& out,
+                   const std::vector<int>& counts, int root) {
+  FOAM_REQUIRE(static_cast<int>(counts.size()) == size(),
+               "gatherv counts size " << counts.size());
+  FOAM_REQUIRE(static_cast<int>(in.size()) == counts[rank_],
+               "gatherv local size " << in.size() << " vs declared "
+                                     << counts[rank_]);
+  if (rank_ == root) {
+    std::size_t total = 0;
+    std::vector<std::size_t> offsets(size());
+    for (int r = 0; r < size(); ++r) {
+      offsets[r] = total;
+      total += static_cast<std::size_t>(counts[r]);
+    }
+    out.resize(total);
+    std::copy(in.begin(), in.end(), out.begin() + offsets[root]);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      detail::Message msg = recv_internal(r, kCollTag);
+      FOAM_REQUIRE(msg.payload.size() ==
+                       static_cast<std::size_t>(counts[r]) * sizeof(double),
+                   "gatherv size mismatch from rank " << r);
+      std::memcpy(out.data() + offsets[r], msg.payload.data(),
+                  msg.payload.size());
+    }
+  } else {
+    send_internal(root, kCollTag, in.data(), in.size() * sizeof(double));
+  }
+}
+
+void Comm::alltoall(const double* in, double* out,
+                    std::size_t count_per_rank) {
+  const std::size_t c = count_per_rank;
+  // Local block first, then exchange with every peer.
+  std::copy(in + static_cast<std::size_t>(rank_) * c,
+            in + static_cast<std::size_t>(rank_ + 1) * c,
+            out + static_cast<std::size_t>(rank_) * c);
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    send_internal(r, kCollTag, in + static_cast<std::size_t>(r) * c,
+                  c * sizeof(double));
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    detail::Message msg = recv_internal(r, kCollTag);
+    FOAM_REQUIRE(msg.payload.size() == c * sizeof(double),
+                 "alltoall size mismatch");
+    std::memcpy(out + static_cast<std::size_t>(r) * c, msg.payload.data(),
+                msg.payload.size());
+  }
+}
+
+std::unique_ptr<Comm> Comm::split(int color, int key) {
+  struct Entry {
+    int color;
+    int key;
+    int parent_rank;
+  };
+  Entry mine{color, key, rank_};
+  if (rank_ == 0) {
+    std::vector<Entry> all(size());
+    all[0] = mine;
+    for (int r = 1; r < size(); ++r) {
+      detail::Message msg = recv_internal(r, kSplitTag);
+      FOAM_REQUIRE(msg.payload.size() == sizeof(Entry), "split size");
+      Entry e;
+      std::memcpy(&e, msg.payload.data(), sizeof(Entry));
+      all[r] = e;
+    }
+    // Group by color; order within a group by (key, parent_rank).
+    std::map<int, std::vector<Entry>> groups;
+    for (const Entry& e : all)
+      if (e.color >= 0) groups[e.color].push_back(e);
+    std::map<int, std::pair<int, std::vector<int>>> by_color;  // id, members
+    for (auto& [c, es] : groups) {
+      std::sort(es.begin(), es.end(), [](const Entry& a, const Entry& b) {
+        return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+      });
+      int new_id = 0;
+      {
+        std::lock_guard<std::mutex> lock(ctx_->comm_id_mutex);
+        new_id = ctx_->next_comm_id++;
+      }
+      std::vector<int> members;
+      for (const Entry& e : es) members.push_back(members_[e.parent_rank]);
+      by_color[c] = {new_id, std::move(members)};
+    }
+    // Reply to each rank with (new_id, nmembers, members...[global], my_rank)
+    // encoded as int32s; new_id = -1 means "no sub-communicator".
+    std::unique_ptr<Comm> result;
+    for (int r = 0; r < size(); ++r) {
+      const Entry& e = all[r];
+      std::vector<int> reply;
+      if (e.color < 0) {
+        reply = {-1};
+      } else {
+        const auto& [id, members] = by_color[e.color];
+        int my_new_rank = -1;
+        for (std::size_t m = 0; m < members.size(); ++m)
+          if (members[m] == members_[r]) my_new_rank = static_cast<int>(m);
+        reply.push_back(id);
+        reply.push_back(static_cast<int>(members.size()));
+        reply.insert(reply.end(), members.begin(), members.end());
+        reply.push_back(my_new_rank);
+      }
+      if (r == 0) {
+        if (reply[0] >= 0) {
+          std::vector<int> members(reply.begin() + 2,
+                                   reply.begin() + 2 + reply[1]);
+          result.reset(new Comm(ctx_, reply[0], members, reply.back()));
+        }
+      } else {
+        send_internal(r, kSplitTag, reply.data(),
+                      reply.size() * sizeof(int));
+      }
+    }
+    return result;
+  }
+  send_internal(0, kSplitTag, &mine, sizeof(Entry));
+  detail::Message msg = recv_internal(0, kSplitTag);
+  std::vector<int> reply(msg.payload.size() / sizeof(int));
+  std::memcpy(reply.data(), msg.payload.data(), msg.payload.size());
+  if (reply[0] < 0) return nullptr;
+  std::vector<int> members(reply.begin() + 2, reply.begin() + 2 + reply[1]);
+  return std::unique_ptr<Comm>(
+      new Comm(ctx_, reply[0], members, reply.back()));
+}
+
+void run(int nranks, const std::function<void(Comm&)>& fn) {
+  FOAM_REQUIRE(nranks > 0, "nranks=" << nranks);
+  g_abort.store(false, std::memory_order_relaxed);
+  detail::Context ctx(nranks);
+  std::vector<int> world(nranks);
+  for (int r = 0; r < nranks; ++r) world[r] = r;
+
+  std::vector<std::exception_ptr> errors(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r]() {
+      Comm comm(&ctx, /*comm_id=*/0, world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        g_abort.store(true, std::memory_order_relaxed);
+        for (auto& box : ctx.boxes) box.cv.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const bool aborted = g_abort.load(std::memory_order_relaxed);
+  g_abort.store(false, std::memory_order_relaxed);
+  if (aborted) {
+    for (int r = 0; r < nranks; ++r)
+      if (errors[r]) std::rethrow_exception(errors[r]);
+  }
+}
+
+}  // namespace foam::par

@@ -1,0 +1,216 @@
+#pragma once
+
+/// \file comm.hpp
+/// Message-passing runtime with MPI-1 style semantics.
+///
+/// FOAM was written against MPI on IBM SP distributed-memory systems. This
+/// runtime reproduces the programming model — SPMD ranks, tagged
+/// point-to-point messages, communicators and the collective operations the
+/// model uses — with each rank hosted on an OS thread and messages copied
+/// between per-rank mailboxes. Model code sees only the interface, exactly
+/// as it would see MPI: no component shares mutable state with another
+/// except through Comm.
+///
+/// Semantics:
+///  * send() is buffered (always completes locally, like MPI_Bsend).
+///  * recv() blocks until a matching message arrives. Matching is by
+///    (communicator, source, tag) with kAnySource / kAnyTag wildcards, FIFO
+///    within a match class.
+///  * Collectives must be entered by every rank of the communicator in the
+///    same order.
+///
+/// User tags must be in [0, kMaxUserTag]; the runtime reserves higher tags
+/// for collectives.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace foam::par {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+inline constexpr int kMaxUserTag = (1 << 28) - 1;
+
+/// Reduction operators for reduce/allreduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+namespace detail {
+
+struct Message {
+  int comm_id = 0;
+  int src_global = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+struct Context {
+  explicit Context(int nranks) : boxes(nranks) {}
+  std::vector<Mailbox> boxes;
+  std::mutex comm_id_mutex;
+  int next_comm_id = 1;
+};
+
+}  // namespace detail
+
+/// Status of a completed receive.
+struct RecvStatus {
+  int source = 0;  ///< rank (within the communicator) of the sender
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+/// A communicator: an ordered group of ranks with a private message space.
+/// Each rank owns one Comm object per communicator it belongs to.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+
+  // --- point-to-point ---------------------------------------------------
+
+  /// Buffered send of raw bytes.
+  void send_bytes(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive. Returns the matched message's payload size; the
+  /// payload is copied into \p data (capacity \p max_bytes). Throws if the
+  /// message is larger than the buffer (truncation is always a bug here).
+  RecvStatus recv_bytes(int src, int tag, void* data, std::size_t max_bytes);
+
+  /// Typed send/recv for trivially copyable values.
+  template <typename T>
+  void send(int dst, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, &value, sizeof(T));
+  }
+  template <typename T>
+  RecvStatus recv(int src, int tag, T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return recv_bytes(src, tag, &value, sizeof(T));
+  }
+
+  /// Vector send/recv; the receive resizes to the incoming length.
+  template <typename T>
+  void send_vec(int dst, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  RecvStatus recv_vec(int src, int tag, std::vector<T>& v);
+
+  // --- collectives ------------------------------------------------------
+
+  void barrier();
+
+  /// Broadcast \p bytes from \p root to all ranks.
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  template <typename T>
+  void bcast(T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_bytes(&value, sizeof(T), root);
+  }
+  template <typename T>
+  void bcast_vec(std::vector<T>& v, int root);
+
+  /// Element-wise reduction of \p count doubles to \p root.
+  void reduce(const double* in, double* out, std::size_t count, ReduceOp op,
+              int root);
+  void allreduce(const double* in, double* out, std::size_t count,
+                 ReduceOp op);
+  double allreduce_scalar(double v, ReduceOp op);
+  std::int64_t allreduce_scalar(std::int64_t v, ReduceOp op);
+
+  /// Gather equal-size blocks to root: root receives size()*count values.
+  void gather(const double* in, std::size_t count, double* out, int root);
+  /// Scatter equal-size blocks from root: rank r receives block r of
+  /// root's size()*count values.
+  void scatter(const double* in, std::size_t count, double* out, int root);
+  void allgather(const double* in, std::size_t count, double* out);
+
+  /// Variable-size gather of doubles; only root's \p out is filled, blocks
+  /// concatenated in rank order. counts must agree across ranks.
+  void gatherv(const std::vector<double>& in, std::vector<double>& out,
+               const std::vector<int>& counts, int root);
+
+  /// All-to-all of equal blocks: rank r's block s (count values each) goes
+  /// to rank s's slot r. This is the transpose primitive of the parallel
+  /// spectral transform.
+  void alltoall(const double* in, double* out, std::size_t count_per_rank);
+
+  /// Split into sub-communicators by color (ranks with equal color join the
+  /// same new communicator, ordered by key then by parent rank). Every rank
+  /// of this communicator must call split. Color < 0 returns nullptr (the
+  /// rank joins no sub-communicator).
+  std::unique_ptr<Comm> split(int color, int key);
+
+  /// Global (world) rank hosting communicator rank \p r; used by the
+  /// instrumentation to label timeline rows consistently across splits.
+  int global_rank_of(int r) const {
+    FOAM_REQUIRE(r >= 0 && r < size(), "rank " << r);
+    return members_[r];
+  }
+
+ private:
+  friend void run(int, const std::function<void(Comm&)>&);
+  Comm(detail::Context* ctx, int comm_id, std::vector<int> members, int rank)
+      : ctx_(ctx), comm_id_(comm_id), members_(std::move(members)),
+        rank_(rank) {}
+
+  int local_rank_of_global(int g) const;
+  void send_internal(int dst, int tag, const void* data, std::size_t bytes);
+  detail::Message recv_internal(int src, int tag);
+
+  detail::Context* ctx_ = nullptr;
+  int comm_id_ = 0;
+  std::vector<int> members_;  // global rank of each communicator rank
+  int rank_ = 0;              // this rank within the communicator
+};
+
+/// Launch an SPMD computation with \p nranks ranks. Each rank runs \p fn on
+/// its own thread with its world communicator. Exceptions thrown by any rank
+/// are collected; the first (by rank) is rethrown after all threads join.
+void run(int nranks, const std::function<void(Comm&)>& fn);
+
+// --- template bodies ----------------------------------------------------
+
+template <typename T>
+RecvStatus Comm::recv_vec(int src, int tag, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  detail::Message msg = recv_internal(src, tag);
+  FOAM_REQUIRE(msg.payload.size() % sizeof(T) == 0,
+               "recv_vec size " << msg.payload.size() << " not multiple of "
+                                << sizeof(T));
+  v.resize(msg.payload.size() / sizeof(T));
+  if (!v.empty())
+    std::memcpy(v.data(), msg.payload.data(), msg.payload.size());
+  RecvStatus st;
+  st.source = local_rank_of_global(msg.src_global);
+  st.tag = msg.tag;
+  st.bytes = msg.payload.size();
+  return st;
+}
+
+template <typename T>
+void Comm::bcast_vec(std::vector<T>& v, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::size_t n = v.size();
+  bcast_bytes(&n, sizeof(n), root);
+  v.resize(n);
+  if (n > 0) bcast_bytes(v.data(), n * sizeof(T), root);
+}
+
+}  // namespace foam::par

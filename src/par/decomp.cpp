@@ -1,0 +1,51 @@
+#include "par/decomp.hpp"
+
+#include <algorithm>
+
+namespace foam::par {
+
+Range block_range(int n, int nranks, int r) {
+  FOAM_REQUIRE(n >= 0 && nranks > 0 && r >= 0 && r < nranks,
+               "block_range(" << n << "," << nranks << "," << r << ")");
+  const int base = n / nranks;
+  const int extra = n % nranks;
+  const int lo = r * base + std::min(r, extra);
+  const int count = base + (r < extra ? 1 : 0);
+  return {lo, lo + count};
+}
+
+int block_owner(int n, int nranks, int i) {
+  FOAM_REQUIRE(i >= 0 && i < n, "block_owner item " << i << " of " << n);
+  // Invert the block_range formula by scanning; nranks is small in FOAM.
+  for (int r = 0; r < nranks; ++r)
+    if (block_range(n, nranks, r).contains(i)) return r;
+  FOAM_REQUIRE(false, "unreachable");
+  return -1;
+}
+
+std::vector<int> block_counts(int n, int nranks) {
+  std::vector<int> counts(nranks);
+  for (int r = 0; r < nranks; ++r) counts[r] = block_range(n, nranks, r).count();
+  return counts;
+}
+
+std::vector<std::vector<int>> paired_latitudes(int ny, int nranks) {
+  FOAM_REQUIRE(ny % 2 == 0, "ny=" << ny << " must be even");
+  FOAM_REQUIRE(nranks >= 1 && nranks <= ny / 2,
+               "nranks=" << nranks << " for ny=" << ny);
+  // Distribute the ny/2 mirror pairs in balanced contiguous blocks; a rank
+  // owns both members of each of its pairs, so Gaussian-weight load is
+  // symmetric about the equator on every rank.
+  std::vector<std::vector<int>> owned(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    const Range pairs = block_range(ny / 2, nranks, r);
+    for (int j = pairs.lo; j < pairs.hi; ++j) {
+      owned[r].push_back(j);
+      owned[r].push_back(ny - 1 - j);
+    }
+    std::sort(owned[r].begin(), owned[r].end());
+  }
+  return owned;
+}
+
+}  // namespace foam::par

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file decomp.hpp
+/// Domain decomposition helpers.
+///
+/// FOAM decomposes both component grids by latitude bands (the PCCM2
+/// decomposition); the spectral transform additionally redistributes by
+/// zonal wavenumber. These helpers compute balanced contiguous ranges and
+/// the paired-latitude assignment that balances the Legendre transform
+/// (latitude j and its mirror ny-1-j carry equal work).
+
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace foam::par {
+
+/// Half-open index range [lo, hi).
+struct Range {
+  int lo = 0;
+  int hi = 0;
+  int count() const { return hi - lo; }
+  bool contains(int i) const { return i >= lo && i < hi; }
+};
+
+/// Balanced contiguous block of n items for rank r of nranks; remainders go
+/// to the lowest ranks so no rank differs by more than one item.
+Range block_range(int n, int nranks, int r);
+
+/// Rank owning item i under block_range decomposition.
+int block_owner(int n, int nranks, int i);
+
+/// Counts per rank under block_range.
+std::vector<int> block_counts(int n, int nranks);
+
+/// Paired-latitude assignment: latitudes are assigned to ranks as
+/// north/south mirror pairs (j, ny-1-j) so each rank's Gaussian weights sum
+/// equally — the load-balancing trick used for the parallel Legendre
+/// transform. Returns, for each rank, the sorted list of latitudes it owns.
+/// ny must be even; pairs are distributed in balanced blocks (counts differ
+/// by at most one pair), so any nranks <= ny/2 works — FOAM's 8/16/32
+/// atmosphere ranks on 40 latitudes included.
+std::vector<std::vector<int>> paired_latitudes(int ny, int nranks);
+
+}  // namespace foam::par

@@ -1,0 +1,89 @@
+#include "par/timers.hpp"
+
+namespace foam::par {
+
+const char* region_name(Region r) {
+  switch (r) {
+    case Region::kAtmosphere:
+      return "atmosphere";
+    case Region::kCoupler:
+      return "coupler";
+    case Region::kOcean:
+      return "ocean";
+    case Region::kIdle:
+      return "idle";
+    case Region::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+ActivityRecorder::ActivityRecorder() { reset(); }
+
+void ActivityRecorder::reset() {
+  epoch_ = std::chrono::steady_clock::now();
+  open_ = false;
+  segments_.clear();
+}
+
+double ActivityRecorder::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void ActivityRecorder::begin(Region r) {
+  const double t = now();
+  if (open_) segments_.push_back({open_region_, open_t0_, t});
+  open_ = true;
+  open_region_ = r;
+  open_t0_ = t;
+}
+
+void ActivityRecorder::end() {
+  if (!open_) return;
+  const double t = now();
+  segments_.push_back({open_region_, open_t0_, t});
+  open_ = false;
+}
+
+double ActivityRecorder::total(Region r) const {
+  double sum = 0.0;
+  for (const Segment& s : segments_)
+    if (s.region == r) sum += s.t1 - s.t0;
+  return sum;
+}
+
+double ActivityRecorder::total_recorded() const {
+  double sum = 0.0;
+  for (const Segment& s : segments_) sum += s.t1 - s.t0;
+  return sum;
+}
+
+std::vector<double> ActivityRecorder::serialize() const {
+  std::vector<double> out;
+  out.reserve(segments_.size() * 3);
+  for (const Segment& s : segments_) {
+    out.push_back(static_cast<double>(static_cast<int>(s.region)));
+    out.push_back(s.t0);
+    out.push_back(s.t1);
+  }
+  return out;
+}
+
+std::vector<Segment> ActivityRecorder::deserialize(const double* data,
+                                                   std::size_t count) {
+  FOAM_REQUIRE(count % 3 == 0, "segment stream length " << count);
+  std::vector<Segment> out;
+  out.reserve(count / 3);
+  for (std::size_t i = 0; i < count; i += 3) {
+    Segment s;
+    s.region = static_cast<Region>(static_cast<int>(data[i]));
+    s.t0 = data[i + 1];
+    s.t1 = data[i + 2];
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace foam::par

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file timers.hpp
+/// Per-rank activity instrumentation.
+///
+/// Figure 2 of the paper shows, for every SP processor, how one simulated
+/// day divides into atmosphere (green), coupler (red), ocean (blue) and idle
+/// (purple) time. ActivityRecorder captures exactly that: each rank records
+/// a sequence of (region, start, end) segments against a common wall clock;
+/// the Fig. 2 bench gathers them and renders/aggregates the timeline.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace foam::par {
+
+/// Activity classes matching the paper's colour key.
+enum class Region : int {
+  kAtmosphere = 0,  // green
+  kCoupler = 1,     // red
+  kOcean = 2,       // blue
+  kIdle = 3,        // purple
+  kOther = 4,
+};
+
+const char* region_name(Region r);
+
+struct Segment {
+  Region region;
+  double t0;  ///< seconds since recorder epoch
+  double t1;
+};
+
+/// Records activity segments for one rank. Not thread-safe: one recorder per
+/// rank, used only from that rank's thread.
+class ActivityRecorder {
+ public:
+  ActivityRecorder();
+
+  /// Reset the epoch; subsequent segments are relative to now.
+  void reset();
+
+  /// Begin a region; regions do not nest (ending implicitly when the next
+  /// begins or end_region is called).
+  void begin(Region r);
+  void end();
+
+  /// Seconds since the epoch.
+  double now() const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Total time attributed to \p r.
+  double total(Region r) const;
+
+  /// Sum over all recorded segments.
+  double total_recorded() const;
+
+  /// Serialize to a flat double vector (triples of region,t0,t1) for
+  /// gathering across ranks with Comm::gatherv.
+  std::vector<double> serialize() const;
+  static std::vector<Segment> deserialize(const double* data,
+                                          std::size_t count);
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  bool open_ = false;
+  Region open_region_ = Region::kOther;
+  double open_t0_ = 0.0;
+  std::vector<Segment> segments_;
+};
+
+/// RAII helper: begins \p r on construction, ends on destruction.
+class ScopedRegion {
+ public:
+  ScopedRegion(ActivityRecorder& rec, Region r) : rec_(rec) { rec_.begin(r); }
+  ~ScopedRegion() { rec_.end(); }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  ActivityRecorder& rec_;
+};
+
+/// Simple wall-clock stopwatch for throughput measurement.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace foam::par

@@ -1,0 +1,202 @@
+#include "river/river.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/constants.hpp"
+
+namespace foam::river {
+
+namespace c = foam::constants;
+
+namespace {
+int pack(int di, int dj) { return (di + 2) + 4 * (dj + 2); }
+void unpack(int d, int& di, int& dj) {
+  di = d % 4 - 2;
+  dj = d / 4 - 2;
+}
+}  // namespace
+
+RiverModel::RiverModel(const numerics::GaussianGrid& grid,
+                       const Field2D<int>& land_mask,
+                       const Field2Dd& orography,
+                       const std::vector<Override>& overrides)
+    : grid_(grid),
+      mask_(land_mask),
+      dir_(grid.nlon(), grid.nlat(), -1),
+      volume_(grid.nlon(), grid.nlat(), 0.0),
+      mouth_accum_(grid.nlon(), grid.nlat(), 0.0) {
+  const int nx = grid.nlon();
+  const int ny = grid.nlat();
+  FOAM_REQUIRE(land_mask.nx() == nx && land_mask.ny() == ny, "mask shape");
+  FOAM_REQUIRE(orography.nx() == nx && orography.ny() == ny, "orography");
+  // Steepest descent among the 8 neighbours; an ocean neighbour counts as
+  // elevation 0 and is always preferred (rivers reach the sea).
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (mask_(i, j) == 0) continue;
+      double best = orography(i, j);
+      int bdi = 0, bdj = 0;
+      bool found = false;
+      for (int dj = -1; dj <= 1; ++dj) {
+        for (int di = -1; di <= 1; ++di) {
+          if (di == 0 && dj == 0) continue;
+          const int jj = j + dj;
+          if (jj < 0 || jj >= ny) continue;
+          const int ii = (i + di + nx) % nx;
+          const double h = mask_(ii, jj) == 0 ? -1.0 : orography(ii, jj);
+          if (h < best) {
+            best = h;
+            bdi = di;
+            bdj = dj;
+            found = true;
+          }
+        }
+      }
+      if (!found) {
+        // Local pit: route eastward so water keeps moving (the hand-tuning
+        // fallback; real FOAM fixed such cells manually).
+        bdi = 1;
+        bdj = 0;
+      }
+      dir_(i, j) = pack(bdi, bdj);
+    }
+  }
+  for (const Override& o : overrides) {
+    FOAM_REQUIRE(mask_(o.i, o.j) != 0, "override on ocean cell");
+    FOAM_REQUIRE((o.di != 0 || o.dj != 0) && std::abs(o.di) <= 1 &&
+                     std::abs(o.dj) <= 1,
+                 "override direction");
+    dir_(o.i, o.j) = pack(o.di, o.dj);
+  }
+}
+
+void RiverModel::downstream(int i, int j, int& i_next, int& j_next) const {
+  FOAM_REQUIRE(mask_(i, j) != 0, "downstream of ocean cell");
+  int di, dj;
+  unpack(dir_(i, j), di, dj);
+  i_next = (i + di + grid_.nlon()) % grid_.nlon();
+  j_next = std::clamp(j + dj, 0, grid_.nlat() - 1);
+}
+
+void RiverModel::add_runoff(const Field2Dd& runoff_m) {
+  FOAM_REQUIRE(runoff_m.nx() == grid_.nlon() && runoff_m.ny() == grid_.nlat(),
+               "runoff shape");
+  for (int j = 0; j < grid_.nlat(); ++j)
+    for (int i = 0; i < grid_.nlon(); ++i)
+      if (mask_(i, j) != 0 && runoff_m(i, j) > 0.0)
+        volume_(i, j) += runoff_m(i, j) * grid_.cell_area(j);
+}
+
+void RiverModel::step(double dt) {
+  Field2Dd outflow(grid_.nlon(), grid_.nlat(), 0.0);
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    for (int i = 0; i < grid_.nlon(); ++i) {
+      if (mask_(i, j) == 0 || volume_(i, j) <= 0.0) continue;
+      int di, dj;
+      unpack(dir_(i, j), di, dj);
+      // Downstream distance from the grid spacing along the flow.
+      const double dx = grid_.cell_area(j) / (c::pi * c::earth_radius /
+                                              grid_.nlat());
+      const double dy = c::pi * c::earth_radius / grid_.nlat();
+      const double d = std::sqrt((di * dx) * (di * dx) +
+                                 (dj * dy) * (dj * dy));
+      // F = V u / d (paper; u = 0.35 m/s), limited so a step cannot drain
+      // more than the stored volume.
+      const double f = volume_(i, j) * c::river_flow_velocity /
+                       std::max(d, 1.0);
+      outflow(i, j) = std::min(volume_(i, j), f * dt);
+    }
+  }
+  for (int j = 0; j < grid_.nlat(); ++j) {
+    for (int i = 0; i < grid_.nlon(); ++i) {
+      const double out = outflow(i, j);
+      if (out <= 0.0) continue;
+      volume_(i, j) -= out;
+      int ii, jj;
+      downstream(i, j, ii, jj);
+      if (mask_(ii, jj) == 0) {
+        mouth_accum_(ii, jj) += out;  // discharged to the ocean
+      } else {
+        volume_(ii, jj) += out;
+      }
+    }
+  }
+}
+
+double RiverModel::total_volume() const { return volume_.sum(); }
+
+Field2Dd RiverModel::drain_discharge(double interval_seconds) {
+  FOAM_REQUIRE(interval_seconds > 0.0, "interval " << interval_seconds);
+  Field2Dd out(mouth_accum_);
+  out *= 1.0 / interval_seconds;
+  mouth_accum_.fill(0.0);
+  return out;
+}
+
+void RiverModel::save_state(HistoryWriter& out,
+                            const std::string& prefix) const {
+  out.write(prefix + ".volume", volume_);
+  out.write(prefix + ".mouth", mouth_accum_);
+}
+
+void RiverModel::load_state(const HistoryReader& in,
+                            const std::string& prefix) {
+  auto load = [&](const std::string& name, Field2Dd& f) {
+    const auto& rec = in.find(name);
+    FOAM_REQUIRE(rec.data.size() == f.size(), "checkpoint size " << name);
+    std::copy(rec.data.begin(), rec.data.end(), f.vec().begin());
+  };
+  load(prefix + ".volume", volume_);
+  load(prefix + ".mouth", mouth_accum_);
+}
+
+int RiverModel::count_basins() const {
+  // Union-find over land cells following flow directions; basins are the
+  // distinct coastal outlets.
+  const int nx = grid_.nlon();
+  const int ny = grid_.nlat();
+  Field2D<int> outlet(nx, ny, -1);
+  int nbasins = 0;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (mask_(i, j) == 0 || outlet(i, j) >= 0) continue;
+      // Follow the flow until ocean, a known outlet, or a loop guard.
+      std::vector<std::pair<int, int>> path;
+      int ci = i, cj = j;
+      int id = -1;
+      for (int hops = 0; hops < nx * ny; ++hops) {
+        if (outlet(ci, cj) >= 0) {
+          id = outlet(ci, cj);
+          break;
+        }
+        path.push_back({ci, cj});
+        int ni, nj;
+        downstream(ci, cj, ni, nj);
+        if (mask_(ni, nj) == 0) {
+          id = nj * nx + ni;  // outlet identified by its mouth cell
+          break;
+        }
+        if (ni == ci && nj == cj) {  // stuck (clamped at the pole rows)
+          id = cj * nx + ci;
+          break;
+        }
+        ci = ni;
+        cj = nj;
+      }
+      if (id < 0) id = cj * nx + ci;
+      for (const auto& [pi, pj] : path) outlet(pi, pj) = id;
+    }
+  }
+  // Count distinct outlets.
+  std::vector<int> ids;
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      if (outlet(i, j) >= 0) ids.push_back(outlet(i, j));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  nbasins = static_cast<int>(ids.size());
+  return nbasins;
+}
+
+}  // namespace foam::river

@@ -1,0 +1,273 @@
+#include "stats/eof.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "numerics/eig.hpp"
+
+namespace foam::stats {
+
+void compute_anomalies(std::vector<double>& data, int ntime, int npoint) {
+  FOAM_REQUIRE(data.size() == static_cast<std::size_t>(ntime) * npoint,
+               "anomaly matrix size");
+  for (int p = 0; p < npoint; ++p) {
+    double mean = 0.0;
+    for (int t = 0; t < ntime; ++t) mean += data[static_cast<std::size_t>(t) * npoint + p];
+    mean /= ntime;
+    for (int t = 0; t < ntime; ++t) data[static_cast<std::size_t>(t) * npoint + p] -= mean;
+  }
+}
+
+EofResult eof_analysis(const std::vector<double>& data, int ntime, int npoint,
+                       const std::vector<double>& weight, int nmodes) {
+  FOAM_REQUIRE(ntime > 1 && npoint > 0, "eof dims " << ntime << "x" << npoint);
+  FOAM_REQUIRE(data.size() == static_cast<std::size_t>(ntime) * npoint,
+               "eof data size");
+  FOAM_REQUIRE(weight.empty() ||
+                   weight.size() == static_cast<std::size_t>(npoint),
+               "eof weight size");
+  const int max_modes = std::min(ntime - 1, npoint);
+  FOAM_REQUIRE(nmodes >= 1 && nmodes <= max_modes,
+               "nmodes=" << nmodes << " (max " << max_modes << ")");
+
+  // Weighted data matrix X (ntime x npoint).
+  std::vector<double> x(data);
+  if (!weight.empty()) {
+    for (int t = 0; t < ntime; ++t)
+      for (int p = 0; p < npoint; ++p)
+        x[static_cast<std::size_t>(t) * npoint + p] *= weight[p];
+  }
+
+  EofResult out;
+  out.ntime = ntime;
+  out.npoint = npoint;
+
+  double total = 0.0;
+  for (const double v : x) total += v * v;
+  total /= (ntime - 1);
+  out.total_variance = total;
+  FOAM_REQUIRE(total > 0.0, "eof input has zero variance");
+
+  const bool temporal = ntime <= npoint;
+  if (temporal) {
+    // C_t = X X^T / (ntime-1): ntime x ntime.
+    std::vector<double> c(static_cast<std::size_t>(ntime) * ntime, 0.0);
+    for (int s = 0; s < ntime; ++s) {
+      for (int t = s; t < ntime; ++t) {
+        double acc = 0.0;
+        const double* xs = &x[static_cast<std::size_t>(s) * npoint];
+        const double* xt = &x[static_cast<std::size_t>(t) * npoint];
+        for (int p = 0; p < npoint; ++p) acc += xs[p] * xt[p];
+        acc /= (ntime - 1);
+        c[static_cast<std::size_t>(s) * ntime + t] = acc;
+        c[static_cast<std::size_t>(t) * ntime + s] = acc;
+      }
+    }
+    const auto eig = numerics::jacobi_eigensolver(c, ntime);
+    for (int k = 0; k < nmodes; ++k) {
+      const double lambda = std::max(0.0, eig.values[k]);
+      out.variance_fraction.push_back(lambda / total);
+      // Pattern = X^T u_k, normalized to unit norm; PC = sqrt(...) * u_k.
+      std::vector<double> pattern(npoint, 0.0);
+      for (int t = 0; t < ntime; ++t) {
+        const double u = eig.vectors[k][t];
+        const double* xt = &x[static_cast<std::size_t>(t) * npoint];
+        for (int p = 0; p < npoint; ++p) pattern[p] += u * xt[p];
+      }
+      double norm = 0.0;
+      for (const double v : pattern) norm += v * v;
+      norm = std::sqrt(norm);
+      std::vector<double> pc(ntime);
+      if (norm > 0.0) {
+        for (auto& v : pattern) v /= norm;
+        // pc_k(t) = x_t . pattern_k (projection onto the unit pattern).
+        for (int t = 0; t < ntime; ++t) {
+          double acc = 0.0;
+          const double* xt = &x[static_cast<std::size_t>(t) * npoint];
+          for (int p = 0; p < npoint; ++p) acc += xt[p] * pattern[p];
+          pc[t] = acc;
+        }
+      }
+      out.patterns.push_back(std::move(pattern));
+      out.pcs.push_back(std::move(pc));
+    }
+  } else {
+    // Spatial covariance: npoint x npoint.
+    std::vector<double> c(static_cast<std::size_t>(npoint) * npoint, 0.0);
+    for (int p = 0; p < npoint; ++p) {
+      for (int q = p; q < npoint; ++q) {
+        double acc = 0.0;
+        for (int t = 0; t < ntime; ++t)
+          acc += x[static_cast<std::size_t>(t) * npoint + p] *
+                 x[static_cast<std::size_t>(t) * npoint + q];
+        acc /= (ntime - 1);
+        c[static_cast<std::size_t>(p) * npoint + q] = acc;
+        c[static_cast<std::size_t>(q) * npoint + p] = acc;
+      }
+    }
+    const auto eig = numerics::jacobi_eigensolver(c, npoint);
+    for (int k = 0; k < nmodes; ++k) {
+      const double lambda = std::max(0.0, eig.values[k]);
+      out.variance_fraction.push_back(lambda / total);
+      std::vector<double> pattern = eig.vectors[k];
+      std::vector<double> pc(ntime);
+      for (int t = 0; t < ntime; ++t) {
+        double acc = 0.0;
+        for (int p = 0; p < npoint; ++p)
+          acc += x[static_cast<std::size_t>(t) * npoint + p] * pattern[p];
+        pc[t] = acc;
+      }
+      out.patterns.push_back(std::move(pattern));
+      out.pcs.push_back(std::move(pc));
+    }
+  }
+  return out;
+}
+
+VarimaxResult varimax(const EofResult& eof, int nfactors, int max_iter,
+                      double tol) {
+  FOAM_REQUIRE(nfactors >= 1 &&
+                   nfactors <= static_cast<int>(eof.patterns.size()),
+               "nfactors=" << nfactors << " of " << eof.patterns.size());
+  const int npoint = eof.npoint;
+  const int ntime = eof.ntime;
+
+  // Loadings L (npoint x nfactors): pattern_k scaled by the std of its PC,
+  // so L L^T approximates the covariance of the retained modes.
+  std::vector<double> sdev(nfactors);
+  std::vector<double> L(static_cast<std::size_t>(npoint) * nfactors);
+  for (int k = 0; k < nfactors; ++k) {
+    double var = 0.0;
+    for (const double v : eof.pcs[k]) var += v * v;
+    var /= (ntime - 1);
+    sdev[k] = std::sqrt(std::max(0.0, var));
+    for (int p = 0; p < npoint; ++p)
+      L[static_cast<std::size_t>(p) * nfactors + k] =
+          eof.patterns[k][p] * sdev[k];
+  }
+
+  // Cumulative rotation R (nfactors x nfactors), starts as identity.
+  std::vector<double> R(static_cast<std::size_t>(nfactors) * nfactors, 0.0);
+  for (int k = 0; k < nfactors; ++k)
+    R[static_cast<std::size_t>(k) * nfactors + k] = 1.0;
+
+  auto criterion = [&]() {
+    // Sum over factors of the variance of squared loadings.
+    double total = 0.0;
+    for (int k = 0; k < nfactors; ++k) {
+      double s1 = 0.0, s2 = 0.0;
+      for (int p = 0; p < npoint; ++p) {
+        const double l2 =
+            L[static_cast<std::size_t>(p) * nfactors + k] *
+            L[static_cast<std::size_t>(p) * nfactors + k];
+        s1 += l2 * l2;
+        s2 += l2;
+      }
+      total += s1 / npoint - (s2 / npoint) * (s2 / npoint);
+    }
+    return total;
+  };
+
+  double prev = criterion();
+  for (int iter = 0; iter < max_iter; ++iter) {
+    for (int i = 0; i < nfactors - 1; ++i) {
+      for (int j = i + 1; j < nfactors; ++j) {
+        // Optimal pairwise rotation angle (Kaiser's formulas).
+        double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
+        for (int p = 0; p < npoint; ++p) {
+          const double x = L[static_cast<std::size_t>(p) * nfactors + i];
+          const double y = L[static_cast<std::size_t>(p) * nfactors + j];
+          const double u = x * x - y * y;
+          const double v = 2.0 * x * y;
+          a += u;
+          b += v;
+          c += u * u - v * v;
+          d += 2.0 * u * v;
+        }
+        const double num = d - 2.0 * a * b / npoint;
+        const double den = c - (a * a - b * b) / npoint;
+        const double phi = 0.25 * std::atan2(num, den);
+        if (std::abs(phi) < 1e-14) continue;
+        const double cs = std::cos(phi);
+        const double sn = std::sin(phi);
+        for (int p = 0; p < npoint; ++p) {
+          double& x = L[static_cast<std::size_t>(p) * nfactors + i];
+          double& y = L[static_cast<std::size_t>(p) * nfactors + j];
+          const double nx = cs * x + sn * y;
+          const double ny = -sn * x + cs * y;
+          x = nx;
+          y = ny;
+        }
+        for (int k = 0; k < nfactors; ++k) {
+          double& x = R[static_cast<std::size_t>(k) * nfactors + i];
+          double& y = R[static_cast<std::size_t>(k) * nfactors + j];
+          const double nx = cs * x + sn * y;
+          const double ny = -sn * x + cs * y;
+          x = nx;
+          y = ny;
+        }
+      }
+    }
+    const double now = criterion();
+    if (std::abs(now - prev) <= tol * std::max(1.0, std::abs(now))) break;
+    prev = now;
+  }
+
+  VarimaxResult out;
+  out.loadings.assign(nfactors, std::vector<double>(npoint));
+  for (int k = 0; k < nfactors; ++k)
+    for (int p = 0; p < npoint; ++p)
+      out.loadings[k][p] = L[static_cast<std::size_t>(p) * nfactors + k];
+
+  // Rotated scores: normalized PCs rotated by the same orthogonal matrix.
+  // With unit-variance scores z_k = pc_k / sdev_k, the rotated scores are
+  // z R (orthogonal rotation preserves the factor model L z^T).
+  out.scores.assign(nfactors, std::vector<double>(ntime, 0.0));
+  for (int t = 0; t < ntime; ++t) {
+    for (int k = 0; k < nfactors; ++k) {
+      double acc = 0.0;
+      for (int m = 0; m < nfactors; ++m) {
+        const double z =
+            sdev[m] > 0.0 ? eof.pcs[m][t] / sdev[m] : 0.0;
+        acc += z * R[static_cast<std::size_t>(m) * nfactors + k];
+      }
+      out.scores[k][t] = acc;
+    }
+  }
+
+  // Rotated explained variance: ||column k of L||^2 / total.
+  out.variance_fraction.resize(nfactors);
+  for (int k = 0; k < nfactors; ++k) {
+    double s = 0.0;
+    for (int p = 0; p < npoint; ++p)
+      s += out.loadings[k][p] * out.loadings[k][p];
+    out.variance_fraction[k] =
+        eof.total_variance > 0.0 ? s / eof.total_variance : 0.0;
+  }
+  return out;
+}
+
+double correlation(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  FOAM_REQUIRE(a.size() == b.size() && a.size() > 1, "correlation inputs");
+  const int n = static_cast<int>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (int i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace foam::stats

@@ -1,0 +1,85 @@
+#include "stats/lowpass.hpp"
+
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+
+namespace foam::stats {
+
+using constants::pi;
+
+std::vector<double> lanczos_lowpass_weights(double cutoff_steps,
+                                            int half_width) {
+  FOAM_REQUIRE(cutoff_steps > 2.0, "cutoff " << cutoff_steps
+                                             << " must exceed Nyquist (2)");
+  FOAM_REQUIRE(half_width >= 1, "half_width=" << half_width);
+  const double fc = 1.0 / cutoff_steps;
+  std::vector<double> w(2 * half_width + 1);
+  auto sinc = [](double x) {
+    if (x == 0.0) return 1.0;
+    return std::sin(pi * x) / (pi * x);
+  };
+  double sum = 0.0;
+  for (int k = -half_width; k <= half_width; ++k) {
+    const double sigma = sinc(static_cast<double>(k) / (half_width + 1));
+    const double val = 2.0 * fc * sinc(2.0 * fc * k) * sigma;
+    w[k + half_width] = val;
+    sum += val;
+  }
+  for (auto& v : w) v /= sum;
+  return w;
+}
+
+std::vector<double> apply_symmetric_filter(const std::vector<double>& x,
+                                           const std::vector<double>& w) {
+  FOAM_REQUIRE(w.size() % 2 == 1, "filter length must be odd");
+  const int half = static_cast<int>(w.size()) / 2;
+  const int n = static_cast<int>(x.size());
+  if (n < 2 * half + 1) return {};
+  std::vector<double> out(n - 2 * half);
+  for (int t = half; t < n - half; ++t) {
+    double acc = 0.0;
+    for (int k = -half; k <= half; ++k) acc += w[k + half] * x[t + k];
+    out[t - half] = acc;
+  }
+  return out;
+}
+
+std::vector<double> lanczos_lowpass(const std::vector<double>& x,
+                                    double cutoff_steps, int half_width) {
+  if (half_width < 0) half_width = static_cast<int>(cutoff_steps);
+  return apply_symmetric_filter(
+      x, lanczos_lowpass_weights(cutoff_steps, half_width));
+}
+
+void detrend(std::vector<double>& x) {
+  const int n = static_cast<int>(x.size());
+  FOAM_REQUIRE(n >= 2, "detrend needs >= 2 samples");
+  // Least squares about the centered time axis t - (n-1)/2.
+  const double t0 = 0.5 * (n - 1);
+  double sum = 0.0, stx = 0.0, stt = 0.0;
+  for (int t = 0; t < n; ++t) {
+    sum += x[t];
+    stx += (t - t0) * x[t];
+    stt += (t - t0) * (t - t0);
+  }
+  const double mean = sum / n;
+  const double slope = stt > 0.0 ? stx / stt : 0.0;
+  for (int t = 0; t < n; ++t) x[t] -= mean + slope * (t - t0);
+}
+
+void detrend_columns(std::vector<double>& data, int ntime, int npoint) {
+  FOAM_REQUIRE(data.size() == static_cast<std::size_t>(ntime) * npoint,
+               "detrend matrix size");
+  std::vector<double> col(ntime);
+  for (int p = 0; p < npoint; ++p) {
+    for (int t = 0; t < ntime; ++t)
+      col[t] = data[static_cast<std::size_t>(t) * npoint + p];
+    detrend(col);
+    for (int t = 0; t < ntime; ++t)
+      data[static_cast<std::size_t>(t) * npoint + p] = col[t];
+  }
+}
+
+}  // namespace foam::stats

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file lowpass.hpp
+/// Lanczos low-pass filtering of time series.
+///
+/// Figure 4 of the paper analyzes "60 month low-pass filtered variance in
+/// sea surface temperature"; this is the standard symmetric Lanczos filter
+/// used for that kind of smoothing in climate diagnostics.
+
+#include <vector>
+
+namespace foam::stats {
+
+/// Symmetric Lanczos low-pass weights for cutoff period \p cutoff_steps
+/// (samples per cycle) and half-width \p half_width taps each side.
+/// Weights are normalized to sum to one.
+std::vector<double> lanczos_lowpass_weights(double cutoff_steps,
+                                            int half_width);
+
+/// Apply a symmetric filter (2*half_width+1 weights) to a series. Only the
+/// interior where the full stencil fits is returned:
+/// output.size() == input.size() - 2*half_width (empty if too short).
+std::vector<double> apply_symmetric_filter(const std::vector<double>& x,
+                                           const std::vector<double>& w);
+
+/// Convenience: Lanczos low-pass of \p x with the given cutoff; half-width
+/// defaults to the cutoff length (a common choice balancing roll-off
+/// sharpness against lost end points).
+std::vector<double> lanczos_lowpass(const std::vector<double>& x,
+                                    double cutoff_steps,
+                                    int half_width = -1);
+
+/// Remove the least-squares linear trend from a series in place (mean and
+/// slope both removed). Climate variability analyses of runs still
+/// drifting toward equilibrium require this before EOF decomposition.
+void detrend(std::vector<double>& x);
+
+/// Detrend every column of a (ntime x npoint) row-major matrix in place.
+void detrend_columns(std::vector<double>& data, int ntime, int npoint);
+
+}  // namespace foam::stats

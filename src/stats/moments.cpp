@@ -1,0 +1,43 @@
+#include "stats/moments.hpp"
+
+namespace foam::stats {
+
+double area_weighted_mean(const Field2Dd& f, const Field2D<int>& mask,
+                          const std::vector<double>& cell_area_per_row) {
+  FOAM_REQUIRE(f.nx() == mask.nx() && f.ny() == mask.ny(), "shape mismatch");
+  FOAM_REQUIRE(cell_area_per_row.size() == static_cast<std::size_t>(f.ny()),
+               "area rows");
+  double num = 0.0;
+  double den = 0.0;
+  for (int j = 0; j < f.ny(); ++j) {
+    const double a = cell_area_per_row[j];
+    for (int i = 0; i < f.nx(); ++i) {
+      if (mask(i, j) == 0) continue;
+      num += a * f(i, j);
+      den += a;
+    }
+  }
+  FOAM_REQUIRE(den > 0.0, "area_weighted_mean over empty mask");
+  return num / den;
+}
+
+double area_weighted_rmse(const Field2Dd& a, const Field2Dd& b,
+                          const Field2D<int>& mask,
+                          const std::vector<double>& cell_area_per_row) {
+  FOAM_REQUIRE(a.same_shape(b), "shape mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  for (int j = 0; j < a.ny(); ++j) {
+    const double w = cell_area_per_row[j];
+    for (int i = 0; i < a.nx(); ++i) {
+      if (mask(i, j) == 0) continue;
+      const double d = a(i, j) - b(i, j);
+      num += w * d * d;
+      den += w;
+    }
+  }
+  FOAM_REQUIRE(den > 0.0, "area_weighted_rmse over empty mask");
+  return std::sqrt(num / den);
+}
+
+}  // namespace foam::stats

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file moments.hpp
+/// Streaming statistics for long model runs.
+///
+/// Century-scale runs cannot hold every sample; RunningMoments (Welford) and
+/// RunningFieldMean accumulate means/variances online, as the model's
+/// monthly/annual averaging does.
+
+#include <cmath>
+#include <cstdint>
+
+#include "base/field.hpp"
+
+namespace foam::stats {
+
+/// Welford online mean/variance accumulator.
+class RunningMoments {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Online mean of a 2-D field (e.g. monthly-mean SST accumulation).
+class RunningFieldMean {
+ public:
+  void add(const Field2Dd& f) {
+    if (count_ == 0) {
+      sum_ = f;
+    } else {
+      sum_ += f;
+    }
+    ++count_;
+  }
+
+  std::int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  Field2Dd mean() const {
+    FOAM_REQUIRE(count_ > 0, "mean of empty accumulator");
+    Field2Dd out(sum_);
+    out *= 1.0 / static_cast<double>(count_);
+    return out;
+  }
+
+  void reset() {
+    count_ = 0;
+    sum_ = Field2Dd();
+  }
+
+ private:
+  std::int64_t count_ = 0;
+  Field2Dd sum_;
+};
+
+/// Area-weighted mean of a field over cells where mask != 0.
+double area_weighted_mean(const Field2Dd& f, const Field2D<int>& mask,
+                          const std::vector<double>& cell_area_per_row);
+
+/// Area-weighted RMS difference between two fields over mask != 0 cells.
+double area_weighted_rmse(const Field2Dd& a, const Field2Dd& b,
+                          const Field2D<int>& mask,
+                          const std::vector<double>& cell_area_per_row);
+
+}  // namespace foam::stats

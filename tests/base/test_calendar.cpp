@@ -1,0 +1,97 @@
+#include "base/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace foam {
+namespace {
+
+TEST(ModelTime, StartsAtZero) {
+  ModelTime t;
+  EXPECT_EQ(t.seconds(), 0);
+  EXPECT_EQ(t.year(), 0);
+  EXPECT_EQ(t.month(), 0);
+  EXPECT_EQ(t.day_of_month(), 0);
+  EXPECT_EQ(t.second_of_day(), 0);
+}
+
+TEST(ModelTime, FromYmdRoundTrips) {
+  const ModelTime t = ModelTime::from_ymd(3, 6, 14, 6 * 3600.0);
+  EXPECT_EQ(t.year(), 3);
+  EXPECT_EQ(t.month(), 6);
+  EXPECT_EQ(t.day_of_month(), 14);
+  EXPECT_EQ(t.second_of_day(), 6 * 3600);
+}
+
+TEST(ModelTime, DayOfYearAccumulatesMonths) {
+  // March 1 = 31 + 28 days into the year.
+  const ModelTime t = ModelTime::from_ymd(0, 2, 0);
+  EXPECT_EQ(t.day_of_year(), 59);
+}
+
+TEST(ModelTime, YearBoundary) {
+  ModelTime t = ModelTime::from_ymd(0, 11, 30, 86399.0);
+  EXPECT_EQ(t.year(), 0);
+  t.advance(1);
+  EXPECT_EQ(t.year(), 1);
+  EXPECT_EQ(t.day_of_year(), 0);
+  EXPECT_EQ(t.month(), 0);
+}
+
+TEST(ModelTime, NoLeapYears) {
+  // Feb 29 does not exist: advancing from Feb 28 lands on Mar 1 every year.
+  for (int year : {0, 3, 4, 100}) {
+    ModelTime t = ModelTime::from_ymd(year, 1, 27);
+    t.advance(86400);
+    EXPECT_EQ(t.month(), 2) << "year " << year;
+    EXPECT_EQ(t.day_of_month(), 0) << "year " << year;
+  }
+}
+
+TEST(ModelTime, ToStringFormat) {
+  const ModelTime t = ModelTime::from_ymd(12, 0, 1, 3661.0);
+  EXPECT_EQ(t.to_string(), "Y0012-01-02 01:01:01");
+}
+
+TEST(ModelTime, CenturyRunDoesNotOverflow) {
+  ModelTime t;
+  t.advance(500LL * ModelTime::kSecondsPerYear);
+  EXPECT_EQ(t.year(), 500);
+  EXPECT_NEAR(t.years(), 500.0, 1e-9);
+}
+
+TEST(ModelTime, RejectsInvalidConstruction) {
+  EXPECT_THROW(ModelTime(-1), Error);
+  EXPECT_THROW(ModelTime::from_ymd(0, 12, 0), Error);
+  EXPECT_THROW(ModelTime::from_ymd(0, 1, 28), Error);
+}
+
+TEST(SteppedClock, CountsExactSteps) {
+  SteppedClock clock(ModelTime(0), 1800);
+  for (int s = 0; s < 48; ++s) clock.tick();
+  EXPECT_EQ(clock.step_count(), 48);
+  EXPECT_EQ(clock.now().seconds(), 86400);
+}
+
+TEST(SteppedClock, AlignmentMatchesCouplingSchedule) {
+  // The FOAM schedule: atm dt=30 min; ocean every 6 h; radiation every 12 h.
+  SteppedClock clock(ModelTime(0), 1800);
+  int ocean_calls = 0;
+  int radiation_calls = 0;
+  for (int s = 0; s < 48; ++s) {
+    if (clock.aligned(6 * 3600)) ++ocean_calls;
+    if (clock.aligned(12 * 3600)) ++radiation_calls;
+    clock.tick();
+  }
+  EXPECT_EQ(ocean_calls, 4);
+  EXPECT_EQ(radiation_calls, 2);
+}
+
+TEST(SteppedClock, NoFloatingPointDrift) {
+  SteppedClock clock(ModelTime(0), 1800);
+  for (int s = 0; s < 365 * 48; ++s) clock.tick();
+  EXPECT_EQ(clock.now().seconds(), ModelTime::kSecondsPerYear);
+  EXPECT_TRUE(clock.aligned(86400));
+}
+
+}  // namespace
+}  // namespace foam

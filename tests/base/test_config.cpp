@@ -1,0 +1,94 @@
+#include "base/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+
+namespace foam {
+namespace {
+
+TEST(Config, ParsesKeyValueLines) {
+  const Config cfg = Config::from_string(
+      "atm.nlon = 48\n"
+      "atm.dt_seconds = 1800\n"
+      "physics = ccm3   # upgraded moist physics\n"
+      "\n"
+      "# full-line comment\n"
+      "coupled = true\n");
+  EXPECT_EQ(cfg.get_int("atm.nlon"), 48);
+  EXPECT_DOUBLE_EQ(cfg.get_double("atm.dt_seconds"), 1800.0);
+  EXPECT_EQ(cfg.get_string("physics"), "ccm3");
+  EXPECT_TRUE(cfg.get_bool("coupled"));
+}
+
+TEST(Config, LastDuplicateWins) {
+  const Config cfg = Config::from_string("a = 1\na = 2\n");
+  EXPECT_EQ(cfg.get_int("a"), 2);
+}
+
+TEST(Config, MissingKeyThrows) {
+  const Config cfg = Config::from_string("a = 1\n");
+  EXPECT_THROW(cfg.get_int("b"), Error);
+}
+
+TEST(Config, DefaultedGetters) {
+  const Config cfg = Config::from_string("a = 1\n");
+  EXPECT_EQ(cfg.get_int("b", 7), 7);
+  EXPECT_EQ(cfg.get_int("a", 7), 1);
+  EXPECT_EQ(cfg.get_string("name", "foam"), "foam");
+  EXPECT_TRUE(cfg.get_bool("flag", true));
+}
+
+TEST(Config, TypeMismatchThrows) {
+  const Config cfg = Config::from_string("a = hello\n");
+  EXPECT_THROW(cfg.get_int("a"), Error);
+  EXPECT_THROW(cfg.get_double("a"), Error);
+  EXPECT_THROW(cfg.get_bool("a"), Error);
+}
+
+TEST(Config, BoolSpellings) {
+  const Config cfg = Config::from_string(
+      "a = TRUE\nb = off\nc = 1\nd = No\n");
+  EXPECT_TRUE(cfg.get_bool("a"));
+  EXPECT_FALSE(cfg.get_bool("b"));
+  EXPECT_TRUE(cfg.get_bool("c"));
+  EXPECT_FALSE(cfg.get_bool("d"));
+}
+
+TEST(Config, BadSyntaxThrows) {
+  EXPECT_THROW(Config::from_string("just words\n"), Error);
+  EXPECT_THROW(Config::from_string("= value\n"), Error);
+}
+
+TEST(Config, MergeOverlays) {
+  Config base = Config::from_string("a = 1\nb = 2\n");
+  const Config overlay = Config::from_string("b = 3\nc = 4\n");
+  base.merge(overlay);
+  EXPECT_EQ(base.get_int("a"), 1);
+  EXPECT_EQ(base.get_int("b"), 3);
+  EXPECT_EQ(base.get_int("c"), 4);
+}
+
+TEST(Config, SetRoundTrips) {
+  Config cfg;
+  cfg.set("pi", 3.14159);
+  cfg.set("n", 42);
+  cfg.set("flag", false);
+  cfg.set("name", std::string("ocean"));
+  EXPECT_DOUBLE_EQ(cfg.get_double("pi"), 3.14159);
+  EXPECT_EQ(cfg.get_int("n"), 42);
+  EXPECT_FALSE(cfg.get_bool("flag"));
+  EXPECT_EQ(cfg.get_string("name"), "ocean");
+}
+
+TEST(Config, KeysSorted) {
+  const Config cfg = Config::from_string("zz = 1\naa = 2\nmm = 3\n");
+  const auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "aa");
+  EXPECT_EQ(keys[1], "mm");
+  EXPECT_EQ(keys[2], "zz");
+}
+
+}  // namespace
+}  // namespace foam

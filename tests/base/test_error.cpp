@@ -1,0 +1,49 @@
+#include "base/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace foam {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(FOAM_REQUIRE(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Error, RequireThrowsWithContext) {
+  const int n = -3;
+  try {
+    FOAM_REQUIRE(n > 0, "n=" << n << " must be positive");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n > 0"), std::string::npos);
+    EXPECT_NE(what.find("n=-3"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, IsARuntimeError) {
+  try {
+    FOAM_REQUIRE(false, "boom");
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+    return;
+  }
+  FAIL();
+}
+
+TEST(Error, StreamedMessageEvaluatedLazily) {
+  // The message expression must not be evaluated when the condition holds.
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 7;
+  };
+  FOAM_REQUIRE(true, "value " << count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace foam

@@ -1,0 +1,83 @@
+#include "base/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "base/error.hpp"
+
+namespace foam {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(History, RoundTripsFieldsScalarsAndSeries) {
+  const std::string path = temp_path("hist1.foam");
+  Field2Dd sst(6, 4);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 6; ++i) sst(i, j) = i + 10.0 * j;
+  Field3Dd temp(3, 2, 5, 1.5);
+  {
+    HistoryWriter w(path);
+    w.write("sst", sst);
+    w.write("temp", temp);
+    w.write_scalar("speedup", 6000.0);
+    w.write_series("nino", {1.0, -0.5, 2.25});
+  }
+  HistoryReader r(path);
+  ASSERT_EQ(r.records().size(), 4u);
+  const auto& rec = r.find("sst");
+  ASSERT_EQ(rec.dims.size(), 2u);
+  EXPECT_EQ(rec.dims[0], 6);
+  EXPECT_EQ(rec.dims[1], 4);
+  EXPECT_DOUBLE_EQ(rec.data[2 * 6 + 3], 3.0 + 20.0);
+  EXPECT_EQ(r.find("temp").dims.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.find("speedup").data[0], 6000.0);
+  const auto& series = r.find("nino");
+  ASSERT_EQ(series.data.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.data[2], 2.25);
+}
+
+TEST(History, HasAndMissing) {
+  const std::string path = temp_path("hist2.foam");
+  {
+    HistoryWriter w(path);
+    w.write_scalar("x", 1.0);
+  }
+  HistoryReader r(path);
+  EXPECT_TRUE(r.has("x"));
+  EXPECT_FALSE(r.has("y"));
+  EXPECT_THROW(r.find("y"), Error);
+}
+
+TEST(History, RepeatedNamesKeepOrder) {
+  const std::string path = temp_path("hist3.foam");
+  {
+    HistoryWriter w(path);
+    w.write_scalar("t", 1.0);
+    w.write_scalar("t", 2.0);
+  }
+  HistoryReader r(path);
+  ASSERT_EQ(r.records().size(), 2u);
+  // find returns the first record; both are present in file order.
+  EXPECT_DOUBLE_EQ(r.find("t").data[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.records()[1].data[0], 2.0);
+}
+
+TEST(History, RejectsNonHistoryFile) {
+  const std::string path = temp_path("not_hist.bin");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage garbage garbage", f);
+  std::fclose(f);
+  EXPECT_THROW(HistoryReader r(path), Error);
+}
+
+TEST(History, MissingFileThrows) {
+  EXPECT_THROW(HistoryReader r(temp_path("does_not_exist.foam")), Error);
+}
+
+}  // namespace
+}  // namespace foam

@@ -1,0 +1,43 @@
+#include "base/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace foam {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MacrosCompileAndStream) {
+  set_log_level(LogLevel::kError);  // silence output during the test
+  FOAM_LOG_DEBUG << "debug " << 1;
+  FOAM_LOG_INFO << "info " << 2.5;
+  FOAM_LOG_WARN << "warn " << "text";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, ThreadSafeUnderConcurrentLogging) {
+  set_log_level(LogLevel::kError);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([t]() {
+      for (int i = 0; i < 100; ++i) FOAM_LOG_WARN << "t" << t << " i" << i;
+    });
+  for (auto& th : threads) th.join();
+  SUCCEED();  // no crash/data race (run under TSan to verify deeply)
+}
+
+}  // namespace
+}  // namespace foam

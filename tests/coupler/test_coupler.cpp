@@ -1,0 +1,212 @@
+#include "coupler/coupler.hpp"
+#include "coupler/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "data/earth.hpp"
+
+namespace foam::coupler {
+namespace {
+
+namespace c = foam::constants;
+
+TEST(OverlapGrid, TotalAreaEqualsSharedBand) {
+  numerics::GaussianGrid agrid(48, 40);
+  numerics::MercatorGrid ogrid(128, 128, 70.0);
+  OverlapGrid ov(agrid, ogrid);
+  // The intersection of the grids is the ocean grid's latitude band.
+  const double band = 2.0 * c::pi * c::earth_radius * c::earth_radius *
+                      2.0 * std::sin(70.0 * c::deg2rad);
+  EXPECT_NEAR(ov.total_area() / band, 1.0, 1e-9);
+  EXPECT_GT(static_cast<int>(ov.cells().size()), 128 * 128);
+}
+
+TEST(OverlapGrid, ConstantFieldRemapsExactly) {
+  numerics::GaussianGrid agrid(48, 40);
+  numerics::MercatorGrid ogrid(64, 64, 70.0);
+  OverlapGrid ov(agrid, ogrid);
+  Field2Dd atm(48, 40, 3.75);
+  const Field2Dd ocn = ov.to_ocean(atm);
+  for (int j = 0; j < 64; ++j)
+    for (int i = 0; i < 64; ++i) EXPECT_NEAR(ocn(i, j), 3.75, 1e-12);
+  // And back.
+  Field2D<int> valid(64, 64, 1);
+  const Field2Dd back = ov.to_atm(ocn, valid, -1.0);
+  for (int j = 0; j < 40; ++j) {
+    const double lat = agrid.lat(j) * c::rad2deg;
+    for (int i = 0; i < 48; ++i) {
+      if (std::abs(lat) < 65.0) {
+        EXPECT_NEAR(back(i, j), 3.75, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(OverlapGrid, FluxIntegralConservedAtmToOcean) {
+  // The defining property of the overlap-grid exchange (Fig. 1): the
+  // area-integrated flux over the shared band is identical on both grids.
+  numerics::GaussianGrid agrid(48, 40);
+  numerics::MercatorGrid ogrid(128, 128, 70.0);
+  OverlapGrid ov(agrid, ogrid);
+  Field2Dd atm(48, 40);
+  for (int j = 0; j < 40; ++j)
+    for (int i = 0; i < 48; ++i)
+      atm(i, j) = 100.0 + 30.0 * std::sin(0.3 * i) * std::cos(0.5 * j);
+  const Field2Dd ocn = ov.to_ocean(atm);
+  // Integral over the overlap cells computed from each side.
+  double int_atm = 0.0, int_ocn = 0.0;
+  for (const auto& cell : ov.cells()) {
+    int_atm += cell.area * atm(cell.ia, cell.ja);
+  }
+  for (int j = 0; j < 128; ++j)
+    for (int i = 0; i < 128; ++i) int_ocn += ogrid.cell_area(j) * ocn(i, j);
+  EXPECT_NEAR(int_ocn / int_atm, 1.0, 1e-9);
+}
+
+TEST(OverlapGrid, MaskedOceanToAtmCoverage) {
+  numerics::GaussianGrid agrid(48, 40);
+  numerics::MercatorGrid ogrid(64, 64, 70.0);
+  OverlapGrid ov(agrid, ogrid);
+  // Valid only in the eastern hemisphere of the ocean grid.
+  Field2D<int> valid(64, 64, 0);
+  for (int j = 0; j < 64; ++j)
+    for (int i = 0; i < 32; ++i) valid(i, j) = 1;
+  Field2Dd f(64, 64, 7.0);
+  Field2Dd cov;
+  const Field2Dd out = ov.to_atm(f, valid, -5.0, &cov);
+  for (int j = 0; j < 40; ++j)
+    for (int i = 0; i < 48; ++i) {
+      EXPECT_GE(cov(i, j), 0.0);
+      EXPECT_LE(cov(i, j), 1.0 + 1e-9);
+      if (cov(i, j) > 0.0) {
+        EXPECT_NEAR(out(i, j), 7.0, 1e-12);
+      } else {
+        EXPECT_DOUBLE_EQ(out(i, j), -5.0);  // fill value kept
+      }
+    }
+}
+
+struct CouplerWorld {
+  CouplerWorld()
+      : agrid(48, 40),
+        ogrid(64, 64, 70.0),
+        omask(data::ocean_mask(ogrid)),
+        coup(agrid, ogrid, omask) {}
+  numerics::GaussianGrid agrid;
+  numerics::MercatorGrid ogrid;
+  Field2D<int> omask;
+  Coupler coup;
+};
+
+atm::FluxFields plausible_fluxes(int nx, int ny) {
+  atm::FluxFields f(nx, ny);
+  f.sw_sfc.fill(180.0);
+  f.lw_down.fill(330.0);
+  f.sensible.fill(15.0);
+  f.latent.fill(80.0);
+  f.evaporation.fill(80.0 / c::latent_vap);
+  f.rain.fill(3.0e-5);
+  f.taux.fill(0.05);
+  return f;
+}
+
+TEST(Coupler, LandFractionConsistentWithMasks) {
+  CouplerWorld w;
+  const auto& fl = w.coup.land_fraction_a();
+  const auto lmask = data::land_mask(w.agrid);
+  for (int j = 0; j < 40; ++j)
+    for (int i = 0; i < 48; ++i) {
+      EXPECT_GE(fl(i, j), 0.0);
+      EXPECT_LE(fl(i, j), 1.0);
+      if (lmask(i, j) != 0) {
+        EXPECT_DOUBLE_EQ(fl(i, j), 1.0);
+      }
+    }
+}
+
+TEST(Coupler, OceanForcingPlausible) {
+  CouplerWorld w;
+  const auto fluxes = plausible_fluxes(48, 40);
+  Field2Dd sst(64, 64, 15.0);
+  Field2Dd frazil(64, 64, 0.0);
+  const auto forcing =
+      w.coup.make_ocean_forcing(fluxes, sst, frazil, 21600.0);
+  // qnet = 180 + 330 - lw_up(15C ~ 390) - 15 - 80 ~ +25 W/m^2.
+  double qsum = 0.0;
+  int n = 0;
+  for (int j = 0; j < 64; ++j)
+    for (int i = 0; i < 64; ++i)
+      if (w.omask(i, j) != 0) {
+        qsum += forcing.qnet(i, j);
+        ++n;
+      }
+  EXPECT_NEAR(qsum / n, 25.0, 30.0);
+  EXPECT_NEAR(forcing.taux.max(), 0.05, 1e-9);
+  EXPECT_FALSE(has_non_finite(forcing.fw));
+}
+
+TEST(Coupler, AtmSurfaceBlendsSstOverOcean) {
+  CouplerWorld w;
+  Field2Dd sst(64, 64, 20.0);
+  const auto sfc = w.coup.make_atm_surface(sst);
+  // A deep-ocean atmosphere cell reports ~293 K.
+  int found = 0;
+  for (int j = 0; j < 40; ++j)
+    for (int i = 0; i < 48; ++i) {
+      if (w.coup.land_fraction_a()(i, j) < 0.05 &&
+          std::abs(w.agrid.lat(j) * c::rad2deg) < 40.0) {
+        EXPECT_NEAR(sfc.tsurf(i, j), 293.15, 1.0);
+        EXPECT_EQ(sfc.is_ocean(i, j), 1);
+        EXPECT_NEAR(sfc.wetness(i, j), 1.0, 1e-9);
+        ++found;
+      }
+    }
+  EXPECT_GT(found, 50);
+}
+
+TEST(Coupler, PolarCapsTreatedAsIce) {
+  CouplerWorld w;
+  Field2Dd sst(64, 64, 10.0);
+  const auto sfc = w.coup.make_atm_surface(sst);
+  // Atmosphere rows poleward of the ocean grid over water: prescribed ice
+  // (cold and bright).
+  int checked = 0;
+  const auto lmask = data::land_mask(w.agrid);
+  for (int j = 0; j < 40; ++j) {
+    const double lat = w.agrid.lat(j) * c::rad2deg;
+    if (std::abs(lat) < 75.0) continue;
+    for (int i = 0; i < 48; ++i) {
+      if (lmask(i, j) != 0) continue;
+      EXPECT_GT(sfc.albedo(i, j), 0.5) << "polar cap should be icy";
+      EXPECT_LT(sfc.tsurf(i, j), 275.0);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Coupler, HydrologicalCycleDeliversRiverWater) {
+  CouplerWorld w;
+  auto fluxes = plausible_fluxes(48, 40);
+  fluxes.rain.fill(4.0e-4);  // very wet world so buckets overflow fast
+  Field2Dd sst(64, 64, 15.0);
+  Field2Dd frazil(64, 64, 0.0);
+  double discharge = 0.0;
+  for (int ex = 0; ex < 40; ++ex) {
+    w.coup.step_land(fluxes, 21600.0);
+    const auto forcing =
+        w.coup.make_ocean_forcing(fluxes, sst, frazil, 21600.0);
+    for (int j = 0; j < 64; ++j)
+      for (int i = 0; i < 64; ++i)
+        if (w.omask(i, j) != 0)
+          discharge += std::max(0.0, forcing.fw(i, j));
+  }
+  EXPECT_GT(discharge, 0.0);
+  EXPECT_GT(w.coup.river().total_volume(), 0.0);
+}
+
+}  // namespace
+}  // namespace foam::coupler

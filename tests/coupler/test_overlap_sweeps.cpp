@@ -1,0 +1,70 @@
+// Parameterized conservation sweep of the overlap grid over resolution
+// pairs: the Figure-1 construction must conserve at every combination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "base/constants.hpp"
+#include "coupler/overlap.hpp"
+
+namespace foam::coupler {
+namespace {
+
+namespace c = foam::constants;
+
+/// (atm nlon, atm nlat, ocn nlon, ocn nlat, ocn lat_max)
+using GridPair = std::tuple<int, int, int, int, double>;
+
+class OverlapSweep : public ::testing::TestWithParam<GridPair> {};
+
+TEST_P(OverlapSweep, AreaAndFluxConservation) {
+  const auto [anlon, anlat, onlon, onlat, latmax] = GetParam();
+  numerics::GaussianGrid agrid(anlon, anlat);
+  numerics::MercatorGrid ogrid(onlon, onlat, latmax);
+  OverlapGrid ov(agrid, ogrid);
+  const double band = 2.0 * c::pi * c::earth_radius * c::earth_radius *
+                      2.0 * std::sin(latmax * c::deg2rad);
+  EXPECT_NEAR(ov.total_area() / band, 1.0, 1e-9);
+
+  Field2Dd flux(anlon, anlat);
+  for (int j = 0; j < anlat; ++j)
+    for (int i = 0; i < anlon; ++i)
+      flux(i, j) = 50.0 + 25.0 * std::sin(0.7 * i + 0.2 * j);
+  const Field2Dd on_ocean = ov.to_ocean(flux);
+  double int_a = 0.0, int_o = 0.0;
+  for (const auto& cell : ov.cells())
+    int_a += cell.area * flux(cell.ia, cell.ja);
+  for (int j = 0; j < onlat; ++j)
+    for (int i = 0; i < onlon; ++i)
+      int_o += ogrid.cell_area(j) * on_ocean(i, j);
+  EXPECT_NEAR(int_o / int_a, 1.0, 1e-9);
+}
+
+TEST_P(OverlapSweep, EveryOceanCellFullyCovered) {
+  const auto [anlon, anlat, onlon, onlat, latmax] = GetParam();
+  numerics::GaussianGrid agrid(anlon, anlat);
+  numerics::MercatorGrid ogrid(onlon, onlat, latmax);
+  OverlapGrid ov(agrid, ogrid);
+  // Sum of overlap areas per ocean cell equals the ocean cell's area: the
+  // atmosphere grid tiles the sphere, so no ocean cell is orphaned.
+  Field2Dd covered(onlon, onlat, 0.0);
+  for (const auto& cell : ov.cells())
+    covered(cell.io, cell.jo) += cell.area;
+  for (int j = 0; j < onlat; ++j)
+    for (int i = 0; i < onlon; ++i)
+      EXPECT_NEAR(covered(i, j) / ogrid.cell_area(j), 1.0, 1e-9)
+          << i << "," << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridPairs, OverlapSweep,
+    ::testing::Values(GridPair{48, 40, 128, 128, 70.0},
+                      GridPair{48, 40, 64, 64, 70.0},
+                      GridPair{24, 20, 64, 64, 60.0},
+                      GridPair{24, 20, 48, 48, 75.0},
+                      GridPair{96, 80, 64, 64, 65.0}));
+
+}  // namespace
+}  // namespace foam::coupler

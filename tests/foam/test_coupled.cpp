@@ -1,0 +1,284 @@
+#include "foam/coupled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace foam {
+namespace {
+
+TEST(CoupledFoam, TwoDaysStableAndPhysical) {
+  FoamConfig cfg = FoamConfig::testing();
+  CoupledFoam model(cfg);
+  model.run_days(2.0);
+  EXPECT_FALSE(has_non_finite(model.ocean_model().temperature()));
+  EXPECT_FALSE(has_non_finite(model.atmosphere().temperature()));
+  const auto d = model.ocean_model().diagnostics();
+  EXPECT_GT(d.mean_sst, 0.0);
+  EXPECT_LT(d.mean_sst, 25.0);
+  const double tb = model.atmosphere().mean_t_sfc_level();
+  EXPECT_GT(tb, 250.0);
+  EXPECT_LT(tb, 310.0);
+  EXPECT_EQ(model.now().seconds(), 2 * 86400);
+}
+
+TEST(CoupledFoam, ExchangeScheduleMatchesPaper) {
+  // 48 atmosphere steps and 4 ocean calls per day (paper §5 / Fig. 2).
+  FoamConfig cfg = FoamConfig::testing();
+  CoupledFoam model(cfg);
+  const auto steps0 = model.ocean_model().step_count();
+  model.run_days(1.0);
+  const auto osteps = model.ocean_model().step_count() - steps0;
+  const auto expected = static_cast<std::int64_t>(
+      4 * (21600.0 / cfg.ocean.dt_mom));
+  EXPECT_EQ(osteps, expected);
+}
+
+TEST(CoupledFoam, OceanAccelerationMultipliesOceanTime) {
+  FoamConfig cfg = FoamConfig::testing();
+  cfg.ocean_accel = 3.0;
+  CoupledFoam model(cfg);
+  model.run_days(1.0);
+  EXPECT_NEAR(model.ocean_model().time_seconds(), 3.0 * 86400.0,
+              cfg.ocean.dt_mom);
+}
+
+TEST(CoupledFoam, SstRespondsToCoupling) {
+  // With coupling active the tropical-polar SST contrast is maintained by
+  // the atmosphere's fluxes.
+  FoamConfig cfg = FoamConfig::testing();
+  CoupledFoam model(cfg);
+  model.run_days(3.0);
+  const Field2Dd sst = model.sst();
+  const auto& grid = model.ocean_grid();
+  double trop = 0.0, polar = 0.0;
+  int nt = 0, np = 0;
+  for (int j = 0; j < grid.nlat(); ++j) {
+    const double lat = grid.lat(j) * 57.2958;
+    for (int i = 0; i < grid.nlon(); ++i) {
+      if (model.ocean_mask()(i, j) == 0) continue;
+      if (std::abs(lat) < 15.0) {
+        trop += sst(i, j);
+        ++nt;
+      } else if (std::abs(lat) > 55.0) {
+        polar += sst(i, j);
+        ++np;
+      }
+    }
+  }
+  ASSERT_GT(nt, 0);
+  ASSERT_GT(np, 0);
+  EXPECT_GT(trop / nt, polar / np + 8.0)
+      << "tropics must stay much warmer than the polar ocean";
+}
+
+TEST(CoupledFoam, WorkCounterAdvances) {
+  FoamConfig cfg = FoamConfig::testing();
+  CoupledFoam model(cfg);
+  const double w0 = model.work_points();
+  model.run_days(0.5);
+  EXPECT_GT(model.work_points(), w0);
+}
+
+TEST(ParallelCoupled, RunsAndProducesTimelines) {
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(3, [&](par::Comm& world) {  // 2 atm + 1 ocean
+    const auto res = run_coupled_parallel(world, 2, cfg, 0.5);
+    EXPECT_GT(res.speedup(), 0.0);
+    EXPECT_NEAR(res.simulated_seconds, 0.5 * 86400.0, 1.0);
+    ASSERT_EQ(res.timelines.size(), 3u);
+    // Atmosphere ranks recorded atmosphere work; the ocean rank ocean work.
+    double atm_time = 0.0, ocean_time = 0.0;
+    for (const auto& seg : res.timelines[0])
+      if (seg.region == par::Region::kAtmosphere) atm_time += seg.t1 - seg.t0;
+    for (const auto& seg : res.timelines[2])
+      if (seg.region == par::Region::kOcean) ocean_time += seg.t1 - seg.t0;
+    EXPECT_GT(atm_time, 0.0);
+    EXPECT_GT(ocean_time, 0.0);
+    // Every rank's result agrees (the gather is broadcast back).
+    EXPECT_EQ(res.timelines[1].empty(), false);
+  });
+}
+
+TEST(ParallelCoupled, SixteenPlusOnePlacementWorks) {
+  // The paper's production shape in miniature: many atmosphere ranks, one
+  // ocean rank.
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(5, [&](par::Comm& world) {
+    const auto res = run_coupled_parallel(world, 4, cfg, 0.25);
+    EXPECT_GT(res.speedup(), 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace foam
+
+namespace foam {
+namespace {
+
+TEST(Checkpoint, RestartContinuesBitwise) {
+  const std::string path = testing::TempDir() + "/foam_restart.foam";
+  FoamConfig cfg = FoamConfig::testing();
+
+  // Reference: run 1.0 day, checkpoint, run 0.5 more.
+  CoupledFoam a(cfg);
+  a.run_days(1.0);
+  a.checkpoint(path);
+  a.run_days(0.5);
+
+  // Restored twin: same config, restore, run the same 0.5 day.
+  CoupledFoam b(cfg);
+  b.restore(path);
+  EXPECT_EQ(b.now().seconds(), 86400);
+  b.run_days(0.5);
+
+  EXPECT_EQ(a.now().seconds(), b.now().seconds());
+  const Field2Dd sa = a.sst();
+  const Field2Dd sb = b.sst();
+  double max_diff = 0.0;
+  for (std::size_t n = 0; n < sa.size(); ++n)
+    max_diff = std::max(max_diff,
+                        std::abs(sa.data()[n] - sb.data()[n]));
+  EXPECT_EQ(max_diff, 0.0) << "restart must continue bitwise-identically";
+  // Atmosphere too (includes the stochastic stirring state).
+  const auto& ta = a.atmosphere().temperature();
+  const auto& tb = b.atmosphere().temperature();
+  for (std::size_t n = 0; n < ta.size(); ++n)
+    ASSERT_EQ(ta.data()[n], tb.data()[n]) << "atm state diverged at " << n;
+}
+
+TEST(Checkpoint, RestoreRejectsWrongFile) {
+  const std::string path = testing::TempDir() + "/foam_bad_restart.foam";
+  {
+    HistoryWriter w(path);
+    w.write_scalar("not_a_restart", 1.0);
+  }
+  FoamConfig cfg = FoamConfig::testing();
+  CoupledFoam m(cfg);
+  EXPECT_THROW(m.restore(path), Error);
+}
+
+}  // namespace
+}  // namespace foam
+
+#include "foam/diagnostics.hpp"
+
+namespace foam {
+namespace {
+
+TEST(Diagnostics, OverturningAndHeatTransportFinite) {
+  FoamConfig cfg = FoamConfig::testing();
+  CoupledFoam model(cfg);
+  model.run_days(1.0);
+  const auto psi =
+      diag::meridional_overturning_sv(model.ocean_model(),
+                                      model.ocean_grid());
+  EXPECT_FALSE(has_non_finite(psi));
+  double max_any = 0.0;
+  for (int j = 0; j < psi.nx(); ++j)
+    for (int k = 0; k < psi.ny(); ++k)
+      max_any = std::max(max_any, std::abs(psi(j, k)));
+  EXPECT_GT(max_any, 0.0);
+
+  const auto pht =
+      diag::poleward_heat_transport_pw(model.ocean_model(),
+                                       model.ocean_grid());
+  for (const double v : pht) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(std::abs(v), 500.0);  // bounded (day-1 adjustment state)
+  }
+}
+
+TEST(Diagnostics, ZonalMeanSstHasTropicalMaximum) {
+  FoamConfig cfg = FoamConfig::testing();
+  CoupledFoam model(cfg);
+  model.run_days(1.0);
+  const auto zm = diag::zonal_mean_sst(model.ocean_model(), -99.0);
+  const auto& grid = model.ocean_grid();
+  double t_trop = -1e9, t_pole = 1e9;
+  for (int j = 0; j < grid.nlat(); ++j) {
+    if (zm[j] == -99.0) continue;
+    const double lat = std::abs(grid.lat(j)) * 57.2958;
+    if (lat < 10.0) t_trop = std::max(t_trop, zm[j]);
+    if (lat > 60.0) t_pole = std::min(t_pole, zm[j]);
+  }
+  EXPECT_GT(t_trop, t_pole + 10.0);
+}
+
+}  // namespace
+}  // namespace foam
+
+#include "foam/run_config.hpp"
+
+namespace foam {
+namespace {
+
+TEST(RunConfig, DefaultsMatchPaperConfiguration) {
+  const FoamConfig c = foam_config_from(Config::from_string(""));
+  EXPECT_EQ(c.atm.nlon, 48);
+  EXPECT_EQ(c.atm.nlat, 40);
+  EXPECT_EQ(c.atm.mmax, 15);
+  EXPECT_EQ(c.atm.nlev, 18);
+  EXPECT_DOUBLE_EQ(c.atm.dt, 1800.0);
+  EXPECT_EQ(c.ocean.nx, 128);
+  EXPECT_EQ(c.ocean.nz, 16);
+  EXPECT_DOUBLE_EQ(c.exchange_seconds, 6.0 * 3600.0);
+  EXPECT_EQ(c.atm.physics, atm::PhysicsVersion::kCcm3);
+}
+
+TEST(RunConfig, ParsesOverrides) {
+  const FoamConfig c = foam_config_from(Config::from_string(
+      "atm.physics = ccm2\n"
+      "atm.co2_factor = 2.0\n"
+      "ocean.tracer_every = 4\n"
+      "coupling.ocean_accel = 6\n"));
+  EXPECT_EQ(c.atm.physics, atm::PhysicsVersion::kCcm2);
+  EXPECT_DOUBLE_EQ(c.atm.co2_factor, 2.0);
+  EXPECT_EQ(c.ocean.tracer_every, 4);
+  EXPECT_DOUBLE_EQ(c.ocean_accel, 6.0);
+}
+
+TEST(RunConfig, RejectsUnknownAndInvalidKeys) {
+  EXPECT_THROW(foam_config_from(Config::from_string("atm.nlevels = 18\n")),
+               Error);
+  EXPECT_THROW(foam_config_from(Config::from_string("atm.physics = ccm9\n")),
+               Error);
+  EXPECT_THROW(foam_config_from(Config::from_string(
+                   "coupling.exchange_seconds = 60\n")),
+               Error);
+}
+
+TEST(RunConfig, RunPlanFields) {
+  const RunPlan plan = run_plan_from(Config::from_string(
+      "run.days = 5\nrun.history_path = out.foam\n"));
+  EXPECT_DOUBLE_EQ(plan.days, 5.0);
+  EXPECT_EQ(plan.history_path, "out.foam");
+  EXPECT_TRUE(plan.restart_path.empty());
+  EXPECT_THROW(run_plan_from(Config::from_string("run.days = -1\n")), Error);
+}
+
+}  // namespace
+}  // namespace foam
+
+namespace foam {
+namespace {
+
+TEST(ParallelCoupled, MultiRankOceanPlacement) {
+  // The paper's 34-node shape in miniature: the ocean on two ranks.
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(4, [&](par::Comm& world) {  // 2 atm + 2 ocean
+    const auto res = run_coupled_parallel(world, 2, cfg, 0.25);
+    EXPECT_GT(res.speedup(), 0.0);
+    // Both ocean ranks must have recorded ocean work.
+    for (int r = 2; r < 4; ++r) {
+      double ocean_time = 0.0;
+      for (const auto& seg : res.timelines[r])
+        if (seg.region == par::Region::kOcean)
+          ocean_time += seg.t1 - seg.t0;
+      EXPECT_GT(ocean_time, 0.0) << "ocean rank " << r;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace foam

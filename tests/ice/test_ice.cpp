@@ -1,0 +1,114 @@
+#include "ice/sea_ice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/constants.hpp"
+
+namespace foam::ice {
+namespace {
+
+namespace c = foam::constants;
+
+struct IceWorld {
+  IceWorld()
+      : grid(16, 16, 70.0),
+        mask(16, 16, 1),
+        model(grid, mask),
+        sst(16, 16, c::sea_ice_freeze_c),
+        frazil(16, 16, 0.0),
+        flux(16, 16, 0.0) {}
+  numerics::MercatorGrid grid;
+  Field2D<int> mask;
+  SeaIceModel model;
+  Field2Dd sst, frazil, flux;
+};
+
+TEST(SeaIce, StartsIceFree) {
+  IceWorld w;
+  EXPECT_DOUBLE_EQ(w.model.fraction().max_abs(), 0.0);
+  EXPECT_DOUBLE_EQ(w.model.thickness().max_abs(), 0.0);
+}
+
+TEST(SeaIce, FrazilHeatGrowsIceWithFormationFlux) {
+  IceWorld w;
+  w.frazil(5, 5) = 5.0e7;  // strong freeze-clamp deficit
+  w.model.step(w.sst, w.frazil, w.flux, 21600.0);
+  EXPECT_GT(w.model.thickness()(5, 5), 0.0);
+  EXPECT_GT(w.model.fraction()(5, 5), 0.0);
+  // The paper's 2 m formation flux leaves the ocean.
+  const Field2Dd fw = w.model.drain_freshwater_flux();
+  EXPECT_LT(fw(5, 5), -c::ice_formation_flux_m + 0.5);
+  // No ice where no frazil and no freezing flux.
+  EXPECT_DOUBLE_EQ(w.model.thickness()(1, 1), 0.0);
+}
+
+TEST(SeaIce, PositiveFluxMeltsIce) {
+  IceWorld w;
+  w.frazil.fill(5.0e7);
+  w.model.step(w.sst, w.frazil, w.flux, 21600.0);
+  const double h0 = w.model.thickness()(5, 5);
+  ASSERT_GT(h0, 0.0);
+  w.frazil.fill(0.0);
+  w.flux.fill(250.0);  // summer melt
+  for (int s = 0; s < 200; ++s)
+    w.model.step(w.sst, w.frazil, w.flux, 21600.0);
+  EXPECT_LT(w.model.thickness()(5, 5), h0);
+}
+
+TEST(SeaIce, FullMeltReturnsFormationWater) {
+  IceWorld w;
+  w.frazil(3, 3) = 1.0e7;
+  w.model.step(w.sst, w.frazil, w.flux, 21600.0);
+  w.model.drain_freshwater_flux();
+  w.frazil.fill(0.0);
+  w.flux.fill(400.0);
+  double total_fw = 0.0;
+  for (int s = 0; s < 400 && w.model.thickness()(3, 3) > 0.0; ++s) {
+    w.model.step(w.sst, w.frazil, w.flux, 21600.0);
+    total_fw += w.model.drain_freshwater_flux()(3, 3);
+  }
+  EXPECT_DOUBLE_EQ(w.model.thickness()(3, 3), 0.0);
+  EXPECT_GT(total_fw, c::ice_formation_flux_m);  // melt + returned 2 m
+}
+
+TEST(SeaIce, SurfaceTemperatureBelowMeltUnderCooling) {
+  IceWorld w;
+  w.frazil(5, 5) = 1.0e8;
+  w.flux.fill(-150.0);  // polar-night cooling
+  w.model.step(w.sst, w.frazil, w.flux, 21600.0);
+  EXPECT_LT(w.model.tsurf()(5, 5), c::t_melt);
+  // Never above melting.
+  w.flux.fill(500.0);
+  w.model.step(w.sst, w.frazil, w.flux, 21600.0);
+  EXPECT_LE(w.model.tsurf()(5, 5), c::t_melt + 1e-9);
+}
+
+TEST(SeaIce, FractionBounded) {
+  IceWorld w;
+  w.frazil.fill(1.0e9);
+  for (int s = 0; s < 50; ++s)
+    w.model.step(w.sst, w.frazil, w.flux, 21600.0);
+  EXPECT_LE(w.model.fraction().max(), 1.0);
+  EXPECT_LE(w.model.thickness().max(), w.model.config().h_max + 1e-9);
+}
+
+TEST(SeaIce, SpontaneousFreezingInWinterConditions) {
+  IceWorld w;
+  // At the freeze point with strong surface cooling, floes form even
+  // without frazil bookkeeping.
+  w.flux.fill(-100.0);
+  w.model.step(w.sst, w.frazil, w.flux, 21600.0);
+  EXPECT_GT(w.model.fraction().max(), 0.0);
+}
+
+TEST(SeaIce, LandCellsIgnored) {
+  numerics::MercatorGrid grid(16, 16, 70.0);
+  Field2D<int> mask(16, 16, 0);  // all land
+  SeaIceModel m(grid, mask);
+  Field2Dd sst(16, 16, -2.0), frazil(16, 16, 1e9), flux(16, 16, -500.0);
+  m.step(sst, frazil, flux, 21600.0);
+  EXPECT_DOUBLE_EQ(m.thickness().max_abs(), 0.0);
+}
+
+}  // namespace
+}  // namespace foam::ice

@@ -1,0 +1,151 @@
+#include "land/soil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "data/earth.hpp"
+
+namespace foam::land {
+namespace {
+
+namespace c = foam::constants;
+
+struct LandWorld {
+  LandWorld()
+      : grid(24, 20),
+        mask(data::land_mask(grid)),
+        types(data::soil_types(grid)),
+        model(grid, mask, types) {}
+
+  /// Uniform forcing helper.
+  struct Fields {
+    Field2Dd sw, lwd, sens, lat, evap, rain, snow;
+    Fields(int nx, int ny)
+        : sw(nx, ny, 0.0), lwd(nx, ny, 0.0), sens(nx, ny, 0.0),
+          lat(nx, ny, 0.0), evap(nx, ny, 0.0), rain(nx, ny, 0.0),
+          snow(nx, ny, 0.0) {}
+    LandModel::Forcing forcing() const {
+      return {sw, lwd, sens, lat, evap, rain, snow};
+    }
+  };
+
+  std::pair<int, int> a_land_cell() const {
+    for (int j = 0; j < grid.nlat(); ++j)
+      for (int i = 0; i < grid.nlon(); ++i)
+        if (mask(i, j) != 0 &&
+            types(i, j) != static_cast<int>(data::SoilType::kIceSheet))
+          return {i, j};
+    return {-1, -1};
+  }
+
+  numerics::GaussianGrid grid;
+  Field2D<int> mask;
+  Field2D<int> types;
+  LandModel model;
+};
+
+TEST(LandModel, BucketOverflowBecomesRunoff) {
+  LandWorld w;
+  auto [i, j] = w.a_land_cell();
+  ASSERT_GE(i, 0);
+  LandWorld::Fields f(24, 20);
+  // Balanced radiation so temperature stays put; heavy warm rain.
+  f.lwd.fill(340.0);
+  f.rain.fill(5.0e-3);  // ~430 mm/day deluge
+  for (int s = 0; s < 48; ++s) w.model.step(f.forcing(), 1800.0);
+  EXPECT_NEAR(w.model.bucket()(i, j), c::bucket_capacity_m, 1e-9);
+  EXPECT_GT(w.model.pending_runoff()(i, j), 0.0);
+  // Draining resets.
+  const Field2Dd r = w.model.drain_runoff();
+  EXPECT_GT(r(i, j), 0.0);
+  EXPECT_DOUBLE_EQ(w.model.pending_runoff()(i, j), 0.0);
+}
+
+TEST(LandModel, SnowCapFeedsRivers) {
+  LandWorld w;
+  auto [i, j] = w.a_land_cell();
+  LandWorld::Fields f(24, 20);
+  f.lwd.fill(150.0);       // cold sky: surface freezes
+  f.snow.fill(2.0e-3);     // heavy snowfall
+  for (int s = 0; s < 48 * 20; ++s) w.model.step(f.forcing(), 1800.0);
+  EXPECT_LE(w.model.snow_depth()(i, j), c::snow_cap_lwe_m + 1e-9);
+  EXPECT_GT(w.model.drain_runoff()(i, j), 0.0)
+      << "excess snow must drain to the river model";
+}
+
+TEST(LandModel, WetnessTracksBucket) {
+  LandWorld w;
+  auto [i, j] = w.a_land_cell();
+  LandWorld::Fields f(24, 20);
+  f.lwd.fill(340.0);
+  f.evap.fill(5.0e-5);  // strong drying
+  for (int s = 0; s < 48 * 2; ++s) w.model.step(f.forcing(), 1800.0);
+  const Field2Dd wet = w.model.wetness();
+  EXPECT_NEAR(wet(i, j), w.model.bucket()(i, j) / c::bucket_capacity_m,
+              1e-9);
+  EXPECT_LT(wet(i, j), 0.5);
+}
+
+TEST(LandModel, SnowRaisesAlbedo) {
+  LandWorld w;
+  auto [i, j] = w.a_land_cell();
+  const double bare = w.model.albedo()(i, j);
+  LandWorld::Fields f(24, 20);
+  f.lwd.fill(150.0);
+  f.snow.fill(2.0e-3);
+  for (int s = 0; s < 48; ++s) w.model.step(f.forcing(), 1800.0);
+  EXPECT_GT(w.model.albedo()(i, j), bare + 0.2);
+}
+
+TEST(LandModel, SurfaceWarmsUnderStrongSun) {
+  LandWorld w;
+  auto [i, j] = w.a_land_cell();
+  const double t0 = w.model.tsurf()(i, j);
+  LandWorld::Fields f(24, 20);
+  f.sw.fill(250.0);
+  f.lwd.fill(330.0);
+  for (int s = 0; s < 48; ++s) w.model.step(f.forcing(), 1800.0);
+  EXPECT_GT(w.model.tsurf()(i, j), t0);
+  EXPECT_LE(w.model.tsurf()(i, j), 340.0);  // guarded
+}
+
+TEST(LandModel, DeepLayerLagsSurface) {
+  LandWorld w;
+  auto [i, j] = w.a_land_cell();
+  LandWorld::Fields f(24, 20);
+  f.sw.fill(250.0);
+  f.lwd.fill(330.0);
+  for (int s = 0; s < 48; ++s) w.model.step(f.forcing(), 1800.0);
+  // One day of heating: the top layer leads the deep layer.
+  EXPECT_GT(w.model.soil_temperature(i, j, 0),
+            w.model.soil_temperature(i, j, 3));
+}
+
+TEST(LandModel, IceSheetWetnessIsOne) {
+  LandWorld w;
+  // Find an ice-sheet cell (Antarctica rows).
+  int ii = -1, jj = -1;
+  for (int j = 0; j < 20 && ii < 0; ++j)
+    for (int i = 0; i < 24 && ii < 0; ++i)
+      if (w.mask(i, j) != 0 &&
+          w.types(i, j) == static_cast<int>(data::SoilType::kIceSheet)) {
+        ii = i;
+        jj = j;
+      }
+  ASSERT_GE(ii, 0);
+  EXPECT_DOUBLE_EQ(w.model.wetness()(ii, jj), 1.0);
+}
+
+TEST(SoilProperties, FiveDistinctTypes) {
+  const auto& ice = soil_properties(data::SoilType::kIceSheet);
+  const auto& desert = soil_properties(data::SoilType::kDesert);
+  const auto& forest = soil_properties(data::SoilType::kForest);
+  EXPECT_GT(ice.albedo, desert.albedo);
+  EXPECT_GT(desert.albedo, forest.albedo);
+  EXPECT_GT(forest.roughness, desert.roughness);
+}
+
+}  // namespace
+}  // namespace foam::land

@@ -1,0 +1,121 @@
+#include "numerics/eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "base/error.hpp"
+
+namespace foam::numerics {
+namespace {
+
+TEST(Jacobi, DiagonalMatrix) {
+  const std::vector<double> m = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  const auto r = jacobi_eigensolver(m, 3);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 1.0, 1e-12);
+}
+
+TEST(Jacobi, Known2x2) {
+  // [[2,1],[1,2]] -> eigenvalues 3 and 1.
+  const std::vector<double> m = {2, 1, 1, 2};
+  const auto r = jacobi_eigensolver(m, 2);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-12);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(r.vectors[0][0], r.vectors[0][1], 1e-10);
+}
+
+TEST(Jacobi, RandomSymmetricSatisfiesAvEqualsLambdaV) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const int n = 12;
+  std::vector<double> m(n * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) {
+      const double v = dist(rng);
+      m[i * n + j] = v;
+      m[j * n + i] = v;
+    }
+  const auto r = jacobi_eigensolver(m, n);
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (int j = 0; j < n; ++j) av += m[i * n + j] * r.vectors[k][j];
+      EXPECT_NEAR(av, r.values[k] * r.vectors[k][i], 1e-9)
+          << "mode " << k << " row " << i;
+    }
+  }
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal) {
+  std::mt19937 rng(29);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const int n = 10;
+  std::vector<double> m(n * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) {
+      const double v = dist(rng);
+      m[i * n + j] = v;
+      m[j * n + i] = v;
+    }
+  const auto r = jacobi_eigensolver(m, n);
+  for (int k1 = 0; k1 < n; ++k1)
+    for (int k2 = 0; k2 < n; ++k2) {
+      double dot = 0.0;
+      for (int i = 0; i < n; ++i) dot += r.vectors[k1][i] * r.vectors[k2][i];
+      EXPECT_NEAR(dot, k1 == k2 ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(Jacobi, TraceAndSumOfEigenvalues) {
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  const int n = 8;
+  std::vector<double> m(n * n);
+  double trace = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = dist(rng);
+      m[i * n + j] = v;
+      m[j * n + i] = v;
+    }
+    trace += m[i * n + i];
+  }
+  const auto r = jacobi_eigensolver(m, n);
+  double sum = 0.0;
+  for (const double v : r.values) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-10);
+  for (int k = 1; k < n; ++k) EXPECT_LE(r.values[k], r.values[k - 1] + 1e-12);
+}
+
+TEST(Jacobi, ToleratesSlightAsymmetry) {
+  std::vector<double> m = {2, 1.0 + 1e-13, 1.0 - 1e-13, 2};
+  const auto r = jacobi_eigensolver(m, 2);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+}
+
+TEST(Jacobi, RankOneCovariance) {
+  // Covariance of a single pattern: one positive eigenvalue, rest ~0.
+  const int n = 6;
+  std::vector<double> u = {1, -2, 3, 0.5, -1, 2};
+  std::vector<double> m(n * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m[i * n + j] = u[i] * u[j];
+  const auto r = jacobi_eigensolver(m, n);
+  double norm2 = 0.0;
+  for (const double v : u) norm2 += v * v;
+  EXPECT_NEAR(r.values[0], norm2, 1e-9);
+  for (int k = 1; k < n; ++k) EXPECT_NEAR(r.values[k], 0.0, 1e-9);
+}
+
+TEST(Jacobi, RejectsBadSize) {
+  EXPECT_THROW(jacobi_eigensolver({1, 2, 3}, 2), Error);
+  EXPECT_THROW(jacobi_eigensolver({}, 0), Error);
+}
+
+}  // namespace
+}  // namespace foam::numerics

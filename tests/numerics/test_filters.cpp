@@ -1,0 +1,186 @@
+#include "numerics/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/constants.hpp"
+
+namespace foam::numerics {
+namespace {
+
+using constants::pi;
+
+Field2D<int> all_ocean(int nx, int ny) { return Field2D<int>(nx, ny, 1); }
+
+TEST(PolarFilter, IdentityEquatorwardOfCriticalLatitude) {
+  MercatorGrid grid(64, 64, 78.0);
+  PolarFourierFilter filter(grid, 60.0);
+  Field2Dd f(64, 64);
+  for (int j = 0; j < 64; ++j)
+    for (int i = 0; i < 64; ++i) f(i, j) = std::sin(0.7 * i) + 0.1 * j;
+  Field2Dd orig(f);
+  filter.apply(f);
+  for (int j = 0; j < 64; ++j) {
+    if (std::abs(grid.lat(j)) * 180.0 / pi < 59.0) {
+      for (int i = 0; i < 64; ++i)
+        EXPECT_NEAR(f(i, j), orig(i, j), 1e-12) << "j=" << j;
+    }
+  }
+}
+
+TEST(PolarFilter, PreservesZonalMean) {
+  MercatorGrid grid(64, 64, 78.0);
+  PolarFourierFilter filter(grid, 60.0);
+  Field2Dd f(64, 64);
+  for (int j = 0; j < 64; ++j)
+    for (int i = 0; i < 64; ++i) f(i, j) = 3.0 + std::cos(2.0 * pi * 13.0 * i / 64.0);
+  std::vector<double> mean_before(64, 0.0);
+  for (int j = 0; j < 64; ++j)
+    for (int i = 0; i < 64; ++i) mean_before[j] += f(i, j) / 64.0;
+  filter.apply(f);
+  for (int j = 0; j < 64; ++j) {
+    double mean = 0.0;
+    for (int i = 0; i < 64; ++i) mean += f(i, j) / 64.0;
+    EXPECT_NEAR(mean, mean_before[j], 1e-12) << "j=" << j;
+  }
+}
+
+TEST(PolarFilter, DampsHighWavenumbersNearPole) {
+  MercatorGrid grid(64, 64, 78.0);
+  PolarFourierFilter filter(grid, 60.0);
+  const int j_polar = 63;  // northernmost row
+  ASSERT_GT(std::abs(grid.lat(j_polar)) * 180.0 / pi, 70.0);
+  Field2Dd f(64, 64, 0.0);
+  const int m = 30;  // near-Nyquist zonal wave
+  for (int i = 0; i < 64; ++i)
+    f(i, j_polar) = std::cos(2.0 * pi * m * i / 64.0);
+  filter.apply(f);
+  double amp = 0.0;
+  for (int i = 0; i < 64; ++i) amp = std::max(amp, std::abs(f(i, j_polar)));
+  EXPECT_LT(amp, 0.5);  // strongly attenuated
+  EXPECT_GT(amp, 0.0);
+}
+
+TEST(PolarFilter, FactorProperties) {
+  MercatorGrid grid(128, 128, 78.0);
+  PolarFourierFilter filter(grid, 60.0);
+  for (int j = 0; j < 128; ++j) {
+    EXPECT_DOUBLE_EQ(filter.factor(0, j), 1.0);
+    double prev = 2.0;
+    for (int m = 1; m <= 64; ++m) {
+      const double fac = filter.factor(m, j);
+      EXPECT_LE(fac, 1.0);
+      EXPECT_GE(fac, 0.0);
+      EXPECT_LE(fac, prev + 1e-15);  // monotone non-increasing in m
+      prev = fac;
+    }
+  }
+}
+
+TEST(PolarFilter, NeverAmplifies) {
+  MercatorGrid grid(64, 64, 78.0);
+  PolarFourierFilter filter(grid, 55.0);
+  Field2Dd f(64, 64);
+  for (int j = 0; j < 64; ++j)
+    for (int i = 0; i < 64; ++i)
+      f(i, j) = std::sin(1.3 * i + 0.2 * j) + std::cos(2.9 * i);
+  const double max_before = f.max_abs();
+  filter.apply(f);
+  EXPECT_LE(f.max_abs(), max_before * (1.0 + 1e-12));
+}
+
+TEST(PolarFilter, MaskedApplyLeavesLandUntouched) {
+  MercatorGrid grid(64, 64, 78.0);
+  PolarFourierFilter filter(grid, 60.0);
+  Field2Dd f(64, 64);
+  Field2D<int> mask = all_ocean(64, 64);
+  for (int i = 20; i < 40; ++i) mask(i, 62) = 0;  // land strip near pole
+  for (int j = 0; j < 64; ++j)
+    for (int i = 0; i < 64; ++i) f(i, j) = std::sin(2.1 * i) + j;
+  Field2Dd orig(f);
+  filter.apply(f, mask);
+  for (int i = 20; i < 40; ++i)
+    EXPECT_DOUBLE_EQ(f(i, 62), orig(i, 62)) << "land i=" << i;
+}
+
+TEST(LaplacianMasked, ZeroForConstantField) {
+  MercatorGrid grid(32, 32, 70.0);
+  Field2Dd f(32, 32, 5.0);
+  Field2D<int> mask = all_ocean(32, 32);
+  Field2Dd lap;
+  laplacian_masked(grid, f, mask, lap);
+  EXPECT_NEAR(lap.max_abs(), 0.0, 1e-18);
+}
+
+TEST(LaplacianMasked, SignOfCurvature) {
+  MercatorGrid grid(32, 32, 70.0);
+  Field2Dd f(32, 32, 0.0);
+  Field2D<int> mask = all_ocean(32, 32);
+  f(16, 16) = 1.0;  // local maximum
+  Field2Dd lap;
+  laplacian_masked(grid, f, mask, lap);
+  EXPECT_LT(lap(16, 16), 0.0);
+  EXPECT_GT(lap(15, 16), 0.0);
+  EXPECT_GT(lap(16, 15), 0.0);
+}
+
+TEST(LaplacianMasked, NoFluxThroughLand) {
+  // Two meridional land walls split the periodic domain into two basins,
+  // each holding a different constant: with the no-flux closure the
+  // Laplacian must vanish everywhere — no diffusion through land.
+  MercatorGrid grid(16, 16, 70.0);
+  Field2D<int> mask = all_ocean(16, 16);
+  for (int j = 0; j < 16; ++j) {
+    mask(0, j) = 0;
+    mask(8, j) = 0;
+  }
+  Field2Dd f(16, 16);
+  for (int j = 0; j < 16; ++j)
+    for (int i = 0; i < 16; ++i) f(i, j) = (i < 8) ? 1.0 : 2.0;
+  Field2Dd lap;
+  laplacian_masked(grid, f, mask, lap);
+  EXPECT_NEAR(lap.max_abs(), 0.0, 1e-18);
+  for (int j = 0; j < 16; ++j) EXPECT_DOUBLE_EQ(lap(8, j), 0.0);
+}
+
+TEST(LaplacianMasked, PeriodicInLongitude) {
+  MercatorGrid grid(16, 8, 70.0);
+  Field2D<int> mask = all_ocean(16, 8);
+  Field2Dd f(16, 8, 0.0);
+  f(0, 4) = 1.0;
+  Field2Dd lap;
+  laplacian_masked(grid, f, mask, lap);
+  // The cell west of i=0 wraps to i=15: it must feel the bump.
+  EXPECT_GT(lap(15, 4), 0.0);
+  EXPECT_GT(lap(1, 4), 0.0);
+}
+
+TEST(Biharmonic, DampsExtremaOfNoise) {
+  MercatorGrid grid(32, 32, 70.0);
+  Field2D<int> mask = all_ocean(32, 32);
+  Field2Dd f(32, 32, 0.0);
+  // Checkerboard — the grid-scale mode del^4 dissipation exists to kill.
+  for (int j = 0; j < 32; ++j)
+    for (int i = 0; i < 32; ++i) f(i, j) = ((i + j) % 2 == 0) ? 1.0 : -1.0;
+  Field2Dd tend;
+  biharmonic_tendency(grid, f, mask, 1.0e15, tend);
+  // Tendency must oppose the checkerboard everywhere.
+  for (int j = 2; j < 30; ++j)
+    for (int i = 0; i < 32; ++i)
+      EXPECT_LT(tend(i, j) * f(i, j), 0.0) << i << "," << j;
+}
+
+TEST(Biharmonic, ZeroCoefficientGivesZeroTendency) {
+  MercatorGrid grid(16, 16, 70.0);
+  Field2D<int> mask = all_ocean(16, 16);
+  Field2Dd f(16, 16);
+  for (int j = 0; j < 16; ++j)
+    for (int i = 0; i < 16; ++i) f(i, j) = std::sin(0.5 * i * j);
+  Field2Dd tend;
+  biharmonic_tendency(grid, f, mask, 0.0, tend);
+  EXPECT_DOUBLE_EQ(tend.max_abs(), 0.0);
+}
+
+}  // namespace
+}  // namespace foam::numerics

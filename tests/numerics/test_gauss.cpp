@@ -1,0 +1,78 @@
+#include "numerics/gauss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "numerics/legendre.hpp"
+
+namespace foam::numerics {
+namespace {
+
+class GaussOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussOrders, WeightsSumToTwo) {
+  const auto g = gauss_legendre(GetParam());
+  double sum = 0.0;
+  for (const double w : g.weight) sum += w;
+  EXPECT_NEAR(sum, 2.0, 1e-13);
+}
+
+TEST_P(GaussOrders, NodesAscendingAndSymmetric) {
+  const int n = GetParam();
+  const auto g = gauss_legendre(n);
+  for (int i = 1; i < n; ++i) EXPECT_GT(g.mu[i], g.mu[i - 1]);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(g.mu[i], -g.mu[n - 1 - i], 1e-13);
+    EXPECT_NEAR(g.weight[i], g.weight[n - 1 - i], 1e-13);
+  }
+}
+
+TEST_P(GaussOrders, ExactForPolynomialsUpTo2nMinus1) {
+  const int n = GetParam();
+  const auto g = gauss_legendre(n);
+  // integral of x^p over [-1,1] = 0 (odd p) or 2/(p+1) (even p).
+  for (int p = 0; p <= 2 * n - 1; ++p) {
+    double quad = 0.0;
+    for (int i = 0; i < n; ++i) quad += g.weight[i] * std::pow(g.mu[i], p);
+    const double exact = (p % 2 == 0) ? 2.0 / (p + 1) : 0.0;
+    EXPECT_NEAR(quad, exact, 1e-11) << "n=" << n << " p=" << p;
+  }
+}
+
+TEST_P(GaussOrders, NodesAreLegendreRoots) {
+  const int n = GetParam();
+  const auto g = gauss_legendre(n);
+  for (const double x : g.mu) {
+    // Evaluate P_n by recurrence; should vanish at each node.
+    double p0 = 1.0, p1 = x;
+    for (int k = 2; k <= n; ++k) {
+      const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+      p0 = p1;
+      p1 = p2;
+    }
+    const double pn = (n == 0) ? 1.0 : (n == 1 ? x : p1);
+    EXPECT_NEAR(pn, 0.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussOrders,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 40, 64, 128));
+
+TEST(Gauss, R15LatitudeCount) {
+  // FOAM's atmosphere uses 40 Gaussian latitudes; spot-check the
+  // outermost node against the known value of the Legendre root.
+  const auto g = gauss_legendre(40);
+  EXPECT_EQ(g.mu.size(), 40u);
+  EXPECT_LT(g.mu.back(), 1.0);
+  EXPECT_GT(g.mu.back(), 0.99);  // ~87.X degrees
+}
+
+TEST(Gauss, RejectsNonPositive) {
+  EXPECT_THROW(gauss_legendre(0), Error);
+  EXPECT_THROW(gauss_legendre(-3), Error);
+}
+
+}  // namespace
+}  // namespace foam::numerics

@@ -1,0 +1,114 @@
+#include "numerics/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/constants.hpp"
+
+namespace foam::numerics {
+namespace {
+
+using constants::earth_radius;
+using constants::pi;
+
+TEST(GaussianGrid, R15Dimensions) {
+  GaussianGrid g(48, 40);
+  EXPECT_EQ(g.nlon(), 48);
+  EXPECT_EQ(g.nlat(), 40);
+  // Average spacing quoted in the paper: ~4.5 deg lat x 7.5 deg lon.
+  EXPECT_NEAR(360.0 / g.nlon(), 7.5, 1e-12);
+  EXPECT_NEAR(180.0 / g.nlat(), 4.5, 1e-12);
+}
+
+TEST(GaussianGrid, AreasSumToSphere) {
+  GaussianGrid g(48, 40);
+  const double sphere = 4.0 * pi * earth_radius * earth_radius;
+  EXPECT_NEAR(g.total_area() / sphere, 1.0, 1e-12);
+}
+
+TEST(GaussianGrid, CellAreaMatchesGaussWeight) {
+  // The Gaussian-weight partition makes cell area proportional to weight.
+  GaussianGrid g(48, 40);
+  const double dlon = 2.0 * pi / 48;
+  for (int j = 0; j < 40; ++j) {
+    const double expected =
+        earth_radius * earth_radius * dlon * g.gauss_weight(j);
+    EXPECT_NEAR(g.cell_area(j), expected, expected * 1e-9) << "j=" << j;
+  }
+}
+
+TEST(GaussianGrid, LatitudesAscendSymmetric) {
+  GaussianGrid g(48, 40);
+  for (int j = 1; j < 40; ++j) EXPECT_GT(g.lat(j), g.lat(j - 1));
+  for (int j = 0; j < 40; ++j)
+    EXPECT_NEAR(g.lat(j), -g.lat(39 - j), 1e-13);
+}
+
+TEST(GaussianGrid, EdgesBracketCenters) {
+  GaussianGrid g(48, 40);
+  for (int j = 0; j < 40; ++j) {
+    EXPECT_LT(g.lat_edge(j), g.lat(j));
+    EXPECT_GT(g.lat_edge(j + 1), g.lat(j));
+  }
+  EXPECT_DOUBLE_EQ(g.lat_edge(0), -pi / 2.0);
+  EXPECT_DOUBLE_EQ(g.lat_edge(40), pi / 2.0);
+}
+
+TEST(MercatorGrid, FoamResolution) {
+  MercatorGrid g(128, 128);
+  EXPECT_NEAR(360.0 / g.nlon(), 2.8, 0.02);
+  // Mean latitude spacing ~1.4 degrees (paper: "approximately 1.4 degrees
+  // latitude by 2.8 degrees longitude") over the conformal extent.
+  const double mean_dlat_deg =
+      (g.lat_edge(128) - g.lat_edge(0)) * 180.0 / pi / 128.0;
+  EXPECT_NEAR(mean_dlat_deg, 1.4, 0.15);
+  // Conformal extent reaches high latitudes so the Arctic exists (the polar
+  // filter keeps it stable).
+  EXPECT_GT(g.lat_edge(128) * 180.0 / pi, 80.0);
+}
+
+TEST(MercatorGrid, IsotropicCells) {
+  // The conformal default makes cells square: dx(j) ~ dy(j) at every row.
+  MercatorGrid g(128, 128);
+  for (int j = 0; j < 128; ++j)
+    EXPECT_NEAR(g.dx(j) / g.dy(j), 1.0, 0.01) << "j=" << j;
+}
+
+TEST(MercatorGrid, LatitudeRangeClipped) {
+  MercatorGrid g(128, 128, 78.0);
+  EXPECT_NEAR(g.lat_edge(0) * 180.0 / pi, -78.0, 1e-9);
+  EXPECT_NEAR(g.lat_edge(128) * 180.0 / pi, 78.0, 1e-9);
+  EXPECT_GT(g.lat(127), g.lat(0));
+}
+
+TEST(MercatorGrid, AreasMatchAnalyticBand) {
+  MercatorGrid g(128, 128, 78.0);
+  const double band = 2.0 * pi * earth_radius * earth_radius *
+                      (std::sin(78.0 * pi / 180.0) * 2.0);
+  EXPECT_NEAR(g.total_area() / band, 1.0, 1e-9);
+}
+
+TEST(MercatorGrid, SecLatConsistent) {
+  MercatorGrid g(64, 64);
+  for (int j = 0; j < 64; ++j)
+    EXPECT_NEAR(g.sec_lat(j) * std::cos(g.lat(j)), 1.0, 1e-12);
+}
+
+TEST(LatLonGrid, LongitudesUniformPeriodic) {
+  GaussianGrid g(48, 40);
+  EXPECT_DOUBLE_EQ(g.lon(0), 0.0);
+  const double dlon = 2.0 * pi / 48;
+  for (int i = 1; i < 48; ++i) EXPECT_NEAR(g.lon(i) - g.lon(i - 1), dlon, 1e-13);
+  EXPECT_NEAR(g.lon_edge(48) - g.lon_edge(0), 2.0 * pi, 1e-12);
+}
+
+TEST(Grids, RejectBadArguments) {
+  EXPECT_THROW(GaussianGrid(0, 40), Error);
+  EXPECT_THROW(GaussianGrid(48, 39), Error);  // odd nlat
+  EXPECT_THROW(MercatorGrid(128, 128, 95.0), Error);
+  EXPECT_THROW(MercatorGrid(128, 0), Error);
+}
+
+}  // namespace
+}  // namespace foam::numerics

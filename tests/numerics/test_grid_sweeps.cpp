@@ -1,0 +1,84 @@
+// Parameterized grid sweeps: the geometric invariants must hold at every
+// resolution, not just the FOAM production sizes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "base/constants.hpp"
+#include "numerics/grid.hpp"
+
+namespace foam::numerics {
+namespace {
+
+namespace c = foam::constants;
+
+class GaussianGridSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GaussianGridSweep, SphereAreaClosure) {
+  const auto [nlon, nlat] = GetParam();
+  GaussianGrid g(nlon, nlat);
+  const double sphere = 4.0 * c::pi * c::earth_radius * c::earth_radius;
+  EXPECT_NEAR(g.total_area() / sphere, 1.0, 1e-12);
+}
+
+TEST_P(GaussianGridSweep, WeightsPartitionOfUnity) {
+  const auto [nlon, nlat] = GetParam();
+  GaussianGrid g(nlon, nlat);
+  double sum = 0.0;
+  for (int j = 0; j < nlat; ++j) sum += g.gauss_weight(j);
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+  // Edges are strictly increasing and bracket centers.
+  for (int j = 0; j < nlat; ++j) {
+    EXPECT_LT(g.lat_edge(j), g.lat(j));
+    EXPECT_LT(g.lat(j), g.lat_edge(j + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, GaussianGridSweep,
+                         ::testing::Values(std::pair{24, 20},
+                                           std::pair{48, 40},
+                                           std::pair{96, 80},
+                                           std::pair{128, 64}));
+
+/// (nlon, nlat, lat_max or <=0 for conformal)
+using MercCase = std::tuple<int, int, double>;
+
+class MercatorGridSweep : public ::testing::TestWithParam<MercCase> {};
+
+TEST_P(MercatorGridSweep, BandAreaClosure) {
+  const auto [nlon, nlat, latmax] = GetParam();
+  MercatorGrid g(nlon, nlat, latmax);
+  const double top = g.lat_edge(nlat);
+  const double bot = g.lat_edge(0);
+  const double band = 2.0 * c::pi * c::earth_radius * c::earth_radius *
+                      (std::sin(top) - std::sin(bot));
+  EXPECT_NEAR(g.total_area() / band, 1.0, 1e-9);
+  EXPECT_NEAR(top, -bot, 1e-12);  // symmetric about the equator
+}
+
+TEST_P(MercatorGridSweep, MetricConsistency) {
+  const auto [nlon, nlat, latmax] = GetParam();
+  MercatorGrid g(nlon, nlat, latmax);
+  for (int j = 0; j < nlat; ++j) {
+    // dx = R cos(lat) dlon and the cell area ~ dx * dy at the centre
+    // (first-order in the cell size).
+    EXPECT_NEAR(g.dx(j),
+                c::earth_radius * std::cos(g.lat(j)) * c::two_pi / nlon,
+                1e-9);
+    EXPECT_NEAR(g.cell_area(j) / (g.dx(j) * g.dy(j)), 1.0, 0.02)
+        << "j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, MercatorGridSweep,
+                         ::testing::Values(MercCase{128, 128, 70.0},
+                                           MercCase{64, 64, 70.0},
+                                           MercCase{64, 64, 0.0},
+                                           MercCase{48, 48, 60.0},
+                                           MercCase{96, 48, 45.0}));
+
+}  // namespace
+}  // namespace foam::numerics

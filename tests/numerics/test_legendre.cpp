@@ -1,0 +1,101 @@
+#include "numerics/legendre.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/gauss.hpp"
+
+namespace foam::numerics {
+namespace {
+
+TEST(Legendre, LowOrderClosedForms) {
+  // Pbar normalized so that (1/2) * int Pbar^2 dmu = 1.
+  for (double mu : {-0.9, -0.3, 0.0, 0.5, 0.8}) {
+    EXPECT_NEAR(legendre_pbar(0, 0, mu), 1.0, 1e-14);
+    EXPECT_NEAR(legendre_pbar(1, 0, mu), std::sqrt(3.0) * mu, 1e-13);
+    EXPECT_NEAR(legendre_pbar(2, 0, mu),
+                std::sqrt(5.0) * 0.5 * (3.0 * mu * mu - 1.0), 1e-13);
+    EXPECT_NEAR(legendre_pbar(1, 1, mu),
+                std::sqrt(1.5) * std::sqrt(1.0 - mu * mu), 1e-13);
+  }
+}
+
+TEST(Legendre, OrthonormalUnderGaussianQuadrature) {
+  // (1/2) sum_j w_j Pbar_n^m Pbar_n'^m = delta_{nn'} exactly for Gaussian
+  // quadrature of sufficient order — the property the spectral transform
+  // relies on.
+  const int nlat = 40;
+  const auto g = gauss_legendre(nlat);
+  const int mmax = 15;
+  const int kmax = 16;
+  LegendreTable table(mmax, kmax, g.mu);
+  for (int m : {0, 1, 7, 15}) {
+    for (int k1 = 0; k1 < kmax; k1 += 3) {
+      for (int k2 = 0; k2 < kmax; k2 += 3) {
+        double acc = 0.0;
+        for (int j = 0; j < nlat; ++j)
+          acc += 0.5 * g.weight[j] * table.p(m, k1, j) * table.p(m, k2, j);
+        const double expected = (k1 == k2) ? 1.0 : 0.0;
+        EXPECT_NEAR(acc, expected, 1e-11)
+            << "m=" << m << " k1=" << k1 << " k2=" << k2;
+      }
+    }
+  }
+}
+
+TEST(Legendre, TableMatchesPointEvaluation) {
+  const auto g = gauss_legendre(12);
+  LegendreTable table(5, 6, g.mu);
+  for (int j = 0; j < 12; ++j)
+    for (int m = 0; m <= 5; ++m)
+      for (int k = 0; k < 6; ++k)
+        EXPECT_NEAR(table.p(m, k, j), legendre_pbar(m + k, m, g.mu[j]), 1e-12);
+}
+
+TEST(Legendre, DerivativeMatchesFiniteDifference) {
+  // h(m,k,j) = (1-mu^2) dPbar/dmu; check against central differences.
+  const std::vector<double> mus = {-0.7, -0.2, 0.1, 0.6, 0.85};
+  LegendreTable table(6, 7, mus);
+  const double eps = 1e-6;
+  for (std::size_t j = 0; j < mus.size(); ++j) {
+    const double mu = mus[j];
+    for (int m = 0; m <= 6; ++m) {
+      for (int k = 0; k < 7; ++k) {
+        const int n = m + k;
+        const double fd = (legendre_pbar(n, m, mu + eps) -
+                           legendre_pbar(n, m, mu - eps)) /
+                          (2.0 * eps);
+        const double expected = (1.0 - mu * mu) * fd;
+        EXPECT_NEAR(table.h(m, k, j), expected, 1e-6)
+            << "n=" << n << " m=" << m << " mu=" << mu;
+      }
+    }
+  }
+}
+
+TEST(Legendre, SectoralDecaysTowardPoles) {
+  // Pbar_m^m ~ (1-mu^2)^{m/2}: tiny near the poles for large m — the reason
+  // high zonal wavenumbers carry no polar weight and the transform stays
+  // stable without polar filtering on the Gaussian grid.
+  const double near_pole = legendre_pbar(15, 15, 0.995);
+  const double mid_lat = legendre_pbar(15, 15, 0.5);
+  EXPECT_LT(std::abs(near_pole), 1e-10);
+  EXPECT_GT(std::abs(mid_lat), 1e-4);
+}
+
+TEST(Legendre, ParityInMu) {
+  // Pbar_n^m(-mu) = (-1)^{n-m} Pbar_n^m(mu).
+  for (int m : {0, 2, 5}) {
+    for (int k : {0, 1, 2, 3}) {
+      const int n = m + k;
+      const double plus = legendre_pbar(n, m, 0.37);
+      const double minus = legendre_pbar(n, m, -0.37);
+      const double sign = ((n - m) % 2 == 0) ? 1.0 : -1.0;
+      EXPECT_NEAR(minus, sign * plus, 1e-13) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace foam::numerics

@@ -1,0 +1,95 @@
+// Parameterized sweeps over truncation/grid combinations: the spectral
+// transform's defining properties must hold at every resolution the code
+// accepts, not just R15.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <tuple>
+
+#include "numerics/spectral.hpp"
+
+namespace foam::numerics {
+namespace {
+
+using cplx = std::complex<double>;
+
+/// (mmax, nlon, nlat)
+using Truncation = std::tuple<int, int, int>;
+
+class SpectralTruncationSweep
+    : public ::testing::TestWithParam<Truncation> {};
+
+TEST_P(SpectralTruncationSweep, RoundTripIdentity) {
+  const auto [mmax, nlon, nlat] = GetParam();
+  GaussianGrid grid(nlon, nlat);
+  SpectralTransform st(grid, mmax);
+  std::mt19937 rng(mmax * 100 + nlon);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  SpectralField s(mmax, mmax + 1);
+  for (int m = 0; m <= mmax; ++m)
+    for (int k = 0; k < mmax + 1; ++k)
+      s.at(m, k) =
+          (m == 0) ? cplx(dist(rng), 0.0) : cplx(dist(rng), dist(rng));
+  const Field2Dd g = st.synthesize(s);
+  const SpectralField back = st.analyze(g);
+  for (int m = 0; m <= mmax; ++m)
+    for (int k = 0; k < mmax + 1; ++k)
+      EXPECT_NEAR(std::abs(back.at(m, k) - s.at(m, k)), 0.0, 1e-10)
+          << "R" << mmax << " m=" << m << " k=" << k;
+}
+
+TEST_P(SpectralTruncationSweep, ParsevalPower) {
+  const auto [mmax, nlon, nlat] = GetParam();
+  GaussianGrid grid(nlon, nlat);
+  SpectralTransform st(grid, mmax);
+  std::mt19937 rng(mmax * 17 + nlat);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  SpectralField s(mmax, mmax + 1);
+  for (int m = 0; m <= mmax; ++m)
+    for (int k = 0; k < mmax + 1; ++k)
+      s.at(m, k) =
+          (m == 0) ? cplx(dist(rng), 0.0) : cplx(dist(rng), dist(rng));
+  const Field2Dd g = st.synthesize(s);
+  double ms = 0.0;
+  for (int j = 0; j < nlat; ++j) {
+    double row = 0.0;
+    for (int i = 0; i < nlon; ++i) row += g(i, j) * g(i, j);
+    ms += 0.5 * grid.gauss_weight(j) * row / nlon;
+  }
+  EXPECT_NEAR(s.power(), ms, 1e-9 * std::max(1.0, ms));
+}
+
+TEST_P(SpectralTruncationSweep, VorticityIdentity) {
+  const auto [mmax, nlon, nlat] = GetParam();
+  GaussianGrid grid(nlon, nlat);
+  SpectralTransform st(grid, mmax);
+  std::mt19937 rng(mmax * 31 + 7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  SpectralField psi(mmax, mmax + 1);
+  for (int m = 0; m <= mmax; ++m)
+    for (int k = 0; k < mmax; ++k)  // leave degree headroom
+      psi.at(m, k) = 1e7 * ((m == 0) ? cplx(dist(rng), 0.0)
+                                     : cplx(dist(rng), dist(rng)));
+  SpectralField chi(mmax, mmax + 1);
+  Field2Dd U, V;
+  st.uv_from_psi_chi(psi, chi, U, V);
+  const SpectralField zeta = st.analyze_curl(U, V);
+  SpectralField expect(psi);
+  st.laplacian(expect);
+  for (int m = 0; m <= mmax; ++m)
+    for (int k = 0; k < mmax; ++k)
+      EXPECT_NEAR(std::abs(zeta.at(m, k) - expect.at(m, k)), 0.0, 1e-8)
+          << "R" << mmax;
+}
+
+INSTANTIATE_TEST_SUITE_P(Truncations, SpectralTruncationSweep,
+                         ::testing::Values(Truncation{7, 24, 20},
+                                           Truncation{10, 32, 28},
+                                           Truncation{15, 48, 40},
+                                           Truncation{15, 64, 54},
+                                           Truncation{21, 72, 56}));
+
+}  // namespace
+}  // namespace foam::numerics

@@ -1,0 +1,269 @@
+#include "ocean/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/earth.hpp"
+#include "base/constants.hpp"
+#include "ocean/vgrid.hpp"
+
+namespace foam::ocean {
+namespace {
+
+/// Shared small-world fixture: 48x48 conformal-clipped grid, 8 levels.
+struct SmallOcean {
+  SmallOcean()
+      : grid(48, 48, 60.0),
+        bathy(data::bathymetry(grid)),
+        cfg(OceanConfig::testing(48, 48, 8)) {}
+  numerics::MercatorGrid grid;
+  Field2Dd bathy;
+  OceanConfig cfg;
+};
+
+TEST(VerticalGrid, StretchedLevelsSumToDepth) {
+  VerticalGrid v(16, 25.0, 4800.0);
+  EXPECT_EQ(v.nz(), 16);
+  EXPECT_NEAR(v.z_bottom(15), 4800.0, 1e-6);
+  EXPECT_NEAR(v.dz(0), 25.0, 1e-9);
+  // Monotonically thickening with depth.
+  for (int k = 1; k < 16; ++k) EXPECT_GT(v.dz(k), v.dz(k - 1));
+  // Centers inside their layers.
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_LT(v.z_center(k), v.z_bottom(k));
+    if (k > 0) {
+      EXPECT_GT(v.z_center(k), v.z_bottom(k - 1));
+    }
+  }
+}
+
+TEST(VerticalGrid, WetLayers) {
+  VerticalGrid v(16, 25.0, 4800.0);
+  EXPECT_EQ(v.wet_layers(0.0), 0);
+  EXPECT_EQ(v.wet_layers(10.0), 1);  // any water gets a surface layer
+  EXPECT_EQ(v.wet_layers(4800.0), 16);
+  EXPECT_EQ(v.wet_layers(1.0e9), 16);
+  // Monotone in depth.
+  int prev = 0;
+  for (double d = 0.0; d < 6000.0; d += 50.0) {
+    const int n = v.wet_layers(d);
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(OceanModel, ConstructAndInit) {
+  SmallOcean w;
+  OceanModel m(w.cfg, w.grid, w.bathy);
+  m.init_climatology();
+  EXPECT_FALSE(has_non_finite(m.temperature()));
+  EXPECT_FALSE(has_non_finite(m.salinity()));
+  const auto d = m.diagnostics();
+  // Initial SST follows the analytic climatology: warm global mean.
+  EXPECT_GT(d.mean_sst, 5.0);
+  EXPECT_LT(d.mean_sst, 25.0);
+  // Thermal-wind init gives gentle currents, not a shock.
+  EXPECT_LT(d.max_speed, 1.0);
+}
+
+TEST(OceanModel, CflGuardRejectsBadConfigs) {
+  SmallOcean w;
+  OceanConfig bad = w.cfg;
+  bad.split_barotropic = false;
+  bad.slow_factor = 1.0;  // full-speed waves with a 1-hour step
+  EXPECT_THROW(OceanModel(bad, w.grid, w.bathy), Error);
+}
+
+TEST(OceanModel, TenDaysStableUnforced) {
+  SmallOcean w;
+  OceanModel m(w.cfg, w.grid, w.bathy);
+  m.init_climatology();
+  m.run_days(10.0);
+  EXPECT_FALSE(has_non_finite(m.temperature()));
+  EXPECT_FALSE(has_non_finite(m.eta()));
+  const auto d = m.diagnostics();
+  EXPECT_LT(d.max_speed, 3.0);
+  EXPECT_LT(d.max_eta, 20.0);
+  // Volume-mean temperature moves little without surface forcing.
+  EXPECT_NEAR(d.mean_temp_3d, 4.0, 3.0);
+}
+
+TEST(OceanModel, WindDrivesCirculation) {
+  SmallOcean w;
+  OceanModel m(w.cfg, w.grid, w.bathy);
+  m.init_climatology();
+  Field2Dd taux(48, 48, 0.3), tauy(48, 48, 0.0);  // strong westerly
+  m.set_wind_stress(taux, tauy);
+  m.run_days(5.0);
+  // Twin run without wind: the westerly must push the mean surface flow
+  // eastward relative to the calm twin.
+  OceanModel calm(w.cfg, w.grid, w.bathy);
+  calm.init_climatology();
+  calm.run_days(5.0);
+  double du = 0.0;
+  int n = 0;
+  for (int j = 0; j < 48; ++j)
+    for (int i = 0; i < 48; ++i)
+      if (m.levels()(i, j) > 0) {
+        du += m.u_total(i, j, 0) - calm.u_total(i, j, 0);
+        ++n;
+      }
+  EXPECT_GT(du / n, 0.005);
+  EXPECT_FALSE(has_non_finite(m.temperature()));
+}
+
+TEST(OceanModel, HeatFluxWarmsSurface) {
+  SmallOcean w;
+  OceanModel m(w.cfg, w.grid, w.bathy);
+  m.init_climatology();
+  Field2Dd q(48, 48, 100.0);  // uniform 100 W/m^2 in
+  m.set_heat_flux(q);
+  m.run_days(5.0);
+  // Twin run without heating isolates the flux response from the model's
+  // internal adjustment drift: 100 W/m^2 into a 25 m layer over 5 days is
+  // ~0.42 K.
+  OceanModel twin(w.cfg, w.grid, w.bathy);
+  twin.init_climatology();
+  twin.run_days(5.0);
+  const double dt_flux =
+      m.diagnostics().mean_sst - twin.diagnostics().mean_sst;
+  EXPECT_GT(dt_flux, 0.2);
+  EXPECT_LT(dt_flux, 0.8);
+}
+
+TEST(OceanModel, FreezeClampProducesFrazil) {
+  SmallOcean w;
+  OceanModel m(w.cfg, w.grid, w.bathy);
+  m.init_climatology();
+  Field2Dd q(48, 48, -600.0);  // strong cooling everywhere
+  m.set_heat_flux(q);
+  m.run_days(5.0);
+  const auto d = m.diagnostics();
+  EXPECT_GT(d.frazil_heat, 0.0);
+  // SST never falls below the clamp.
+  const Field2Dd sst = m.sst();
+  for (int j = 0; j < 48; ++j)
+    for (int i = 0; i < 48; ++i)
+      if (m.levels()(i, j) > 0) {
+        EXPECT_GE(sst(i, j), foam::constants::sea_ice_freeze_c - 1e-9);
+      }
+  Field2Dd frazil = m.drain_frazil();
+  EXPECT_GT(frazil.max(), 0.0);
+  // Draining resets the accumulator.
+  frazil = m.drain_frazil();
+  EXPECT_DOUBLE_EQ(frazil.max_abs(), 0.0);
+}
+
+TEST(OceanModel, FreshwaterRaisesEtaAndFreshens) {
+  SmallOcean w;
+  OceanModel m(w.cfg, w.grid, w.bathy);
+  m.init_climatology();
+  const double s0 = m.salinity()(24, 24, 0);
+  Field2Dd fw(48, 48, 1.0e-7);  // ~8.6 mm/day everywhere
+  m.set_freshwater_flux(fw);
+  m.run_days(5.0);
+  EXPECT_LT(m.salinity()(24, 24, 0), s0);
+  EXPECT_GT(m.eta().mean(), 0.0);
+}
+
+TEST(OceanModel, WorkCounterTracksConfiguration) {
+  SmallOcean w;
+  OceanModel full(w.cfg, w.grid, w.bathy);
+  full.init_climatology();
+  full.run_days(1.0);
+
+  OceanConfig cheap = w.cfg;
+  cheap.tracer_every = 4;  // fewer tracer steps -> less work
+  OceanModel lazy(cheap, w.grid, w.bathy);
+  lazy.init_climatology();
+  lazy.run_days(1.0);
+  EXPECT_GT(full.work_points(), lazy.work_points());
+}
+
+TEST(OceanModel, SplitFoamOceanCheaperThanConventional) {
+  // The ~10x formulation claim, in miniature: per simulated day the FOAM
+  // configuration performs far fewer grid-point updates than the
+  // conventional explicit free-surface configuration.
+  SmallOcean w;
+  OceanModel foam_ocean(w.cfg, w.grid, w.bathy);
+  foam_ocean.init_climatology();
+  foam_ocean.run_days(0.5);
+  const double foam_work = foam_ocean.work_points();
+
+  OceanConfig conv = OceanConfig::testing(48, 48, 8);
+  conv.split_barotropic = false;
+  conv.slow_factor = 1.0;
+  conv.tracer_every = 1;
+  conv.dt_mom = 60.0;
+  OceanModel baseline(conv, w.grid, w.bathy);
+  baseline.init_climatology();
+  baseline.run_days(0.5);
+  const double conv_work = baseline.work_points();
+  EXPECT_GT(conv_work / foam_work, 5.0)
+      << "conventional formulation should cost several times more";
+}
+
+TEST(OceanModel, ParallelMatchesSerialClosely) {
+  SmallOcean w;
+  OceanModel serial(w.cfg, w.grid, w.bathy);
+  serial.init_climatology();
+  for (int s = 0; s < 12; ++s) serial.step();
+  const auto ds = serial.diagnostics();
+
+  par::run(3, [&](par::Comm& comm) {
+    OceanModel m(w.cfg, w.grid, w.bathy, &comm);
+    m.init_climatology();
+    for (int s = 0; s < 12; ++s) m.step();
+    const auto dp = m.diagnostics();
+    // State evolution is halo-exchange only: decomposition must not change
+    // the answer beyond reduction rounding in the diagnostics.
+    EXPECT_NEAR(dp.mean_sst, ds.mean_sst, 1e-9);
+    EXPECT_NEAR(dp.mean_temp_3d, ds.mean_temp_3d, 1e-9);
+    EXPECT_NEAR(dp.mean_kinetic, ds.mean_kinetic,
+                1e-9 * std::max(1e-12, ds.mean_kinetic));
+    // Gathered SST matches the serial field.
+    const Field2Dd sst = m.gather(m.sst());
+    const Field2Dd ref = serial.sst();
+    double max_diff = 0.0;
+    for (int j = 0; j < 48; ++j)
+      for (int i = 0; i < 48; ++i)
+        max_diff = std::max(max_diff, std::abs(sst(i, j) - ref(i, j)));
+    EXPECT_LT(max_diff, 1e-12);
+  });
+}
+
+TEST(OceanModel, IceFractionScalesStress) {
+  SmallOcean w;
+  OceanModel no_ice(w.cfg, w.grid, w.bathy);
+  no_ice.init_climatology();
+  OceanModel iced(w.cfg, w.grid, w.bathy);
+  iced.init_climatology();
+  Field2Dd taux(48, 48, 0.1), tauy(48, 48, 0.0);
+  no_ice.set_wind_stress(taux, tauy);
+  iced.set_wind_stress(taux, tauy);
+  Field2Dd ice(48, 48, 1.0);
+  iced.set_ice_fraction(ice);
+  no_ice.run_days(2.0);
+  iced.run_days(2.0);
+  // Full ice cover divides the stress by 15: less wind-driven energy.
+  EXPECT_LT(iced.diagnostics().mean_kinetic,
+            no_ice.diagnostics().mean_kinetic);
+}
+
+TEST(OceanModel, AblationSwitchesRun) {
+  SmallOcean w;
+  for (auto mod : {0, 1, 2, 3}) {
+    OceanConfig c = w.cfg;
+    if (mod == 1) c.enable_horiz_adv = false;
+    if (mod == 2) c.enable_vert_adv = false;
+    if (mod == 3) c.enable_baroclinic_pg = false;
+    OceanModel m(c, w.grid, w.bathy);
+    m.init_climatology();
+    m.run_days(1.0);
+    EXPECT_FALSE(has_non_finite(m.temperature())) << "mod " << mod;
+  }
+}
+
+}  // namespace
+}  // namespace foam::ocean

@@ -1,0 +1,117 @@
+// Parameterized property sweeps over the ocean configuration space: every
+// combination of the paper's three speed techniques must run stably and
+// conserve what it should.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "data/earth.hpp"
+#include "ocean/model.hpp"
+
+namespace foam::ocean {
+namespace {
+
+struct SweepWorld {
+  SweepWorld() : grid(36, 36, 60.0), bathy(data::bathymetry(grid)) {}
+  numerics::MercatorGrid grid;
+  Field2Dd bathy;
+};
+
+SweepWorld& world() {
+  static SweepWorld w;
+  return w;
+}
+
+/// (slow_factor, split, tracer_every)
+using TechniqueCombo = std::tuple<double, bool, int>;
+
+class OceanTechniqueSweep
+    : public ::testing::TestWithParam<TechniqueCombo> {};
+
+TEST_P(OceanTechniqueSweep, StableAndBounded) {
+  const auto [slow, split, tracer_every] = GetParam();
+  OceanConfig cfg = OceanConfig::testing(36, 36, 6);
+  cfg.slow_factor = slow;
+  cfg.split_barotropic = split;
+  cfg.tracer_every = tracer_every;
+  if (!split) {
+    // Unsplit: the whole model must satisfy the external-wave CFL.
+    cfg.dt_mom = slow >= 100.0 ? 450.0 : 60.0;
+  } else if (slow < 100.0) {
+    cfg.nsub_baro = 64;  // faster waves need more subcycles
+  }
+  OceanModel m(cfg, world().grid, world().bathy);
+  m.init_climatology();
+  Field2Dd taux(36, 36), tauy(36, 36, 0.0);
+  for (int j = 0; j < 36; ++j)
+    for (int i = 0; i < 36; ++i)
+      taux(i, j) = analytic_zonal_stress(world().grid.lat(j));
+  m.set_wind_stress(taux, tauy);
+  m.run_days(2.0);
+  EXPECT_FALSE(has_non_finite(m.temperature()));
+  EXPECT_FALSE(has_non_finite(m.salinity()));
+  EXPECT_FALSE(has_non_finite(m.eta()));
+  const auto d = m.diagnostics();
+  EXPECT_LT(d.max_speed, 3.0);
+  EXPECT_GT(d.mean_sst, -2.0);
+  EXPECT_LT(d.mean_sst, 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TechniqueMatrix, OceanTechniqueSweep,
+    ::testing::Combine(::testing::Values(1.0, 100.0),
+                       ::testing::Bool(),
+                       ::testing::Values(1, 2, 4)));
+
+class OceanRiExponent : public ::testing::TestWithParam<double> {};
+
+TEST_P(OceanRiExponent, MixingSweepStable) {
+  // PP81 (exponent 2) vs the paper's steepened dependency (3) and beyond.
+  OceanConfig cfg = OceanConfig::testing(36, 36, 6);
+  cfg.ri_exponent = GetParam();
+  OceanModel m(cfg, world().grid, world().bathy);
+  m.init_climatology();
+  m.run_days(2.0);
+  EXPECT_FALSE(has_non_finite(m.temperature()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, OceanRiExponent,
+                         ::testing::Values(1.0, 2.0, 3.0, 4.0));
+
+TEST(OceanConservation, SaltConservedWithoutSurfaceFluxes) {
+  // No freshwater forcing: total salt content must be conserved through
+  // advection, diffusion, convection and filtering.
+  OceanConfig cfg = OceanConfig::testing(36, 36, 6);
+  OceanModel m(cfg, world().grid, world().bathy);
+  m.init_climatology();
+  const auto& vg = m.vgrid();
+  auto total_salt = [&]() {
+    double s = 0.0;
+    for (int j = 0; j < 36; ++j)
+      for (int i = 0; i < 36; ++i)
+        for (int k = 0; k < m.levels()(i, j); ++k)
+          s += m.salinity()(i, j, k) * world().grid.cell_area(j) * vg.dz(k);
+    return s;
+  };
+  const double s0 = total_salt();
+  m.run_days(3.0);
+  const double s1 = total_salt();
+  // Advection at coastlines and the polar filter are not exactly
+  // conservative; the drift must still be tiny.
+  EXPECT_NEAR(s1 / s0, 1.0, 5e-3);
+}
+
+TEST(OceanConservation, HeatDriftSmallUnforced) {
+  OceanConfig cfg = OceanConfig::testing(36, 36, 6);
+  OceanModel m(cfg, world().grid, world().bathy);
+  m.init_climatology();
+  const double t0 = m.diagnostics().mean_temp_3d;
+  m.run_days(3.0);
+  const double t1 = m.diagnostics().mean_temp_3d;
+  EXPECT_NEAR(t1 - t0, 0.0, 0.3);
+}
+
+}  // namespace
+}  // namespace foam::ocean

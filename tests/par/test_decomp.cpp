@@ -1,0 +1,102 @@
+#include "par/decomp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "base/error.hpp"
+
+namespace foam::par {
+namespace {
+
+TEST(BlockRange, CoversAllItemsExactlyOnce) {
+  for (int n : {1, 7, 40, 128}) {
+    for (int p : {1, 2, 3, 8, 16}) {
+      std::vector<int> hits(n, 0);
+      for (int r = 0; r < p; ++r) {
+        const Range rg = block_range(n, p, r);
+        for (int i = rg.lo; i < rg.hi; ++i) ++hits[i];
+      }
+      for (int i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << "n=" << n << " p=" << p << " i=" << i;
+    }
+  }
+}
+
+TEST(BlockRange, BalancedWithinOne) {
+  const int n = 40, p = 7;
+  int lo = n, hi = 0;
+  for (int r = 0; r < p; ++r) {
+    const int c = block_range(n, p, r).count();
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(BlockRange, MorePanksThanItems) {
+  // With 3 items on 5 ranks, two ranks get nothing.
+  int empty = 0;
+  for (int r = 0; r < 5; ++r)
+    if (block_range(3, 5, r).count() == 0) ++empty;
+  EXPECT_EQ(empty, 2);
+}
+
+TEST(BlockOwner, MatchesRanges) {
+  const int n = 29, p = 4;
+  for (int i = 0; i < n; ++i) {
+    const int r = block_owner(n, p, i);
+    EXPECT_TRUE(block_range(n, p, r).contains(i));
+  }
+}
+
+TEST(BlockCounts, SumsToN) {
+  const auto counts = block_counts(40, 16);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 40);
+}
+
+TEST(PairedLatitudes, EveryLatOwnedOnce) {
+  const int ny = 40;
+  for (int p : {1, 2, 4, 5, 10, 20}) {
+    const auto owned = paired_latitudes(ny, p);
+    std::set<int> seen;
+    for (const auto& lats : owned)
+      for (const int j : lats) EXPECT_TRUE(seen.insert(j).second);
+    EXPECT_EQ(static_cast<int>(seen.size()), ny);
+  }
+}
+
+TEST(PairedLatitudes, MirrorPairsStayTogether) {
+  const int ny = 40;
+  const auto owned = paired_latitudes(ny, 4);
+  for (const auto& lats : owned) {
+    const std::set<int> mine(lats.begin(), lats.end());
+    for (const int j : lats)
+      EXPECT_TRUE(mine.count(ny - 1 - j))
+          << "lat " << j << " without its mirror";
+  }
+}
+
+TEST(PairedLatitudes, BalancedWithinOnePair) {
+  // The paper's production counts: 8, 16 and 32 atmosphere ranks on the
+  // 40-latitude R15 grid.
+  for (int p : {8, 16, 3, 7}) {
+    const auto owned = paired_latitudes(40, p);
+    std::size_t lo = 40, hi = 0;
+    for (const auto& lats : owned) {
+      lo = std::min(lo, lats.size());
+      hi = std::max(hi, lats.size());
+    }
+    EXPECT_LE(hi - lo, 2u) << "p=" << p;  // one pair = two latitudes
+  }
+}
+
+TEST(PairedLatitudes, RejectsBadInputs) {
+  EXPECT_THROW(paired_latitudes(39, 1), Error);   // odd nlat
+  EXPECT_THROW(paired_latitudes(40, 21), Error);  // more ranks than pairs
+  EXPECT_THROW(paired_latitudes(40, 0), Error);
+}
+
+}  // namespace
+}  // namespace foam::par

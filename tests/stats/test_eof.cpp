@@ -1,0 +1,237 @@
+#include "stats/eof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+
+namespace foam::stats {
+namespace {
+
+using constants::two_pi;
+
+/// Build a two-mode synthetic dataset: two orthogonal spatial patterns with
+/// prescribed amplitude time series plus small noise.
+struct TwoModeData {
+  int ntime = 240;
+  int npoint = 50;
+  std::vector<double> data;
+  std::vector<double> pattern1, pattern2;
+  std::vector<double> pc1, pc2;
+
+  explicit TwoModeData(double noise = 0.01) {
+    pattern1.resize(npoint);
+    pattern2.resize(npoint);
+    for (int p = 0; p < npoint; ++p) {
+      pattern1[p] = std::sin(two_pi * (p + 0.5) / npoint);
+      pattern2[p] = std::cos(two_pi * 2.0 * (p + 0.5) / npoint);
+    }
+    pc1.resize(ntime);
+    pc2.resize(ntime);
+    std::mt19937 rng(5);
+    std::normal_distribution<double> eps(0.0, noise);
+    data.resize(static_cast<std::size_t>(ntime) * npoint);
+    for (int t = 0; t < ntime; ++t) {
+      pc1[t] = 3.0 * std::sin(two_pi * t / 80.0);
+      pc2[t] = 1.0 * std::cos(two_pi * t / 13.0);
+      for (int p = 0; p < npoint; ++p)
+        data[static_cast<std::size_t>(t) * npoint + p] =
+            pc1[t] * pattern1[p] + pc2[t] * pattern2[p] + eps(rng);
+    }
+    compute_anomalies(data, ntime, npoint);
+  }
+};
+
+double abs_correlation(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  return std::abs(correlation(a, b));
+}
+
+TEST(ComputeAnomalies, RemovesTimeMeanPerPoint) {
+  std::vector<double> d = {1, 10, 3, 20, 5, 30};  // 3 times x 2 points
+  compute_anomalies(d, 3, 2);
+  EXPECT_NEAR(d[0] + d[2] + d[4], 0.0, 1e-12);
+  EXPECT_NEAR(d[1] + d[3] + d[5], 0.0, 1e-12);
+}
+
+TEST(Eof, RecoversLeadingModeOfTwoModeData) {
+  TwoModeData td;
+  const auto r = eof_analysis(td.data, td.ntime, td.npoint, {}, 3);
+  ASSERT_GE(r.patterns.size(), 2u);
+  // Mode 1 carries variance ~ (3^2/2)*|p1|^2 vs mode 2 ~ (1^2/2)*|p2|^2.
+  EXPECT_GT(r.variance_fraction[0], r.variance_fraction[1]);
+  EXPECT_GT(r.variance_fraction[0], 0.7);
+  // The pattern correlates with the planted one (sign-free).
+  EXPECT_GT(abs_correlation(r.patterns[0], td.pattern1), 0.99);
+  EXPECT_GT(abs_correlation(r.patterns[1], td.pattern2), 0.99);
+  // And the PCs track the planted amplitudes.
+  EXPECT_GT(abs_correlation(r.pcs[0], td.pc1), 0.99);
+  EXPECT_GT(abs_correlation(r.pcs[1], td.pc2), 0.99);
+}
+
+TEST(Eof, VarianceFractionsSumBelowOne) {
+  TwoModeData td(0.3);
+  const auto r = eof_analysis(td.data, td.ntime, td.npoint, {}, 5);
+  double sum = 0.0;
+  for (const double v : r.variance_fraction) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_GT(sum, 0.9);  // two planted modes + weak noise
+}
+
+TEST(Eof, PatternsAreUnitNormAndOrthogonal) {
+  TwoModeData td;
+  const auto r = eof_analysis(td.data, td.ntime, td.npoint, {}, 2);
+  for (int k = 0; k < 2; ++k) {
+    double norm = 0.0;
+    for (const double v : r.patterns[k]) norm += v * v;
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+  }
+  double dot = 0.0;
+  for (int p = 0; p < td.npoint; ++p)
+    dot += r.patterns[0][p] * r.patterns[1][p];
+  EXPECT_NEAR(dot, 0.0, 1e-6);
+}
+
+TEST(Eof, SpatialPathMatchesTemporalPath) {
+  // Small problem exercised both ways: ntime > npoint triggers the spatial
+  // covariance branch; results must agree with the temporal branch applied
+  // to the transposed problem in explained variance.
+  TwoModeData td;
+  // Subsample points so npoint < ntime (spatial branch).
+  const int np = 20;
+  std::vector<double> small(static_cast<std::size_t>(td.ntime) * np);
+  for (int t = 0; t < td.ntime; ++t)
+    for (int p = 0; p < np; ++p)
+      small[static_cast<std::size_t>(t) * np + p] =
+          td.data[static_cast<std::size_t>(t) * td.npoint + p];
+  const auto r = eof_analysis(small, td.ntime, np, {}, 2);
+  EXPECT_GT(r.variance_fraction[0], 0.5);
+  // Reconstruction check: mode-sum approximates the data.
+  double num = 0.0, den = 0.0;
+  for (int t = 0; t < td.ntime; ++t)
+    for (int p = 0; p < np; ++p) {
+      const double recon = r.patterns[0][p] * r.pcs[0][t] +
+                           r.patterns[1][p] * r.pcs[1][t];
+      const double truth = small[static_cast<std::size_t>(t) * np + p];
+      num += (recon - truth) * (recon - truth);
+      den += truth * truth;
+    }
+  EXPECT_LT(num / den, 0.02);
+}
+
+TEST(Eof, WeightsChangeModeRanking) {
+  // Weight the mode-2 region strongly: with enough weighting mode 2's
+  // share of the weighted variance must increase.
+  TwoModeData td;
+  std::vector<double> w(td.npoint, 1.0);
+  const auto base = eof_analysis(td.data, td.ntime, td.npoint, w, 2);
+  for (int p = 0; p < td.npoint; ++p)
+    w[p] = 1.0 + 9.0 * std::abs(td.pattern2[p]);
+  const auto weighted = eof_analysis(td.data, td.ntime, td.npoint, w, 2);
+  EXPECT_LT(weighted.variance_fraction[0] - weighted.variance_fraction[1],
+            base.variance_fraction[0] - base.variance_fraction[1]);
+}
+
+TEST(Varimax, SeparatesMixedLocalizedPatterns) {
+  // Two disjoint "basins" oscillating independently: raw EOFs of equal-
+  // variance basins mix them (any rotation of the eigenvector pair is
+  // degenerate); VARIMAX must localize each factor onto one basin. This is
+  // the Figure 4 methodology in miniature.
+  const int ntime = 300, npoint = 40;
+  std::mt19937 rng(11);
+  std::normal_distribution<double> amp(0.0, 1.0), eps(0.0, 0.05);
+  std::vector<double> data(static_cast<std::size_t>(ntime) * npoint);
+  // AR(1) amplitudes so the series have structure.
+  double a1 = 0.0, a2 = 0.0;
+  std::vector<double> s1(ntime), s2(ntime);
+  for (int t = 0; t < ntime; ++t) {
+    a1 = 0.9 * a1 + amp(rng);
+    a2 = 0.9 * a2 + amp(rng);
+    s1[t] = a1;
+    s2[t] = a2;
+    for (int p = 0; p < npoint; ++p) {
+      double v = eps(rng);
+      if (p < 15) v += a1 * std::sin(constants::pi * (p + 0.5) / 15.0);
+      if (p >= 25) v += a2 * std::sin(constants::pi * (p - 24.5) / 15.0);
+      data[static_cast<std::size_t>(t) * npoint + p] = v;
+    }
+  }
+  compute_anomalies(data, ntime, npoint);
+  const auto eof = eof_analysis(data, ntime, npoint, {}, 4);
+  const auto rot = varimax(eof, 2);
+  ASSERT_EQ(rot.loadings.size(), 2u);
+  // Each rotated factor concentrates on one basin: energy ratio inside
+  // vs outside its dominant basin must be large.
+  for (int k = 0; k < 2; ++k) {
+    double e_basin1 = 0.0, e_basin2 = 0.0;
+    for (int p = 0; p < 15; ++p)
+      e_basin1 += rot.loadings[k][p] * rot.loadings[k][p];
+    for (int p = 25; p < npoint; ++p)
+      e_basin2 += rot.loadings[k][p] * rot.loadings[k][p];
+    const double ratio = std::max(e_basin1, e_basin2) /
+                         std::max(1e-12, std::min(e_basin1, e_basin2));
+    EXPECT_GT(ratio, 8.0) << "factor " << k << " not localized";
+  }
+  // Rotated scores recover the planted basin amplitudes.
+  const double c0 = std::max(abs_correlation(rot.scores[0], s1),
+                             abs_correlation(rot.scores[0], s2));
+  const double c1 = std::max(abs_correlation(rot.scores[1], s1),
+                             abs_correlation(rot.scores[1], s2));
+  EXPECT_GT(c0, 0.95);
+  EXPECT_GT(c1, 0.95);
+}
+
+TEST(Varimax, PreservesTotalExplainedVariance) {
+  TwoModeData td(0.2);
+  const auto eof = eof_analysis(td.data, td.ntime, td.npoint, {}, 3);
+  const auto rot = varimax(eof, 3);
+  const double before = eof.variance_fraction[0] +
+                        eof.variance_fraction[1] + eof.variance_fraction[2];
+  const double after = rot.variance_fraction[0] + rot.variance_fraction[1] +
+                       rot.variance_fraction[2];
+  EXPECT_NEAR(after, before, 1e-6);
+}
+
+TEST(Varimax, ReconstructionUnchangedByRotation) {
+  TwoModeData td(0.05);
+  const auto eof = eof_analysis(td.data, td.ntime, td.npoint, {}, 2);
+  const auto rot = varimax(eof, 2);
+  // loadings * scores must reconstruct as well as patterns * pcs.
+  double err = 0.0, den = 0.0;
+  for (int t = 0; t < td.ntime; ++t)
+    for (int p = 0; p < td.npoint; ++p) {
+      const double eof_recon = eof.patterns[0][p] * eof.pcs[0][t] +
+                               eof.patterns[1][p] * eof.pcs[1][t];
+      const double rot_recon = rot.loadings[0][p] * rot.scores[0][t] +
+                               rot.loadings[1][p] * rot.scores[1][t];
+      err += (eof_recon - rot_recon) * (eof_recon - rot_recon);
+      den += eof_recon * eof_recon;
+    }
+  EXPECT_LT(err / den, 1e-9);
+}
+
+TEST(Correlation, BasicProperties) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2, 4, 6, 8, 10};
+  std::vector<double> c = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(correlation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(a, c), -1.0, 1e-12);
+  const std::vector<double> flat = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(correlation(a, flat), 0.0);
+}
+
+TEST(Eof, RejectsBadArguments) {
+  std::vector<double> d(10, 1.0);
+  EXPECT_THROW(eof_analysis(d, 5, 2, {}, 5), Error);   // too many modes
+  EXPECT_THROW(eof_analysis(d, 5, 3, {}, 1), Error);   // size mismatch
+  EXPECT_THROW(eof_analysis(d, 5, 2, {1.0}, 1), Error);  // weight size
+}
+
+}  // namespace
+}  // namespace foam::stats

@@ -1,0 +1,96 @@
+// Property sweep: EOF reconstruction accuracy must improve monotonically
+// with retained modes, and retained variance must match reconstruction
+// quality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "stats/eof.hpp"
+
+namespace foam::stats {
+namespace {
+
+struct NoisyField {
+  int ntime = 120;
+  int npoint = 30;
+  std::vector<double> data;
+  explicit NoisyField(unsigned seed) {
+    std::mt19937 rng(seed);
+    std::normal_distribution<double> amp(0.0, 1.0);
+    data.resize(static_cast<std::size_t>(ntime) * npoint);
+    // Three planted modes with decaying amplitudes plus white noise.
+    std::vector<std::vector<double>> patterns(3,
+                                              std::vector<double>(npoint));
+    for (int p = 0; p < npoint; ++p) {
+      patterns[0][p] = std::sin(0.21 * p);
+      patterns[1][p] = std::cos(0.43 * p);
+      patterns[2][p] = std::sin(0.77 * p + 1.0);
+    }
+    for (int t = 0; t < ntime; ++t) {
+      const double a0 = 3.0 * std::sin(0.07 * t);
+      const double a1 = 1.5 * std::cos(0.19 * t);
+      const double a2 = 0.8 * std::sin(0.31 * t + 0.5);
+      for (int p = 0; p < npoint; ++p)
+        data[static_cast<std::size_t>(t) * npoint + p] =
+            a0 * patterns[0][p] + a1 * patterns[1][p] +
+            a2 * patterns[2][p] + 0.05 * amp(rng);
+    }
+    compute_anomalies(data, ntime, npoint);
+  }
+
+  double reconstruction_error(const EofResult& eof, int nmodes) const {
+    double num = 0.0, den = 0.0;
+    for (int t = 0; t < ntime; ++t)
+      for (int p = 0; p < npoint; ++p) {
+        double recon = 0.0;
+        for (int k = 0; k < nmodes; ++k)
+          recon += eof.patterns[k][p] * eof.pcs[k][t];
+        const double truth = data[static_cast<std::size_t>(t) * npoint + p];
+        num += (recon - truth) * (recon - truth);
+        den += truth * truth;
+      }
+    return num / den;
+  }
+};
+
+class EofModeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EofModeSweep, ReconstructionErrorMatchesUnexplainedVariance) {
+  const int nmodes = GetParam();
+  NoisyField f(42);
+  const auto eof = eof_analysis(f.data, f.ntime, f.npoint, {}, nmodes);
+  double explained = 0.0;
+  for (int k = 0; k < nmodes; ++k) explained += eof.variance_fraction[k];
+  const double err = f.reconstruction_error(eof, nmodes);
+  EXPECT_NEAR(err, 1.0 - explained, 0.02)
+      << "unexplained variance must equal reconstruction error";
+}
+
+INSTANTIATE_TEST_SUITE_P(ModeCounts, EofModeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(EofProperties, ErrorDecreasesWithModes) {
+  NoisyField f(7);
+  const auto eof = eof_analysis(f.data, f.ntime, f.npoint, {}, 8);
+  double prev = 1e9;
+  for (int nmodes = 1; nmodes <= 8; ++nmodes) {
+    const double err = f.reconstruction_error(eof, nmodes);
+    EXPECT_LE(err, prev + 1e-12) << "modes " << nmodes;
+    prev = err;
+  }
+  // Three planted modes: the first three carry nearly everything.
+  EXPECT_LT(f.reconstruction_error(eof, 3), 0.01);
+}
+
+TEST(EofProperties, VarianceFractionsDescending) {
+  NoisyField f(99);
+  const auto eof = eof_analysis(f.data, f.ntime, f.npoint, {}, 6);
+  for (std::size_t k = 1; k < eof.variance_fraction.size(); ++k)
+    EXPECT_LE(eof.variance_fraction[k],
+              eof.variance_fraction[k - 1] + 1e-12);
+}
+
+}  // namespace
+}  // namespace foam::stats

@@ -1,0 +1,129 @@
+#include "stats/lowpass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/constants.hpp"
+#include "base/error.hpp"
+
+namespace foam::stats {
+namespace {
+
+using constants::two_pi;
+
+TEST(Lanczos, WeightsNormalizedAndSymmetric) {
+  const auto w = lanczos_lowpass_weights(60.0, 60);
+  ASSERT_EQ(w.size(), 121u);
+  double sum = 0.0;
+  for (const double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (int k = 0; k < 60; ++k) EXPECT_NEAR(w[k], w[120 - k], 1e-14);
+  // Center tap is the largest.
+  for (const double v : w) EXPECT_LE(v, w[60] + 1e-15);
+}
+
+TEST(Lanczos, PassesConstant) {
+  std::vector<double> x(400, 2.5);
+  const auto y = lanczos_lowpass(x, 60.0);
+  ASSERT_FALSE(y.empty());
+  for (const double v : y) EXPECT_NEAR(v, 2.5, 1e-12);
+}
+
+TEST(Lanczos, PassesSlowOscillationDampsFast) {
+  // 240-sample period passes a 60-sample cutoff; 6-sample period dies.
+  const int n = 1000;
+  std::vector<double> slow(n), fast(n);
+  for (int t = 0; t < n; ++t) {
+    slow[t] = std::sin(two_pi * t / 240.0);
+    fast[t] = std::sin(two_pi * t / 6.0);
+  }
+  const auto ys = lanczos_lowpass(slow, 60.0);
+  const auto yf = lanczos_lowpass(fast, 60.0);
+  double amp_slow = 0.0, amp_fast = 0.0;
+  for (const double v : ys) amp_slow = std::max(amp_slow, std::abs(v));
+  for (const double v : yf) amp_fast = std::max(amp_fast, std::abs(v));
+  EXPECT_GT(amp_slow, 0.85);
+  EXPECT_LT(amp_fast, 0.05);
+}
+
+TEST(Lanczos, SixtyMonthFilterOnMonthlyData) {
+  // The Fig. 4 configuration: monthly samples, 60-month cutoff. A decadal
+  // (120-month) oscillation must survive, the annual cycle must not.
+  const int n = 12 * 80;  // 80 years monthly
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t)
+    x[t] = std::sin(two_pi * t / 120.0) + 2.0 * std::sin(two_pi * t / 12.0);
+  const auto y = lanczos_lowpass(x, 60.0);
+  // Correlate the output with the decadal component alone.
+  const int half = (static_cast<int>(x.size()) - static_cast<int>(y.size())) / 2;
+  double err = 0.0;
+  for (std::size_t t = 0; t < y.size(); ++t) {
+    const double want = std::sin(two_pi * (t + half) / 120.0);
+    err = std::max(err, std::abs(y[t] - want));
+  }
+  EXPECT_LT(err, 0.12);
+}
+
+TEST(ApplySymmetricFilter, OutputLengthShrinksByStencil) {
+  std::vector<double> x(100, 1.0);
+  const std::vector<double> w = {0.25, 0.5, 0.25};
+  const auto y = apply_symmetric_filter(x, w);
+  EXPECT_EQ(y.size(), 98u);
+}
+
+TEST(ApplySymmetricFilter, TooShortInputGivesEmpty) {
+  std::vector<double> x(5, 1.0);
+  const auto w = lanczos_lowpass_weights(10.0, 10);
+  EXPECT_TRUE(apply_symmetric_filter(x, w).empty());
+}
+
+TEST(ApplySymmetricFilter, EvenLengthFilterThrows) {
+  std::vector<double> x(10, 1.0);
+  EXPECT_THROW(apply_symmetric_filter(x, {0.5, 0.5}), Error);
+}
+
+TEST(Lanczos, RejectsSubNyquistCutoff) {
+  EXPECT_THROW(lanczos_lowpass_weights(1.5, 10), Error);
+  EXPECT_THROW(lanczos_lowpass_weights(60.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace foam::stats
+
+namespace foam::stats {
+namespace {
+
+TEST(Detrend, RemovesLineExactly) {
+  std::vector<double> x(50);
+  for (int t = 0; t < 50; ++t) x[t] = 3.0 + 0.25 * t;
+  detrend(x);
+  for (const double v : x) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(Detrend, PreservesOscillationAmplitude) {
+  std::vector<double> x(240);
+  for (int t = 0; t < 240; ++t)
+    x[t] = 5.0 - 0.1 * t + std::sin(constants::two_pi * t / 40.0);
+  detrend(x);
+  double amp = 0.0;
+  for (const double v : x) amp = std::max(amp, std::abs(v));
+  EXPECT_NEAR(amp, 1.0, 0.2);  // slight leakage from the finite record
+}
+
+TEST(DetrendColumns, IndependentPerColumn) {
+  // Two columns with different trends.
+  std::vector<double> d(10 * 2);
+  for (int t = 0; t < 10; ++t) {
+    d[t * 2 + 0] = 1.0 * t;
+    d[t * 2 + 1] = -2.0 * t + 7.0;
+  }
+  detrend_columns(d, 10, 2);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_NEAR(d[t * 2 + 0], 0.0, 1e-10);
+    EXPECT_NEAR(d[t * 2 + 1], 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace foam::stats

@@ -1,0 +1,87 @@
+#include "stats/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace foam::stats {
+namespace {
+
+TEST(RunningMoments, MatchesBatchStatistics) {
+  std::mt19937 rng(3);
+  std::normal_distribution<double> dist(5.0, 2.0);
+  RunningMoments rm;
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = dist(rng);
+    xs.push_back(x);
+    rm.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(rm.mean(), mean, 1e-10);
+  EXPECT_NEAR(rm.variance(), var, 1e-8);
+  EXPECT_EQ(rm.count(), 10000);
+}
+
+TEST(RunningMoments, DegenerateCases) {
+  RunningMoments rm;
+  EXPECT_DOUBLE_EQ(rm.variance(), 0.0);
+  rm.add(4.0);
+  EXPECT_DOUBLE_EQ(rm.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rm.variance(), 0.0);
+}
+
+TEST(RunningFieldMean, AveragesFields) {
+  RunningFieldMean rfm;
+  EXPECT_TRUE(rfm.empty());
+  Field2Dd a(2, 2, 1.0), b(2, 2, 3.0);
+  rfm.add(a);
+  rfm.add(b);
+  const Field2Dd m = rfm.mean();
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+  EXPECT_EQ(rfm.count(), 2);
+  rfm.reset();
+  EXPECT_TRUE(rfm.empty());
+}
+
+TEST(RunningFieldMean, MeanOfEmptyThrows) {
+  RunningFieldMean rfm;
+  EXPECT_THROW(rfm.mean(), Error);
+}
+
+TEST(AreaWeightedMean, UsesWeightsAndMask) {
+  Field2Dd f(2, 2);
+  f(0, 0) = 1.0;
+  f(1, 0) = 2.0;
+  f(0, 1) = 10.0;
+  f(1, 1) = 20.0;
+  Field2D<int> mask(2, 2, 1);
+  mask(1, 1) = 0;
+  const std::vector<double> area = {1.0, 3.0};
+  // mean = (1*1 + 1*2 + 3*10) / (1+1+3)
+  EXPECT_NEAR(area_weighted_mean(f, mask, area), 33.0 / 5.0, 1e-12);
+}
+
+TEST(AreaWeightedRmse, ZeroForIdenticalFields) {
+  Field2Dd a(3, 2, 2.0), b(3, 2, 2.0);
+  Field2D<int> mask(3, 2, 1);
+  const std::vector<double> area = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(area_weighted_rmse(a, b, mask, area), 0.0);
+  b(0, 0) = 4.0;
+  EXPECT_GT(area_weighted_rmse(a, b, mask, area), 0.0);
+}
+
+TEST(AreaWeightedMean, EmptyMaskThrows) {
+  Field2Dd f(2, 2, 1.0);
+  Field2D<int> mask(2, 2, 0);
+  const std::vector<double> area = {1.0, 1.0};
+  EXPECT_THROW(area_weighted_mean(f, mask, area), Error);
+}
+
+}  // namespace
+}  // namespace foam::stats
