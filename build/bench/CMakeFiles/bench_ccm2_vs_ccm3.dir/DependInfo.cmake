@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ccm2_vs_ccm3.cpp" "bench/CMakeFiles/bench_ccm2_vs_ccm3.dir/bench_ccm2_vs_ccm3.cpp.o" "gcc" "bench/CMakeFiles/bench_ccm2_vs_ccm3.dir/bench_ccm2_vs_ccm3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foam/CMakeFiles/foam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coupler/CMakeFiles/foam_coupler.dir/DependInfo.cmake"
+  "/root/repo/build/src/land/CMakeFiles/foam_land.dir/DependInfo.cmake"
+  "/root/repo/build/src/river/CMakeFiles/foam_river.dir/DependInfo.cmake"
+  "/root/repo/build/src/ice/CMakeFiles/foam_ice.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/foam_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocean/CMakeFiles/foam_ocean.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/foam_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/foam_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/foam_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/foam_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/foam_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

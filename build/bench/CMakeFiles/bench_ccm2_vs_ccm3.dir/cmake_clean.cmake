@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ccm2_vs_ccm3.dir/bench_ccm2_vs_ccm3.cpp.o"
+  "CMakeFiles/bench_ccm2_vs_ccm3.dir/bench_ccm2_vs_ccm3.cpp.o.d"
+  "bench_ccm2_vs_ccm3"
+  "bench_ccm2_vs_ccm3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ccm2_vs_ccm3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

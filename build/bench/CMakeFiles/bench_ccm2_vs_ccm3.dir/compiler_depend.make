@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ccm2_vs_ccm3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ccm2_vs_ccm3.
+# This may be replaced when dependencies are built.

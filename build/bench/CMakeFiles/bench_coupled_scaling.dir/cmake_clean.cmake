@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coupled_scaling.dir/bench_coupled_scaling.cpp.o"
+  "CMakeFiles/bench_coupled_scaling.dir/bench_coupled_scaling.cpp.o.d"
+  "bench_coupled_scaling"
+  "bench_coupled_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coupled_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ocean_ablation.dir/bench_ocean_ablation.cpp.o"
+  "CMakeFiles/bench_ocean_ablation.dir/bench_ocean_ablation.cpp.o.d"
+  "bench_ocean_ablation"
+  "bench_ocean_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ocean_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

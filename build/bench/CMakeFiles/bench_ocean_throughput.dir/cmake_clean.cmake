@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ocean_throughput.dir/bench_ocean_throughput.cpp.o"
+  "CMakeFiles/bench_ocean_throughput.dir/bench_ocean_throughput.cpp.o.d"
+  "bench_ocean_throughput"
+  "bench_ocean_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ocean_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

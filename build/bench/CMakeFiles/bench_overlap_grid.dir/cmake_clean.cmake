@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overlap_grid.dir/bench_overlap_grid.cpp.o"
+  "CMakeFiles/bench_overlap_grid.dir/bench_overlap_grid.cpp.o.d"
+  "bench_overlap_grid"
+  "bench_overlap_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlap_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sst_climatology.dir/bench_sst_climatology.cpp.o"
+  "CMakeFiles/bench_sst_climatology.dir/bench_sst_climatology.cpp.o.d"
+  "bench_sst_climatology"
+  "bench_sst_climatology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sst_climatology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sst_climatology.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_basin_eof.dir/bench_two_basin_eof.cpp.o"
+  "CMakeFiles/bench_two_basin_eof.dir/bench_two_basin_eof.cpp.o.d"
+  "bench_two_basin_eof"
+  "bench_two_basin_eof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_basin_eof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_century.dir/coupled_century.cpp.o"
+  "CMakeFiles/coupled_century.dir/coupled_century.cpp.o.d"
+  "coupled_century"
+  "coupled_century.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_century.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

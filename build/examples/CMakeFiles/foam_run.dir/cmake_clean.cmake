@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_run.dir/foam_run.cpp.o"
+  "CMakeFiles/foam_run.dir/foam_run.cpp.o.d"
+  "foam_run"
+  "foam_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

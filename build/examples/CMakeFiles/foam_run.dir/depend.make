@@ -1,0 +1,2 @@
+# Empty dependencies file for foam_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhouse_transient.dir/greenhouse_transient.cpp.o"
+  "CMakeFiles/greenhouse_transient.dir/greenhouse_transient.cpp.o.d"
+  "greenhouse_transient"
+  "greenhouse_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhouse_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

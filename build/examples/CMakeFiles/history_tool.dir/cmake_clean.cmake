@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_tool.dir/history_tool.cpp.o"
+  "CMakeFiles/history_tool.dir/history_tool.cpp.o.d"
+  "history_tool"
+  "history_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_spinup.dir/ocean_spinup.cpp.o"
+  "CMakeFiles/ocean_spinup.dir/ocean_spinup.cpp.o.d"
+  "ocean_spinup"
+  "ocean_spinup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_spinup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/river_basins.dir/river_basins.cpp.o"
+  "CMakeFiles/river_basins.dir/river_basins.cpp.o.d"
+  "river_basins"
+  "river_basins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/river_basins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

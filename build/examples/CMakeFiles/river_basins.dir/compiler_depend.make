@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for river_basins.
+# This may be replaced when dependencies are built.

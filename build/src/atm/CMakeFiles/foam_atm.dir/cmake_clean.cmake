@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_atm.dir/column.cpp.o"
+  "CMakeFiles/foam_atm.dir/column.cpp.o.d"
+  "CMakeFiles/foam_atm.dir/dynamics.cpp.o"
+  "CMakeFiles/foam_atm.dir/dynamics.cpp.o.d"
+  "CMakeFiles/foam_atm.dir/model.cpp.o"
+  "CMakeFiles/foam_atm.dir/model.cpp.o.d"
+  "libfoam_atm.a"
+  "libfoam_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

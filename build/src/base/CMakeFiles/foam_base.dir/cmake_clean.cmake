@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_base.dir/calendar.cpp.o"
+  "CMakeFiles/foam_base.dir/calendar.cpp.o.d"
+  "CMakeFiles/foam_base.dir/config.cpp.o"
+  "CMakeFiles/foam_base.dir/config.cpp.o.d"
+  "CMakeFiles/foam_base.dir/history.cpp.o"
+  "CMakeFiles/foam_base.dir/history.cpp.o.d"
+  "CMakeFiles/foam_base.dir/logging.cpp.o"
+  "CMakeFiles/foam_base.dir/logging.cpp.o.d"
+  "libfoam_base.a"
+  "libfoam_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

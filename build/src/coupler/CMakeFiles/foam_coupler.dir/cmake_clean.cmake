@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_coupler.dir/coupler.cpp.o"
+  "CMakeFiles/foam_coupler.dir/coupler.cpp.o.d"
+  "CMakeFiles/foam_coupler.dir/overlap.cpp.o"
+  "CMakeFiles/foam_coupler.dir/overlap.cpp.o.d"
+  "libfoam_coupler.a"
+  "libfoam_coupler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_coupler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

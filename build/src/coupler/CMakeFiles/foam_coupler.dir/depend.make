@@ -1,0 +1,2 @@
+# Empty dependencies file for foam_coupler.
+# This may be replaced when dependencies are built.

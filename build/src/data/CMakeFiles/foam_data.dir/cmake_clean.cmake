@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_data.dir/earth.cpp.o"
+  "CMakeFiles/foam_data.dir/earth.cpp.o.d"
+  "libfoam_data.a"
+  "libfoam_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

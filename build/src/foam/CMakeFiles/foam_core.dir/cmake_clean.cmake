@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_core.dir/coupled.cpp.o"
+  "CMakeFiles/foam_core.dir/coupled.cpp.o.d"
+  "CMakeFiles/foam_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/foam_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/foam_core.dir/run_config.cpp.o"
+  "CMakeFiles/foam_core.dir/run_config.cpp.o.d"
+  "libfoam_core.a"
+  "libfoam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

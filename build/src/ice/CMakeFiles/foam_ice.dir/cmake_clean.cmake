@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_ice.dir/sea_ice.cpp.o"
+  "CMakeFiles/foam_ice.dir/sea_ice.cpp.o.d"
+  "libfoam_ice.a"
+  "libfoam_ice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_ice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

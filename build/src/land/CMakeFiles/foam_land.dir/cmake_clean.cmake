@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_land.dir/soil.cpp.o"
+  "CMakeFiles/foam_land.dir/soil.cpp.o.d"
+  "libfoam_land.a"
+  "libfoam_land.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_land.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

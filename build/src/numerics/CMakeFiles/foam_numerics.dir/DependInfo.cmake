@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/eig.cpp" "src/numerics/CMakeFiles/foam_numerics.dir/eig.cpp.o" "gcc" "src/numerics/CMakeFiles/foam_numerics.dir/eig.cpp.o.d"
+  "/root/repo/src/numerics/fft.cpp" "src/numerics/CMakeFiles/foam_numerics.dir/fft.cpp.o" "gcc" "src/numerics/CMakeFiles/foam_numerics.dir/fft.cpp.o.d"
+  "/root/repo/src/numerics/filters.cpp" "src/numerics/CMakeFiles/foam_numerics.dir/filters.cpp.o" "gcc" "src/numerics/CMakeFiles/foam_numerics.dir/filters.cpp.o.d"
+  "/root/repo/src/numerics/gauss.cpp" "src/numerics/CMakeFiles/foam_numerics.dir/gauss.cpp.o" "gcc" "src/numerics/CMakeFiles/foam_numerics.dir/gauss.cpp.o.d"
+  "/root/repo/src/numerics/grid.cpp" "src/numerics/CMakeFiles/foam_numerics.dir/grid.cpp.o" "gcc" "src/numerics/CMakeFiles/foam_numerics.dir/grid.cpp.o.d"
+  "/root/repo/src/numerics/legendre.cpp" "src/numerics/CMakeFiles/foam_numerics.dir/legendre.cpp.o" "gcc" "src/numerics/CMakeFiles/foam_numerics.dir/legendre.cpp.o.d"
+  "/root/repo/src/numerics/spectral.cpp" "src/numerics/CMakeFiles/foam_numerics.dir/spectral.cpp.o" "gcc" "src/numerics/CMakeFiles/foam_numerics.dir/spectral.cpp.o.d"
+  "/root/repo/src/numerics/transpose_spectral.cpp" "src/numerics/CMakeFiles/foam_numerics.dir/transpose_spectral.cpp.o" "gcc" "src/numerics/CMakeFiles/foam_numerics.dir/transpose_spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/foam_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/foam_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_numerics.dir/eig.cpp.o"
+  "CMakeFiles/foam_numerics.dir/eig.cpp.o.d"
+  "CMakeFiles/foam_numerics.dir/fft.cpp.o"
+  "CMakeFiles/foam_numerics.dir/fft.cpp.o.d"
+  "CMakeFiles/foam_numerics.dir/filters.cpp.o"
+  "CMakeFiles/foam_numerics.dir/filters.cpp.o.d"
+  "CMakeFiles/foam_numerics.dir/gauss.cpp.o"
+  "CMakeFiles/foam_numerics.dir/gauss.cpp.o.d"
+  "CMakeFiles/foam_numerics.dir/grid.cpp.o"
+  "CMakeFiles/foam_numerics.dir/grid.cpp.o.d"
+  "CMakeFiles/foam_numerics.dir/legendre.cpp.o"
+  "CMakeFiles/foam_numerics.dir/legendre.cpp.o.d"
+  "CMakeFiles/foam_numerics.dir/spectral.cpp.o"
+  "CMakeFiles/foam_numerics.dir/spectral.cpp.o.d"
+  "CMakeFiles/foam_numerics.dir/transpose_spectral.cpp.o"
+  "CMakeFiles/foam_numerics.dir/transpose_spectral.cpp.o.d"
+  "libfoam_numerics.a"
+  "libfoam_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_ocean.dir/model.cpp.o"
+  "CMakeFiles/foam_ocean.dir/model.cpp.o.d"
+  "CMakeFiles/foam_ocean.dir/vgrid.cpp.o"
+  "CMakeFiles/foam_ocean.dir/vgrid.cpp.o.d"
+  "libfoam_ocean.a"
+  "libfoam_ocean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

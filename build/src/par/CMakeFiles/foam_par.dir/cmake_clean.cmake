@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_par.dir/comm.cpp.o"
+  "CMakeFiles/foam_par.dir/comm.cpp.o.d"
+  "CMakeFiles/foam_par.dir/decomp.cpp.o"
+  "CMakeFiles/foam_par.dir/decomp.cpp.o.d"
+  "CMakeFiles/foam_par.dir/timers.cpp.o"
+  "CMakeFiles/foam_par.dir/timers.cpp.o.d"
+  "libfoam_par.a"
+  "libfoam_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

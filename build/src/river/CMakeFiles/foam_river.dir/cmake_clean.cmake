@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_river.dir/river.cpp.o"
+  "CMakeFiles/foam_river.dir/river.cpp.o.d"
+  "libfoam_river.a"
+  "libfoam_river.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_river.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfoam_river.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for foam_river.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foam_stats.dir/eof.cpp.o"
+  "CMakeFiles/foam_stats.dir/eof.cpp.o.d"
+  "CMakeFiles/foam_stats.dir/lowpass.cpp.o"
+  "CMakeFiles/foam_stats.dir/lowpass.cpp.o.d"
+  "CMakeFiles/foam_stats.dir/moments.cpp.o"
+  "CMakeFiles/foam_stats.dir/moments.cpp.o.d"
+  "libfoam_stats.a"
+  "libfoam_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foam_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("par")
+subdirs("numerics")
+subdirs("stats")
+subdirs("data")
+subdirs("ocean")
+subdirs("atm")
+subdirs("land")
+subdirs("river")
+subdirs("ice")
+subdirs("coupler")
+subdirs("foam")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/atm/test_atm_model.cpp" "tests/atm/CMakeFiles/test_atm.dir/test_atm_model.cpp.o" "gcc" "tests/atm/CMakeFiles/test_atm.dir/test_atm_model.cpp.o.d"
+  "/root/repo/tests/atm/test_atm_sweeps.cpp" "tests/atm/CMakeFiles/test_atm.dir/test_atm_sweeps.cpp.o" "gcc" "tests/atm/CMakeFiles/test_atm.dir/test_atm_sweeps.cpp.o.d"
+  "/root/repo/tests/atm/test_column.cpp" "tests/atm/CMakeFiles/test_atm.dir/test_column.cpp.o" "gcc" "tests/atm/CMakeFiles/test_atm.dir/test_column.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atm/CMakeFiles/foam_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/foam_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/foam_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/foam_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/foam_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

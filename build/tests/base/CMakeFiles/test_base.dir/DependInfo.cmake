@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base/test_calendar.cpp" "tests/base/CMakeFiles/test_base.dir/test_calendar.cpp.o" "gcc" "tests/base/CMakeFiles/test_base.dir/test_calendar.cpp.o.d"
+  "/root/repo/tests/base/test_config.cpp" "tests/base/CMakeFiles/test_base.dir/test_config.cpp.o" "gcc" "tests/base/CMakeFiles/test_base.dir/test_config.cpp.o.d"
+  "/root/repo/tests/base/test_error.cpp" "tests/base/CMakeFiles/test_base.dir/test_error.cpp.o" "gcc" "tests/base/CMakeFiles/test_base.dir/test_error.cpp.o.d"
+  "/root/repo/tests/base/test_field.cpp" "tests/base/CMakeFiles/test_base.dir/test_field.cpp.o" "gcc" "tests/base/CMakeFiles/test_base.dir/test_field.cpp.o.d"
+  "/root/repo/tests/base/test_history.cpp" "tests/base/CMakeFiles/test_base.dir/test_history.cpp.o" "gcc" "tests/base/CMakeFiles/test_base.dir/test_history.cpp.o.d"
+  "/root/repo/tests/base/test_logging.cpp" "tests/base/CMakeFiles/test_base.dir/test_logging.cpp.o" "gcc" "tests/base/CMakeFiles/test_base.dir/test_logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/foam_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

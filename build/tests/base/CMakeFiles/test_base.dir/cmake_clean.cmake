@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/test_calendar.cpp.o"
+  "CMakeFiles/test_base.dir/test_calendar.cpp.o.d"
+  "CMakeFiles/test_base.dir/test_config.cpp.o"
+  "CMakeFiles/test_base.dir/test_config.cpp.o.d"
+  "CMakeFiles/test_base.dir/test_error.cpp.o"
+  "CMakeFiles/test_base.dir/test_error.cpp.o.d"
+  "CMakeFiles/test_base.dir/test_field.cpp.o"
+  "CMakeFiles/test_base.dir/test_field.cpp.o.d"
+  "CMakeFiles/test_base.dir/test_history.cpp.o"
+  "CMakeFiles/test_base.dir/test_history.cpp.o.d"
+  "CMakeFiles/test_base.dir/test_logging.cpp.o"
+  "CMakeFiles/test_base.dir/test_logging.cpp.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

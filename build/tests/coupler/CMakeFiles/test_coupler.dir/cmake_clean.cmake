@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupler.dir/test_coupler.cpp.o"
+  "CMakeFiles/test_coupler.dir/test_coupler.cpp.o.d"
+  "CMakeFiles/test_coupler.dir/test_overlap_sweeps.cpp.o"
+  "CMakeFiles/test_coupler.dir/test_overlap_sweeps.cpp.o.d"
+  "test_coupler"
+  "test_coupler.pdb"
+  "test_coupler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

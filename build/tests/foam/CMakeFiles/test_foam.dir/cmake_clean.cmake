@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_foam.dir/test_coupled.cpp.o"
+  "CMakeFiles/test_foam.dir/test_coupled.cpp.o.d"
+  "test_foam"
+  "test_foam.pdb"
+  "test_foam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_foam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ice.dir/test_ice.cpp.o"
+  "CMakeFiles/test_ice.dir/test_ice.cpp.o.d"
+  "test_ice"
+  "test_ice.pdb"
+  "test_ice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_land.dir/test_land.cpp.o"
+  "CMakeFiles/test_land.dir/test_land.cpp.o.d"
+  "test_land"
+  "test_land.pdb"
+  "test_land[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_land.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

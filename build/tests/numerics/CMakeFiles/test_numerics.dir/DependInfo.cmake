@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/numerics/test_eig.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_eig.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_eig.cpp.o.d"
+  "/root/repo/tests/numerics/test_fft.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_fft.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/numerics/test_fft_properties.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_fft_properties.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_fft_properties.cpp.o.d"
+  "/root/repo/tests/numerics/test_filters.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_filters.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_filters.cpp.o.d"
+  "/root/repo/tests/numerics/test_gauss.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_gauss.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_gauss.cpp.o.d"
+  "/root/repo/tests/numerics/test_grid.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_grid.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/numerics/test_grid_sweeps.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_grid_sweeps.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_grid_sweeps.cpp.o.d"
+  "/root/repo/tests/numerics/test_legendre.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_legendre.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_legendre.cpp.o.d"
+  "/root/repo/tests/numerics/test_spectral.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_spectral.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_spectral.cpp.o.d"
+  "/root/repo/tests/numerics/test_spectral_sweeps.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_spectral_sweeps.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_spectral_sweeps.cpp.o.d"
+  "/root/repo/tests/numerics/test_transpose_spectral.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_transpose_spectral.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_transpose_spectral.cpp.o.d"
+  "/root/repo/tests/numerics/test_tridiag.cpp" "tests/numerics/CMakeFiles/test_numerics.dir/test_tridiag.cpp.o" "gcc" "tests/numerics/CMakeFiles/test_numerics.dir/test_tridiag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/foam_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/foam_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/foam_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

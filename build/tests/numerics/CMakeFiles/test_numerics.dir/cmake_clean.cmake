@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics.dir/test_eig.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_eig.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_fft.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_fft.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_fft_properties.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_fft_properties.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_filters.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_filters.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_gauss.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_gauss.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_grid.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_grid.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_grid_sweeps.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_grid_sweeps.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_legendre.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_legendre.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_spectral.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_spectral.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_spectral_sweeps.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_spectral_sweeps.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_transpose_spectral.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_transpose_spectral.cpp.o.d"
+  "CMakeFiles/test_numerics.dir/test_tridiag.cpp.o"
+  "CMakeFiles/test_numerics.dir/test_tridiag.cpp.o.d"
+  "test_numerics"
+  "test_numerics.pdb"
+  "test_numerics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

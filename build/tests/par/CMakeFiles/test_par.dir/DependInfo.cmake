@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/par/test_comm.cpp" "tests/par/CMakeFiles/test_par.dir/test_comm.cpp.o" "gcc" "tests/par/CMakeFiles/test_par.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/par/test_decomp.cpp" "tests/par/CMakeFiles/test_par.dir/test_decomp.cpp.o" "gcc" "tests/par/CMakeFiles/test_par.dir/test_decomp.cpp.o.d"
+  "/root/repo/tests/par/test_timers.cpp" "tests/par/CMakeFiles/test_par.dir/test_timers.cpp.o" "gcc" "tests/par/CMakeFiles/test_par.dir/test_timers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/par/CMakeFiles/foam_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/foam_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par.dir/test_comm.cpp.o"
+  "CMakeFiles/test_par.dir/test_comm.cpp.o.d"
+  "CMakeFiles/test_par.dir/test_decomp.cpp.o"
+  "CMakeFiles/test_par.dir/test_decomp.cpp.o.d"
+  "CMakeFiles/test_par.dir/test_timers.cpp.o"
+  "CMakeFiles/test_par.dir/test_timers.cpp.o.d"
+  "test_par"
+  "test_par.pdb"
+  "test_par[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_river.dir/test_river.cpp.o"
+  "CMakeFiles/test_river.dir/test_river.cpp.o.d"
+  "test_river"
+  "test_river.pdb"
+  "test_river[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_river.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

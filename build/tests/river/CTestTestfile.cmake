@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/river
+# Build directory: /root/repo/build/tests/river
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/river/test_river[1]_include.cmake")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_eof.cpp" "tests/stats/CMakeFiles/test_stats.dir/test_eof.cpp.o" "gcc" "tests/stats/CMakeFiles/test_stats.dir/test_eof.cpp.o.d"
+  "/root/repo/tests/stats/test_eof_properties.cpp" "tests/stats/CMakeFiles/test_stats.dir/test_eof_properties.cpp.o" "gcc" "tests/stats/CMakeFiles/test_stats.dir/test_eof_properties.cpp.o.d"
+  "/root/repo/tests/stats/test_lowpass.cpp" "tests/stats/CMakeFiles/test_stats.dir/test_lowpass.cpp.o" "gcc" "tests/stats/CMakeFiles/test_stats.dir/test_lowpass.cpp.o.d"
+  "/root/repo/tests/stats/test_moments.cpp" "tests/stats/CMakeFiles/test_stats.dir/test_moments.cpp.o" "gcc" "tests/stats/CMakeFiles/test_stats.dir/test_moments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/foam_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/foam_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/foam_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/foam_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/test_eof.cpp.o"
+  "CMakeFiles/test_stats.dir/test_eof.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_eof_properties.cpp.o"
+  "CMakeFiles/test_stats.dir/test_eof_properties.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_lowpass.cpp.o"
+  "CMakeFiles/test_stats.dir/test_lowpass.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_moments.cpp.o"
+  "CMakeFiles/test_stats.dir/test_moments.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
