@@ -10,7 +10,9 @@
 // per-rank atmosphere work (the scaling quantity — ranks are threads
 // multiplexed over the host cores, so per-rank busy time is the
 // architecture-level result; wall-clock parallel speedup requires real
-// cores), idle fractions, and whether the ocean rank keeps up.
+// cores), idle fractions, and whether the ocean rank keeps up. Every
+// placement is run with both exchange modes so the blocking vs overlap
+// comm-wait on the lead atmosphere rank prints side by side.
 
 #include <cstdio>
 #include <vector>
@@ -20,7 +22,10 @@
 using namespace foam;
 
 int main(int argc, char** argv) {
-  const double days = argc > 1 ? std::atof(argv[1]) : 0.25;
+  // One simulated day = 4 coupling exchanges: enough for the overlapped
+  // reply (applied one exchange late) to actually hide under the following
+  // atmosphere intervals.
+  const double days = argc > 1 ? std::atof(argv[1]) : 1.0;
   std::printf("=== Coupled-model scaling (paper section 5) ===\n");
   FoamConfig cfg = FoamConfig::paper_default();
   cfg.atm.emulate_full_core_cost = true;
@@ -32,33 +37,42 @@ int main(int argc, char** argv) {
   };
   const std::vector<Placement> placements = {{1, 1}, {2, 1}, {4, 1}, {8, 1}};
 
-  std::printf("%-10s %10s %12s %14s %12s %10s\n", "placement", "wall [s]",
-              "speedup", "atm busy/rank", "ocean busy", "keeps up");
+  std::printf("%-10s %-8s %9s %10s %13s %11s %10s %8s\n", "placement",
+              "mode", "wall [s]", "speedup", "atm busy/rank", "ocean busy",
+              "atm wait", "keeps up");
   double busy1 = 0.0;
   for (const auto& p : placements) {
     const int world = p.atm + p.ocean;
-    double wall = 0.0, atm_busy = 0.0, ocean_busy = 0.0, speedup = 0.0;
-    par::run(world, [&](par::Comm& comm) {
-      const auto res = run_coupled_parallel(comm, p.atm, cfg, days);
-      if (comm.rank() != 0) return;
-      wall = res.wall_seconds;
-      speedup = res.speedup();
-      for (const auto& seg : res.timelines[0])
-        if (seg.region == par::Region::kAtmosphere)
-          atm_busy += seg.t1 - seg.t0;
-      for (const auto& seg : res.timelines[p.atm])
-        if (seg.region == par::Region::kOcean) ocean_busy += seg.t1 - seg.t0;
-    });
-    if (p.atm == 1) busy1 = atm_busy;
-    const double eff = busy1 > 0.0 ? busy1 / (atm_busy * p.atm) : 0.0;
-    std::printf("%2d atm+%d oc %10.1f %11.0fx %11.2fs %11.2fs %9s  "
-                "(work-scaling efficiency %.0f%%)\n",
-                p.atm, p.ocean, wall, speedup, atm_busy, ocean_busy,
-                ocean_busy <= atm_busy * 1.25 ? "yes" : "no", 100.0 * eff);
+    for (const bool overlap : {false, true}) {
+      double wall = 0.0, atm_busy = 0.0, ocean_busy = 0.0, speedup = 0.0,
+             atm_wait = 0.0;
+      par::run(world, [&](par::Comm& comm) {
+        ParallelRunOptions opts;
+        opts.n_atm = p.atm;
+        opts.overlap = overlap;
+        const auto res = run_coupled_parallel(comm, opts, cfg, days);
+        if (comm.rank() != 0) return;
+        wall = res.wall_seconds;
+        speedup = res.speedup();
+        atm_busy = res.region_seconds(0, par::Region::kAtmosphere);
+        ocean_busy = res.region_seconds(p.atm, par::Region::kOcean);
+        atm_wait = res.region_seconds(0, par::Region::kCommWait);
+      });
+      if (p.atm == 1 && !overlap) busy1 = atm_busy;
+      const double eff = busy1 > 0.0 ? busy1 / (atm_busy * p.atm) : 0.0;
+      std::printf("%2d atm+%d oc %-8s %9.1f %9.0fx %12.2fs %10.2fs %9.2fs "
+                  "%7s  (work-scaling efficiency %.0f%%)\n",
+                  p.atm, p.ocean, overlap ? "overlap" : "blocking", wall,
+                  speedup, atm_busy, ocean_busy, atm_wait,
+                  ocean_busy <= atm_busy * 1.25 ? "yes" : "no", 100.0 * eff);
+    }
   }
   std::printf("\npaper shape: near-linear atmosphere scaling while the\n"
               "atmosphere dominates; the single ocean rank stops keeping up\n"
               "once enough atmosphere ranks shrink the per-rank atm time\n"
-              "below the ocean's serial time.\n");
+              "below the ocean's serial time. The overlap rows show the\n"
+              "lead atmosphere rank's comm-wait (the blocking rows' ocean\n"
+              "stall) collapsing when the SST reply rides under the next\n"
+              "atmosphere interval.\n");
   return 0;
 }

@@ -214,8 +214,8 @@ void AtmosphereModel::update_thermal_jet(par::Comm* comm) {
   }
   if (comm != nullptr && comm->size() > 1) {
     std::vector<double> out(cfg_.nlat, 0.0);
-    comm->allreduce(tbar.data(), out.data(), cfg_.nlat,
-                    par::ReduceOp::kSum);
+    comm->allreduce(std::span<const double>(tbar),
+                    std::span<double>(out), par::ReduceOp::kSum);
     tbar.swap(out);
   }
   std::vector<double> ujet(cfg_.nlat);

@@ -13,11 +13,27 @@ namespace {
 constexpr int kTagForcing = 300;  // atm -> ocean forcing fields
 }  // namespace
 
+void FoamConfig::validate() const {
+  FOAM_REQUIRE(atm.dt > 0.0, "atm.dt must be positive, got " << atm.dt);
+  FOAM_REQUIRE(exchange_seconds > 0.0,
+               "exchange_seconds must be positive, got " << exchange_seconds);
+  FOAM_REQUIRE(ocean_accel > 0.0,
+               "ocean_accel must be positive, got " << ocean_accel);
+  const double steps = exchange_seconds / atm.dt;
+  const auto whole = static_cast<double>(std::llround(steps));
+  FOAM_REQUIRE(steps >= 1.0 - 1e-9 && std::abs(steps - whole) < 1e-9,
+               "exchange_seconds (" << exchange_seconds
+                                    << ") must be a whole multiple of the "
+                                       "atmosphere step ("
+                                    << atm.dt << ")");
+}
+
 CoupledFoam::CoupledFoam(const FoamConfig& cfg)
     : cfg_(cfg),
       ogrid_(cfg.ocean.nx, cfg.ocean.ny, ocean::OceanConfig::kStandardLatMax),
       bathy_(data::bathymetry(ogrid_)),
       omask_(data::ocean_mask(ogrid_)) {
+  cfg_.validate();
   atm_ = std::make_unique<atm::AtmosphereModel>(cfg_.atm);
   ocean_ = std::make_unique<ocean::OceanModel>(cfg_.ocean, ogrid_, bathy_);
   // The ocean model may bury boundary rows; use its mask.
@@ -115,8 +131,11 @@ void recv_field(par::Comm& comm, int src, Field2Dd& f) {
 
 }  // namespace
 
-ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
+ParallelRunResult run_coupled_parallel(par::Comm& world,
+                                       const ParallelRunOptions& opts,
                                        const FoamConfig& cfg, double days) {
+  cfg.validate();
+  const int n_atm = opts.n_atm;
   FOAM_REQUIRE(n_atm >= 1 && n_atm < world.size(),
                "n_atm=" << n_atm << " of " << world.size());
   const int n_ocean = world.size() - n_atm;
@@ -171,6 +190,28 @@ ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
       atm.set_surface(sfc);
     }
 
+    // In-flight SST/frazil reply (rank 0, overlap mode): the receive is
+    // posted right after the forcing send and completed just before the
+    // *next* forcing computation, so the ocean call runs concurrently with
+    // the next atmosphere interval.
+    bool reply_pending = false;
+    std::vector<double> sst_buf, frazil_buf;
+    par::Request sst_req, frazil_req;
+    const auto wait_reply = [&]() {
+      if (!reply_pending) return;
+      rec.begin(par::Region::kCommWait);
+      world.wait(sst_req);
+      world.wait(frazil_req);
+      rec.end();
+      FOAM_REQUIRE(sst_buf.size() == sst_o.size() &&
+                       frazil_buf.size() == frazil_o.size(),
+                   "field size mismatch in exchange");
+      std::copy(sst_buf.begin(), sst_buf.end(), sst_o.vec().begin());
+      std::copy(frazil_buf.begin(), frazil_buf.end(),
+                frazil_o.vec().begin());
+      reply_pending = false;
+    };
+
     ModelTime now;
     for (std::int64_t ex = 0; ex < n_exchanges; ++ex) {
       for (std::int64_t s = 0; s < exchange_steps; ++s) {
@@ -191,29 +232,40 @@ ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
         // Reduce the row-decomposed accumulations to rank 0 (each rank
         // contributed only its rows; others are zero).
         std::vector<double> out(f->size());
-        sub->reduce(f->data(), out.data(), f->size(), par::ReduceOp::kSum,
-                    0);
+        sub->reduce(std::span<const double>(f->data(), f->size()),
+                    std::span<double>(out), par::ReduceOp::kSum, 0);
         if (sub->rank() == 0) std::copy(out.begin(), out.end(), f->data());
       }
+      rec.end();
       if (world.rank() == 0) {
+        // The forcing uses the newest SST the ocean has delivered: with
+        // overlap on, that is the reply launched at the previous exchange,
+        // completed here — by now usually already arrived, so the wait is
+        // short (the whole point of the overlap).
+        wait_reply();
+        rec.begin(par::Region::kCoupler);
         coupler->step_land(mean, cfg.exchange_seconds);
         const auto forcing = coupler->make_ocean_forcing(
             mean, sst_o, frazil_o, cfg.exchange_seconds);
-        // Ship forcing to the ocean lead rank.
+        // Ship forcing to the ocean lead rank (buffered sends).
         send_field(world, n_atm, forcing.taux);
         send_field(world, n_atm, forcing.tauy);
         send_field(world, n_atm, forcing.qnet);
         send_field(world, n_atm, forcing.fw);
         send_field(world, n_atm, coupler->ice_fraction_o());
+        rec.end();
+        if (opts.overlap) {
+          sst_req = world.irecv_vec(n_atm, kTagForcing, sst_buf);
+          frazil_req = world.irecv_vec(n_atm, kTagForcing, frazil_buf);
+          reply_pending = true;
+        } else {
+          // Blocking exchange: sit out the whole ocean call here.
+          rec.begin(par::Region::kCommWait);
+          recv_field(world, n_atm, sst_o);
+          recv_field(world, n_atm, frazil_o);
+          rec.end();
+        }
       }
-      rec.end();
-      // Receive the ocean state produced for this interval.
-      rec.begin(par::Region::kIdle);
-      if (world.rank() == 0) {
-        recv_field(world, n_atm, sst_o);
-        recv_field(world, n_atm, frazil_o);
-      }
-      rec.end();
       rec.begin(world.rank() == 0 ? par::Region::kCoupler
                                   : par::Region::kIdle);
       atm::SurfaceFields sfc(cfg.atm.nlon, cfg.atm.nlat);
@@ -231,6 +283,9 @@ ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
       atm.reset_flux_accumulation();
       rec.end();
     }
+    // Drain the reply still in flight after the last interval so the
+    // ocean's sends are all consumed before the timeline gather.
+    if (world.rank() == 0) wait_reply();
   } else {
     // Ocean ranks.
     ocean::OceanModel ocn(cfg.ocean, ogrid, bathy, sub.get());
@@ -238,7 +293,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
     Field2Dd taux(ogrid.nlon(), ogrid.nlat(), 0.0), tauy(taux), qnet(taux),
         fw(taux), icef(taux);
     for (std::int64_t ex = 0; ex < n_exchanges; ++ex) {
-      rec.begin(par::Region::kIdle);
+      rec.begin(par::Region::kCommWait);
       if (sub->rank() == 0 && world.rank() == n_atm) {
         recv_field(world, 0, taux);
         recv_field(world, 0, tauy);
@@ -246,7 +301,9 @@ ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
         recv_field(world, 0, fw);
         recv_field(world, 0, icef);
       }
+      rec.end();
       // Share forcing across ocean ranks.
+      rec.begin(par::Region::kIdle);
       for (Field2Dd* f : {&taux, &tauy, &qnet, &fw, &icef})
         sub->bcast_bytes(f->data(), f->size() * sizeof(double), 0);
       rec.end();
@@ -270,6 +327,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
   result.wall_seconds = wall.seconds();
   result.simulated_seconds =
       static_cast<double>(n_exchanges) * cfg.exchange_seconds;
+  if (!opts.capture_timelines) return result;
   // Gather timelines from every rank to everyone.
   const std::vector<double> mine = rec.serialize();
   std::vector<int> counts(world.size(), 0);

@@ -15,7 +15,14 @@
 ///  * run_coupled_parallel — SPMD over a foam::par world, with the ocean on
 ///    its own rank(s) and the coupler co-resident with the atmosphere
 ///    ranks, instrumented with per-rank activity timelines (Fig. 2 and the
-///    scaling "table").
+///    scaling "table"). The flux exchange runs either blocking (the
+///    atmosphere waits out the ocean call) or with comm/compute overlap
+///    (ParallelRunOptions::overlap): the forcing send and the SST-reply
+///    receive are posted nonblocking and the atmosphere steps the next
+///    interval while the ocean integrates — the reply is applied one
+///    exchange late (standard lagged/asynchronous coupling), trading a
+///    6-hour SST lag for the ocean call disappearing from the critical
+///    path.
 
 #include <functional>
 #include <memory>
@@ -49,6 +56,12 @@ struct FoamConfig {
     c.ocean = ocean::OceanConfig::testing(48, 48, 8);
     return c;
   }
+
+  /// Throws foam::Error unless the coupling parameters are consistent:
+  /// positive atmosphere step, exchange interval and ocean acceleration,
+  /// and an exchange interval that is a whole number of atmosphere steps.
+  /// Called by both drivers before any rank starts stepping.
+  void validate() const;
 };
 
 /// Single-process coupled model.
@@ -102,16 +115,51 @@ struct ParallelRunResult {
   double speedup() const {
     return wall_seconds > 0.0 ? simulated_seconds / wall_seconds : 0.0;
   }
-  /// Per-world-rank activity timelines (atmosphere/coupler/ocean/idle).
+  /// Per-world-rank activity timelines (atmosphere/coupler/ocean/idle/
+  /// comm-wait); empty when ParallelRunOptions::capture_timelines is off.
   std::vector<std::vector<par::Segment>> timelines;
+
+  /// Seconds world rank \p rank spent in region \p r (0 without timelines).
+  double region_seconds(int rank, par::Region r) const {
+    if (rank < 0 || rank >= static_cast<int>(timelines.size())) return 0.0;
+    double sum = 0.0;
+    for (const par::Segment& seg : timelines[rank])
+      if (seg.region == r) sum += seg.t1 - seg.t0;
+    return sum;
+  }
 };
 
-/// Run the coupled model SPMD on \p world with the first \p n_atm ranks
-/// hosting the atmosphere + coupler and the remaining ranks the ocean
-/// (paper §5: e.g. 17 nodes = 16 atmosphere + 1 ocean). Must be called by
-/// every rank of the communicator. The result (with gathered timelines) is
-/// returned on every rank.
-ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
+/// Options for run_coupled_parallel; every rank of the world communicator
+/// must pass the same values.
+struct ParallelRunOptions {
+  /// The first n_atm ranks host the atmosphere + coupler, the remaining
+  /// ranks the ocean (paper §5: e.g. 17 nodes = 16 atmosphere + 1 ocean).
+  int n_atm = 1;
+  /// Overlap the flux exchange with atmosphere computation (see the file
+  /// comment): nonblocking forcing send + SST-reply receive, reply applied
+  /// one exchange interval late. Off = blocking exchange, the reply is
+  /// waited for inside the exchange (the paper's Fig. 2 idle band).
+  bool overlap = false;
+  /// Gather per-rank activity timelines into ParallelRunResult::timelines.
+  bool capture_timelines = true;
+};
+
+/// Run the coupled model SPMD on \p world. Must be called by every rank of
+/// the communicator with identical \p opts. The result (with gathered
+/// timelines, if enabled) is returned on every rank.
+ParallelRunResult run_coupled_parallel(par::Comm& world,
+                                       const ParallelRunOptions& opts,
                                        const FoamConfig& cfg, double days);
+
+/// Deprecated positional spelling; forwards to the options overload with
+/// the blocking exchange and timeline capture on (the historic behaviour).
+[[deprecated("pass ParallelRunOptions instead of a positional n_atm")]]
+inline ParallelRunResult run_coupled_parallel(par::Comm& world, int n_atm,
+                                              const FoamConfig& cfg,
+                                              double days) {
+  ParallelRunOptions opts;
+  opts.n_atm = n_atm;
+  return run_coupled_parallel(world, opts, cfg, days);
+}
 
 }  // namespace foam

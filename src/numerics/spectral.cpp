@@ -225,7 +225,8 @@ void ParSpectralTransform::allreduce_spectral(par::Comm& comm,
   const double* raw = reinterpret_cast<const double*>(s.data());
   std::copy(raw, raw + n, buf.begin());
   std::vector<double> out(n);
-  comm.allreduce(buf.data(), out.data(), n, par::ReduceOp::kSum);
+  comm.allreduce(std::span<const double>(buf), std::span<double>(out),
+                 par::ReduceOp::kSum);
   double* dst = reinterpret_cast<double*>(s.data());
   std::copy(out.begin(), out.end(), dst);
 }

@@ -8,10 +8,19 @@ namespace foam::numerics {
 
 using cplx = std::complex<double>;
 
+namespace {
+// User tags for the two transpose directions. Messages are matched FIFO per
+// (comm, source, tag), so distinct tags keep an analyze immediately followed
+// by a synthesize from ever pairing blocks across the two exchanges.
+constexpr int kTagForward = 290;
+constexpr int kTagInverse = 291;
+}  // namespace
+
 TransposeSpectralTransform::TransposeSpectralTransform(
     const SpectralTransform& serial, std::vector<int> my_lats,
-    par::Comm& comm)
-    : serial_(serial), my_lats_(std::move(my_lats)), nranks_(comm.size()) {
+    par::Comm& comm, bool overlap)
+    : serial_(serial), my_lats_(std::move(my_lats)), nranks_(comm.size()),
+      overlap_(overlap) {
   const int nlat = serial_.grid().nlat();
   const int nm = serial_.mmax() + 1;
   FOAM_REQUIRE(nranks_ <= nm,
@@ -45,6 +54,48 @@ TransposeSpectralTransform::TransposeSpectralTransform(
                  "my_lats must be the contiguous block rows");
 }
 
+void TransposeSpectralTransform::exchange_blocks(
+    par::Comm& comm, int tag, std::size_t block,
+    const std::function<void(int, double*)>& pack,
+    const std::function<void(int, const double*)>& unpack) const {
+  const int me = comm.rank();
+  if (!overlap_) {
+    // Blocking reference path: full pack, one alltoall, full unpack.
+    std::vector<double> send(block * nranks_, 0.0);
+    for (int dst = 0; dst < nranks_; ++dst)
+      pack(dst, send.data() + block * dst);
+    std::vector<double> recv(block * nranks_, 0.0);
+    comm.alltoall(send.data(), recv.data(), block);
+    for (int src = 0; src < nranks_; ++src)
+      unpack(src, recv.data() + block * src);
+    return;
+  }
+  // Overlap path: post every receive up front, launch each outgoing block
+  // the moment it is packed (isend is buffered, so one scratch buffer is
+  // reused), handle the self block locally, then unpack remote blocks in
+  // whatever order they complete while the rest are still in flight.
+  std::vector<std::vector<double>> rbufs(nranks_);
+  std::vector<par::Request> rreqs(nranks_);
+  for (int src = 0; src < nranks_; ++src) {
+    if (src == me) continue;
+    rbufs[src].resize(block);
+    rreqs[src] = comm.irecv_bytes(src, tag, rbufs[src].data(),
+                                  block * sizeof(double));
+  }
+  std::vector<double> scratch(block);
+  for (int dst = 0; dst < nranks_; ++dst) {
+    if (dst == me) continue;
+    std::fill(scratch.begin(), scratch.end(), 0.0);
+    pack(dst, scratch.data());
+    comm.isend_bytes(dst, tag, scratch.data(), block * sizeof(double));
+  }
+  std::fill(scratch.begin(), scratch.end(), 0.0);
+  pack(me, scratch.data());
+  unpack(me, scratch.data());
+  for (int src; (src = comm.waitany(rreqs)) != -1;)
+    unpack(src, rbufs[src].data());
+}
+
 std::vector<std::vector<cplx>> TransposeSpectralTransform::forward_transpose(
     par::Comm& comm,
     const std::vector<std::vector<cplx>>& fm_rows) const {
@@ -53,35 +104,31 @@ std::vector<std::vector<cplx>> TransposeSpectralTransform::forward_transpose(
   // Equal-size padded blocks: per destination rank, my rows x its m's.
   const std::size_t block =
       static_cast<std::size_t>(max_lats_per_rank_) * max_ms_per_rank_ * 2;
-  std::vector<double> send(block * nranks_, 0.0);
-  for (int dst = 0; dst < nranks_; ++dst) {
-    double* out = send.data() + block * dst;
-    for (std::size_t row = 0; row < my_lats_.size(); ++row) {
-      for (int m = m_lo_of_[dst]; m < m_hi_of_[dst]; ++m) {
-        const std::size_t slot =
-            (row * max_ms_per_rank_ + (m - m_lo_of_[dst])) * 2;
-        out[slot] = fm_rows[row][m].real();
-        out[slot + 1] = fm_rows[row][m].imag();
-      }
-    }
-  }
-  std::vector<double> recv(block * nranks_, 0.0);
-  comm.alltoall(send.data(), recv.data(), block);
-  // Assemble owned-m columns over all latitudes.
   std::vector<std::vector<cplx>> columns(
       m_hi_ - m_lo_, std::vector<cplx>(nlat, cplx(0.0, 0.0)));
-  for (int src = 0; src < nranks_; ++src) {
-    const par::Range lr = par::block_range(nlat, nranks_, src);
-    const double* in = recv.data() + block * src;
-    for (int j = lr.lo; j < lr.hi; ++j) {
-      const std::size_t row = j - lr.lo;
-      for (int m = m_lo_; m < m_hi_; ++m) {
-        const std::size_t slot =
-            (row * max_ms_per_rank_ + (m - m_lo_)) * 2;
-        columns[m - m_lo_][j] = cplx(in[slot], in[slot + 1]);
-      }
-    }
-  }
+  exchange_blocks(
+      comm, kTagForward, block,
+      [&](int dst, double* out) {
+        for (std::size_t row = 0; row < my_lats_.size(); ++row) {
+          for (int m = m_lo_of_[dst]; m < m_hi_of_[dst]; ++m) {
+            const std::size_t slot =
+                (row * max_ms_per_rank_ + (m - m_lo_of_[dst])) * 2;
+            out[slot] = fm_rows[row][m].real();
+            out[slot + 1] = fm_rows[row][m].imag();
+          }
+        }
+      },
+      [&](int src, const double* in) {
+        const par::Range lr = par::block_range(nlat, nranks_, src);
+        for (int j = lr.lo; j < lr.hi; ++j) {
+          const std::size_t row = j - lr.lo;
+          for (int m = m_lo_; m < m_hi_; ++m) {
+            const std::size_t slot =
+                (row * max_ms_per_rank_ + (m - m_lo_)) * 2;
+            columns[m - m_lo_][j] = cplx(in[slot], in[slot + 1]);
+          }
+        }
+      });
   return columns;
 }
 
@@ -143,38 +190,38 @@ void TransposeSpectralTransform::synthesize(par::Comm& comm,
         acc += s.at(m, k) * serial_.table_.p(m, k, j);
       columns[m - m_lo_][j] = acc;
     }
-  // Inverse transpose: send to each rank its latitudes of my m-columns.
+  // Inverse transpose: send to each rank its latitudes of my m-columns;
+  // each arriving block fills its m-slice of the full Fourier rows.
   const std::size_t block =
       static_cast<std::size_t>(max_lats_per_rank_) * max_ms_per_rank_ * 2;
-  std::vector<double> send(block * nranks_, 0.0);
-  for (int dst = 0; dst < nranks_; ++dst) {
-    const par::Range lr = par::block_range(nlat, nranks_, dst);
-    double* out = send.data() + block * dst;
-    for (int j = lr.lo; j < lr.hi; ++j) {
-      const std::size_t row = j - lr.lo;
-      for (int m = m_lo_; m < m_hi_; ++m) {
-        const std::size_t slot =
-            (row * max_ms_per_rank_ + (m - m_lo_)) * 2;
-        out[slot] = columns[m - m_lo_][j].real();
-        out[slot + 1] = columns[m - m_lo_][j].imag();
-      }
-    }
-  }
-  std::vector<double> recv(block * nranks_, 0.0);
-  comm.alltoall(send.data(), recv.data(), block);
-  // Assemble full Fourier rows for my latitudes, inverse FFT into f.
-  for (std::size_t row = 0; row < my_lats_.size(); ++row) {
-    std::vector<cplx> fm(nm, cplx(0.0, 0.0));
-    for (int src = 0; src < nranks_; ++src) {
-      const double* in = recv.data() + block * src;
-      for (int m = m_lo_of_[src]; m < m_hi_of_[src]; ++m) {
-        const std::size_t slot =
-            (row * max_ms_per_rank_ + (m - m_lo_of_[src])) * 2;
-        fm[m] = cplx(in[slot], in[slot + 1]);
-      }
-    }
-    serial_.inv_fourier_row(fm, f, my_lats_[row]);
-  }
+  std::vector<std::vector<cplx>> fm(my_lats_.size(),
+                                    std::vector<cplx>(nm, cplx(0.0, 0.0)));
+  exchange_blocks(
+      comm, kTagInverse, block,
+      [&](int dst, double* out) {
+        const par::Range lr = par::block_range(nlat, nranks_, dst);
+        for (int j = lr.lo; j < lr.hi; ++j) {
+          const std::size_t row = j - lr.lo;
+          for (int m = m_lo_; m < m_hi_; ++m) {
+            const std::size_t slot =
+                (row * max_ms_per_rank_ + (m - m_lo_)) * 2;
+            out[slot] = columns[m - m_lo_][j].real();
+            out[slot + 1] = columns[m - m_lo_][j].imag();
+          }
+        }
+      },
+      [&](int src, const double* in) {
+        for (std::size_t row = 0; row < my_lats_.size(); ++row) {
+          for (int m = m_lo_of_[src]; m < m_hi_of_[src]; ++m) {
+            const std::size_t slot =
+                (row * max_ms_per_rank_ + (m - m_lo_of_[src])) * 2;
+            fm[row][m] = cplx(in[slot], in[slot + 1]);
+          }
+        }
+      });
+  // Latitude-local inverse FFTs into the rank's rows of f.
+  for (std::size_t row = 0; row < my_lats_.size(); ++row)
+    serial_.inv_fourier_row(fm[row], f, my_lats_[row]);
 }
 
 }  // namespace foam::numerics

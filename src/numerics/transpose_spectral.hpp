@@ -17,7 +17,17 @@
 /// The two variants produce identical results; they trade collective
 /// bandwidth (transpose) against reduction latency (distributed sum) — the
 /// choice that mattered on the paper's SP2.
+///
+/// The transpose itself runs in one of two modes (toggleable per instance,
+/// identical results):
+///  * blocking — a plain Comm::alltoall: every block is packed before any
+///    is sent, and nothing unpacks until every block has arrived;
+///  * overlap (default) — all receives are pre-posted (Comm::irecv), each
+///    outgoing block is launched (Comm::isend) as soon as it is packed so
+///    packing overlaps transmission, and arrived blocks are unpacked in
+///    completion order (Comm::waitany) while the rest are still in flight.
 
+#include <functional>
 #include <vector>
 
 #include "numerics/spectral.hpp"
@@ -29,12 +39,19 @@ class TransposeSpectralTransform {
   /// \p my_lats must be the rows owned by this rank under the same
   /// decomposition on every rank of \p comm (sizes may differ by one).
   /// Wavenumbers m in [0, mmax] are block-distributed over ranks.
+  /// \p overlap selects the nonblocking comm/compute-overlap exchange
+  /// (results are identical either way; see the file comment).
   TransposeSpectralTransform(const SpectralTransform& serial,
-                             std::vector<int> my_lats, par::Comm& comm);
+                             std::vector<int> my_lats, par::Comm& comm,
+                             bool overlap = true);
 
   /// Zonal wavenumbers owned by this rank, [m_lo, m_hi).
   int m_lo() const { return m_lo_; }
   int m_hi() const { return m_hi_; }
+
+  /// Toggle the overlap exchange (for A/B timing; results are identical).
+  void set_overlap(bool overlap) { overlap_ = overlap; }
+  bool overlap() const { return overlap_; }
 
   /// Grid -> spectral with the transpose data flow; every rank returns the
   /// full spectral field (the trailing allgather; a production dycore
@@ -56,9 +73,21 @@ class TransposeSpectralTransform {
       const std::vector<std::vector<std::complex<double>>>& fm_rows) const;
 
  private:
+  /// Exchange equal-size padded blocks with every rank (self included):
+  /// pack(dst, out) fills the zero-initialized outgoing block for \p dst,
+  /// unpack(src, in) consumes the block arrived from \p src. Runs the
+  /// pre-posted irecv / pack-and-isend / unpack-on-completion pipeline when
+  /// overlap_ is set, a plain alltoall otherwise — same data layout, same
+  /// results.
+  void exchange_blocks(
+      par::Comm& comm, int tag, std::size_t block,
+      const std::function<void(int, double*)>& pack,
+      const std::function<void(int, const double*)>& unpack) const;
+
   const SpectralTransform& serial_;
   std::vector<int> my_lats_;
   int nranks_;
+  bool overlap_ = true;
   int m_lo_ = 0;
   int m_hi_ = 0;
   std::vector<int> lat_owner_;    // owning rank of each latitude row

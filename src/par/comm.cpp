@@ -23,13 +23,68 @@ void check_abort() {
     throw Error("parallel run aborted by failure on another rank");
 }
 
+int local_of(const std::vector<int>& members, int g) {
+  for (std::size_t r = 0; r < members.size(); ++r)
+    if (members[r] == g) return static_cast<int>(r);
+  FOAM_REQUIRE(false, "global rank " << g << " not in communicator");
+  return -1;
+}
+
+bool matches(const detail::RequestState& rs, const detail::Message& m) {
+  if (m.comm_id != rs.comm_id) return false;
+  if (rs.want_src_global != -1 && m.src_global != rs.want_src_global)
+    return false;
+  // A wildcard tag matches user traffic only: runtime-internal messages
+  // (collective rounds, split bookkeeping) are never up for grabs.
+  if (rs.tag == kAnyTag) return m.tag <= kMaxUserTag;
+  return m.tag == rs.tag;
+}
+
+/// Complete \p rs with \p msg. Runs on the posting rank's thread with the
+/// mailbox lock held.
+void deliver(detail::RequestState& rs, detail::Message& msg) {
+  if (rs.sink) {
+    rs.sink(msg);
+  } else {
+    FOAM_REQUIRE(msg.payload.size() <= rs.max_bytes,
+                 "message of " << msg.payload.size()
+                               << " bytes overflows buffer of "
+                               << rs.max_bytes);
+    if (!msg.payload.empty())
+      std::memcpy(rs.buffer, msg.payload.data(), msg.payload.size());
+  }
+  rs.status.source = local_of(*rs.members, msg.src_global);
+  rs.status.tag = msg.tag;
+  rs.status.bytes = msg.payload.size();
+  rs.done = true;
+}
+
+/// The matching engine: walk pending receives in posting order; each takes
+/// the earliest queued message of its match class (MPI matching semantics —
+/// FIFO within a class, posting order across overlapping wildcard classes).
+/// Caller holds box.mutex; only the owning rank's thread ever calls this,
+/// so the pending list itself needs no lock.
+void progress(detail::Mailbox& box,
+              std::vector<std::shared_ptr<detail::RequestState>>& pend) {
+  for (auto pit = pend.begin(); pit != pend.end();) {
+    detail::RequestState& rs = **pit;
+    auto mit = std::find_if(
+        box.queue.begin(), box.queue.end(),
+        [&rs](const detail::Message& m) { return matches(rs, m); });
+    if (mit == box.queue.end()) {
+      ++pit;
+      continue;
+    }
+    deliver(rs, *mit);
+    box.queue.erase(mit);
+    pit = pend.erase(pit);
+  }
+}
+
 }  // namespace
 
 int Comm::local_rank_of_global(int g) const {
-  for (std::size_t r = 0; r < members_.size(); ++r)
-    if (members_[r] == g) return static_cast<int>(r);
-  FOAM_REQUIRE(false, "global rank " << g << " not in communicator");
-  return -1;
+  return local_of(members_, g);
 }
 
 void Comm::send_internal(int dst, int tag, const void* data,
@@ -51,24 +106,43 @@ void Comm::send_internal(int dst, int tag, const void* data,
   box.cv.notify_all();
 }
 
-detail::Message Comm::recv_internal(int src, int tag) {
+std::shared_ptr<detail::RequestState> Comm::make_recv_state(int src,
+                                                            int tag) {
   FOAM_REQUIRE(src == kAnySource || (src >= 0 && src < size()),
                "recv from rank " << src);
-  const int want_global = (src == kAnySource) ? -1 : members_[src];
+  auto rs = std::make_shared<detail::RequestState>();
+  rs->comm_id = comm_id_;
+  rs->want_src_global = (src == kAnySource) ? -1 : members_[src];
+  rs->tag = tag;
+  rs->members = &members_;
+  return rs;
+}
+
+void Comm::post_recv_state(
+    const std::shared_ptr<detail::RequestState>& rs) {
+  // Posting order is matching priority; the list is owner-thread-only.
+  ctx_->pending[members_[rank_]].push_back(rs);
+}
+
+void Comm::wait_state(detail::RequestState& rs) {
   detail::Mailbox& box = ctx_->boxes[members_[rank_]];
+  auto& pend = ctx_->pending[members_[rank_]];
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
     check_abort();
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (it->comm_id != comm_id_) continue;
-      if (want_global != -1 && it->src_global != want_global) continue;
-      if (tag != kAnyTag && it->tag != tag) continue;
-      detail::Message msg = std::move(*it);
-      box.queue.erase(it);
-      return msg;
-    }
+    progress(box, pend);
+    if (rs.done) return;
     box.cv.wait_for(lock, std::chrono::milliseconds(50));
   }
+}
+
+detail::Message Comm::recv_internal(int src, int tag) {
+  auto rs = make_recv_state(src, tag);
+  detail::Message out;
+  rs->sink = [&out](detail::Message& m) { out = std::move(m); };
+  post_recv_state(rs);
+  wait_state(*rs);
+  return out;
 }
 
 void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
@@ -80,17 +154,83 @@ RecvStatus Comm::recv_bytes(int src, int tag, void* data,
                             std::size_t max_bytes) {
   FOAM_REQUIRE(tag == kAnyTag || (tag >= 0 && tag <= kMaxUserTag),
                "user tag " << tag);
-  detail::Message msg = recv_internal(src, tag);
-  FOAM_REQUIRE(msg.payload.size() <= max_bytes,
-               "message of " << msg.payload.size()
-                             << " bytes overflows buffer of " << max_bytes);
-  if (!msg.payload.empty())
-    std::memcpy(data, msg.payload.data(), msg.payload.size());
-  RecvStatus st;
-  st.source = local_rank_of_global(msg.src_global);
-  st.tag = msg.tag;
-  st.bytes = msg.payload.size();
+  auto rs = make_recv_state(src, tag);
+  rs->buffer = data;
+  rs->max_bytes = max_bytes;
+  post_recv_state(rs);
+  wait_state(*rs);
+  return rs->status;
+}
+
+Request Comm::isend_bytes(int dst, int tag, const void* data,
+                          std::size_t bytes) {
+  FOAM_REQUIRE(tag >= 0 && tag <= kMaxUserTag, "user tag " << tag);
+  // Buffered: the payload lands in the destination mailbox now, so the
+  // request is born complete and the source buffer is immediately free.
+  send_internal(dst, tag, data, bytes);
+  auto rs = std::make_shared<detail::RequestState>();
+  rs->done = true;
+  rs->status.tag = tag;
+  rs->status.bytes = bytes;
+  return Request(std::move(rs));
+}
+
+Request Comm::irecv_bytes(int src, int tag, void* data,
+                          std::size_t max_bytes) {
+  FOAM_REQUIRE(tag == kAnyTag || (tag >= 0 && tag <= kMaxUserTag),
+               "user tag " << tag);
+  auto rs = make_recv_state(src, tag);
+  rs->buffer = data;
+  rs->max_bytes = max_bytes;
+  post_recv_state(rs);
+  return Request(std::move(rs));
+}
+
+RecvStatus Comm::wait(Request& r) {
+  if (!r.state_) return RecvStatus{};
+  wait_state(*r.state_);
+  const RecvStatus st = r.state_->status;
+  r.state_.reset();
   return st;
+}
+
+bool Comm::test(Request& r, RecvStatus* st) {
+  if (!r.state_) return true;
+  if (!r.state_->done) {
+    detail::Mailbox& box = ctx_->boxes[members_[rank_]];
+    auto& pend = ctx_->pending[members_[rank_]];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    check_abort();
+    progress(box, pend);
+  }
+  if (!r.state_->done) return false;
+  if (st) *st = r.state_->status;
+  r.state_.reset();
+  return true;
+}
+
+void Comm::waitall(std::span<Request> rs) {
+  for (Request& r : rs) wait(r);
+}
+
+int Comm::waitany(std::span<Request> rs, RecvStatus* st) {
+  bool any = false;
+  for (const Request& r : rs) any = any || r.valid();
+  if (!any) return -1;
+  detail::Mailbox& box = ctx_->boxes[members_[rank_]];
+  auto& pend = ctx_->pending[members_[rank_]];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    check_abort();
+    progress(box, pend);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (!rs[i].valid() || !rs[i].state_->done) continue;
+      if (st) *st = rs[i].state_->status;
+      rs[i].state_.reset();
+      return static_cast<int>(i);
+    }
+    box.cv.wait_for(lock, std::chrono::milliseconds(50));
+  }
 }
 
 void Comm::barrier() {
@@ -122,60 +262,24 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
   }
 }
 
-namespace {
-
-void apply_op(double* acc, const double* in, std::size_t count, ReduceOp op) {
-  switch (op) {
-    case ReduceOp::kSum:
-      for (std::size_t i = 0; i < count; ++i) acc[i] += in[i];
-      break;
-    case ReduceOp::kMin:
-      for (std::size_t i = 0; i < count; ++i) acc[i] = std::min(acc[i], in[i]);
-      break;
-    case ReduceOp::kMax:
-      for (std::size_t i = 0; i < count; ++i) acc[i] = std::max(acc[i], in[i]);
-      break;
-  }
-}
-
-}  // namespace
-
-void Comm::reduce(const double* in, double* out, std::size_t count,
-                  ReduceOp op, int root) {
+void Comm::reduce_impl(const void* in, void* out, std::size_t elem_bytes,
+                       std::size_t count, detail::CombineFn combine,
+                       ReduceOp op, int root) {
   FOAM_REQUIRE(root >= 0 && root < size(), "root " << root);
+  const std::size_t bytes = elem_bytes * count;
   if (rank_ == root) {
-    std::copy(in, in + count, out);
+    if (bytes > 0) std::memcpy(out, in, bytes);
     // Receive in rank order: deterministic combination (bitwise-reproducible
     // sums) and no cross-round message mixing.
-    std::vector<double> v(count);
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
       detail::Message msg = recv_internal(r, kCollTag);
-      FOAM_REQUIRE(msg.payload.size() == count * sizeof(double),
-                   "reduce size mismatch");
-      std::memcpy(v.data(), msg.payload.data(), msg.payload.size());
-      apply_op(out, v.data(), count, op);
+      FOAM_REQUIRE(msg.payload.size() == bytes, "reduce size mismatch");
+      combine(out, msg.payload.data(), count, op);
     }
   } else {
-    send_internal(root, kCollTag, in, count * sizeof(double));
+    send_internal(root, kCollTag, in, bytes);
   }
-}
-
-void Comm::allreduce(const double* in, double* out, std::size_t count,
-                     ReduceOp op) {
-  reduce(in, out, count, op, 0);
-  bcast_bytes(out, count * sizeof(double), 0);
-}
-
-double Comm::allreduce_scalar(double v, ReduceOp op) {
-  double out = 0.0;
-  allreduce(&v, &out, 1, op);
-  return out;
-}
-
-std::int64_t Comm::allreduce_scalar(std::int64_t v, ReduceOp op) {
-  const double d = static_cast<double>(v);
-  return static_cast<std::int64_t>(allreduce_scalar(d, op));
 }
 
 void Comm::gather(const double* in, std::size_t count, double* out,

@@ -12,10 +12,24 @@
 /// except through Comm.
 ///
 /// Semantics:
-///  * send() is buffered (always completes locally, like MPI_Bsend).
-///  * recv() blocks until a matching message arrives. Matching is by
+///  * send() / isend() are buffered (always complete locally, like
+///    MPI_Bsend): the payload is copied into the destination mailbox at post
+///    time, so the source buffer may be reused immediately and a send
+///    Request is born complete.
+///  * recv() blocks until a matching message arrives; irecv() posts a
+///    pending receive completed by wait/test/waitall/waitany. Matching is by
 ///    (communicator, source, tag) with kAnySource / kAnyTag wildcards, FIFO
-///    within a match class.
+///    within a match class. Pending receives are matched in the order they
+///    were posted (MPI posting-order semantics); a blocking recv is simply a
+///    pending receive posted last and waited immediately, so blocking and
+///    nonblocking receives order consistently against each other.
+///  * kAnyTag matches user tags only — runtime-internal traffic (collective
+///    rounds, split bookkeeping) can never be stolen by a wildcard receive.
+///  * Requests are completed only by the posting rank's own thread (receiver
+///    -driven matching): no request state is ever shared between threads.
+///  * A pending receive must be completed (or the run aborted) before its
+///    communicator is destroyed; buffers handed to irecv must stay alive
+///    until completion.
 ///  * Collectives must be entered by every rank of the communicator in the
 ///    same order.
 ///
@@ -29,6 +43,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <type_traits>
 #include <vector>
 
@@ -42,6 +57,13 @@ inline constexpr int kMaxUserTag = (1 << 28) - 1;
 
 /// Reduction operators for reduce/allreduce.
 enum class ReduceOp { kSum, kMin, kMax };
+
+/// Status of a completed receive.
+struct RecvStatus {
+  int source = 0;  ///< rank (within the communicator) of the sender
+  int tag = 0;
+  std::size_t bytes = 0;
+};
 
 namespace detail {
 
@@ -58,20 +80,71 @@ struct Mailbox {
   std::deque<Message> queue;
 };
 
+/// State behind a Request handle. Owned (via shared_ptr) by the handle and,
+/// while pending, by the posting rank's pending-receive list. All access is
+/// from the posting rank's thread only.
+struct RequestState {
+  bool done = false;
+  // --- matching (receives only) ---
+  int comm_id = 0;
+  int want_src_global = -1;  ///< global rank, or -1 for kAnySource
+  int tag = kAnyTag;
+  const std::vector<int>* members = nullptr;  ///< posting comm's rank map
+  // --- delivery: either a raw destination buffer or a sink callback ---
+  void* buffer = nullptr;
+  std::size_t max_bytes = 0;
+  std::function<void(Message&)> sink;  ///< used by vector/internal receives
+  RecvStatus status;                   ///< filled at completion
+};
+
 struct Context {
-  explicit Context(int nranks) : boxes(nranks) {}
+  explicit Context(int nranks) : boxes(nranks), pending(nranks) {}
   std::vector<Mailbox> boxes;
+  /// Pending nonblocking receives per global rank, in posting order.
+  /// Touched only by the owning rank's thread.
+  std::vector<std::vector<std::shared_ptr<RequestState>>> pending;
   std::mutex comm_id_mutex;
   int next_comm_id = 1;
 };
 
+/// Element-wise combine for the typed reduction collectives.
+template <typename T>
+void combine(void* acc_v, const void* in_v, std::size_t count, ReduceOp op) {
+  T* acc = static_cast<T*>(acc_v);
+  const T* in = static_cast<const T*>(in_v);
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        acc[i] = in[i] < acc[i] ? in[i] : acc[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        acc[i] = acc[i] < in[i] ? in[i] : acc[i];
+      break;
+  }
+}
+
+using CombineFn = void (*)(void*, const void*, std::size_t, ReduceOp);
+
 }  // namespace detail
 
-/// Status of a completed receive.
-struct RecvStatus {
-  int source = 0;  ///< rank (within the communicator) of the sender
-  int tag = 0;
-  std::size_t bytes = 0;
+/// Handle for an in-flight nonblocking operation (MPI_Request analogue).
+/// Value-semantic; a default-constructed Request is null (wait/test on it
+/// are no-ops). Completion via Comm::wait/test/waitall/waitany releases the
+/// handle back to null.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::RequestState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::RequestState> state_;
 };
 
 /// A communicator: an ordered group of ranks with a private message space.
@@ -112,6 +185,56 @@ class Comm {
   template <typename T>
   RecvStatus recv_vec(int src, int tag, std::vector<T>& v);
 
+  // --- nonblocking point-to-point ---------------------------------------
+
+  /// Nonblocking buffered send: the payload is copied out at post time, so
+  /// the request is born complete and \p data may be reused immediately.
+  /// Returned for API symmetry with irecv (wait/waitall accept it).
+  Request isend_bytes(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Post a receive into \p data (capacity \p max_bytes); \p src may be
+  /// kAnySource and \p tag kAnyTag. The buffer must stay alive until the
+  /// request completes. Overflow throws from wait/test, as with recv_bytes.
+  Request irecv_bytes(int src, int tag, void* data, std::size_t max_bytes);
+
+  template <typename T>
+  Request isend(int dst, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return isend_bytes(dst, tag, &value, sizeof(T));
+  }
+  template <typename T>
+  Request irecv(int src, int tag, T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return irecv_bytes(src, tag, &value, sizeof(T));
+  }
+
+  template <typename T>
+  Request isend_vec(int dst, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return isend_bytes(dst, tag, v.data(), v.size() * sizeof(T));
+  }
+  /// Post a receive that resizes \p v to the incoming length at completion.
+  /// The vector must stay alive (and must not be resized by the caller)
+  /// until the request completes.
+  template <typename T>
+  Request irecv_vec(int src, int tag, std::vector<T>& v);
+
+  /// Block until \p r completes; returns the receive status (zeros for a
+  /// send request) and nulls the handle. A null request returns zeros.
+  RecvStatus wait(Request& r);
+
+  /// Nonblocking completion check: true (and the handle is nulled, status
+  /// stored if \p st) if complete. A null request tests true.
+  bool test(Request& r, RecvStatus* st = nullptr);
+
+  /// Wait for every request; completion is by message arrival order, so
+  /// out-of-order arrivals complete fine. Null entries are skipped.
+  void waitall(std::span<Request> rs);
+
+  /// Wait until any request completes; returns its index (the handle is
+  /// nulled, status stored if \p st), or -1 if every entry is null.
+  int waitany(std::span<Request> rs, RecvStatus* st = nullptr);
+
   // --- collectives ------------------------------------------------------
 
   void barrier();
@@ -126,13 +249,44 @@ class Comm {
   template <typename T>
   void bcast_vec(std::vector<T>& v, int root);
 
-  /// Element-wise reduction of \p count doubles to \p root.
+  /// Element-wise typed reduction of equal-length spans to \p root (rank
+  /// order combination: deterministic, bitwise-reproducible sums).
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
+              int root) {
+    FOAM_REQUIRE(in.size() == out.size(), "reduce span sizes "
+                                              << in.size() << " vs "
+                                              << out.size());
+    reduce_impl(in.data(), out.data(), sizeof(T), in.size(),
+                &detail::combine<T>, op, root);
+  }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
+    reduce(in, out, op, 0);
+    bcast_bytes(out.data(), out.size() * sizeof(T), 0);
+  }
+  /// Scalar allreduce over any arithmetic type (exact for integers).
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  T allreduce_scalar(T v, ReduceOp op) {
+    T out{};
+    allreduce(std::span<const T>(&v, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  /// Raw-pointer legacy spellings of the double reductions.
   void reduce(const double* in, double* out, std::size_t count, ReduceOp op,
-              int root);
+              int root) {
+    reduce(std::span<const double>(in, count), std::span<double>(out, count),
+           op, root);
+  }
   void allreduce(const double* in, double* out, std::size_t count,
-                 ReduceOp op);
-  double allreduce_scalar(double v, ReduceOp op);
-  std::int64_t allreduce_scalar(std::int64_t v, ReduceOp op);
+                 ReduceOp op) {
+    allreduce(std::span<const double>(in, count),
+              std::span<double>(out, count), op);
+  }
 
   /// Gather equal-size blocks to root: root receives size()*count values.
   void gather(const double* in, std::size_t count, double* out, int root);
@@ -174,6 +328,17 @@ class Comm {
   void send_internal(int dst, int tag, const void* data, std::size_t bytes);
   detail::Message recv_internal(int src, int tag);
 
+  /// Build a pending-receive state (matching fields validated/translated).
+  std::shared_ptr<detail::RequestState> make_recv_state(int src, int tag);
+  /// Append to this rank's pending list (posting order = matching order).
+  void post_recv_state(const std::shared_ptr<detail::RequestState>& rs);
+  /// Block until \p rs completes (drives matching against the mailbox).
+  void wait_state(detail::RequestState& rs);
+
+  void reduce_impl(const void* in, void* out, std::size_t elem_bytes,
+                   std::size_t count, detail::CombineFn combine, ReduceOp op,
+                   int root);
+
   detail::Context* ctx_ = nullptr;
   int comm_id_ = 0;
   std::vector<int> members_;  // global rank of each communicator rank
@@ -202,6 +367,25 @@ RecvStatus Comm::recv_vec(int src, int tag, std::vector<T>& v) {
   st.tag = msg.tag;
   st.bytes = msg.payload.size();
   return st;
+}
+
+template <typename T>
+Request Comm::irecv_vec(int src, int tag, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  FOAM_REQUIRE(tag == kAnyTag || (tag >= 0 && tag <= kMaxUserTag),
+               "user tag " << tag);
+  auto rs = make_recv_state(src, tag);
+  std::vector<T>* dst = &v;
+  rs->sink = [dst](detail::Message& msg) {
+    FOAM_REQUIRE(msg.payload.size() % sizeof(T) == 0,
+                 "irecv_vec size " << msg.payload.size()
+                                   << " not multiple of " << sizeof(T));
+    dst->resize(msg.payload.size() / sizeof(T));
+    if (!dst->empty())
+      std::memcpy(dst->data(), msg.payload.data(), msg.payload.size());
+  };
+  post_recv_state(rs);
+  return Request(std::move(rs));
 }
 
 template <typename T>

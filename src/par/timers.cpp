@@ -14,6 +14,8 @@ const char* region_name(Region r) {
       return "idle";
     case Region::kOther:
       return "other";
+    case Region::kCommWait:
+      return "comm-wait";
   }
   return "?";
 }

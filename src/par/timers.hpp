@@ -17,14 +17,22 @@
 
 namespace foam::par {
 
-/// Activity classes matching the paper's colour key.
+/// Activity classes matching the paper's colour key, plus an explicit
+/// communication-wait class: time a rank spends blocked on an in-flight
+/// message (Comm::wait / a blocking exchange receive), as opposed to kIdle
+/// time spent waiting inside collectives for slower peers. Separating the
+/// two makes the comm/compute-overlap win directly visible in the Fig. 2
+/// and scaling benches.
 enum class Region : int {
   kAtmosphere = 0,  // green
   kCoupler = 1,     // red
   kOcean = 2,       // blue
   kIdle = 3,        // purple
   kOther = 4,
+  kCommWait = 5,    // grey: blocked on message completion
 };
+
+inline constexpr int kRegionCount = 6;
 
 const char* region_name(Region r);
 

@@ -83,7 +83,9 @@ TEST(CoupledFoam, WorkCounterAdvances) {
 TEST(ParallelCoupled, RunsAndProducesTimelines) {
   FoamConfig cfg = FoamConfig::testing();
   par::run(3, [&](par::Comm& world) {  // 2 atm + 1 ocean
-    const auto res = run_coupled_parallel(world, 2, cfg, 0.5);
+    ParallelRunOptions opts;
+    opts.n_atm = 2;
+    const auto res = run_coupled_parallel(world, opts, cfg, 0.5);
     EXPECT_GT(res.speedup(), 0.0);
     EXPECT_NEAR(res.simulated_seconds, 0.5 * 86400.0, 1.0);
     ASSERT_EQ(res.timelines.size(), 3u);
@@ -105,8 +107,120 @@ TEST(ParallelCoupled, SixteenPlusOnePlacementWorks) {
   // ocean rank.
   FoamConfig cfg = FoamConfig::testing();
   par::run(5, [&](par::Comm& world) {
-    const auto res = run_coupled_parallel(world, 4, cfg, 0.25);
+    ParallelRunOptions opts;
+    opts.n_atm = 4;
+    const auto res = run_coupled_parallel(world, opts, cfg, 0.25);
     EXPECT_GT(res.speedup(), 0.0);
+  });
+}
+
+TEST(ParallelCoupled, BlockingExchangeRecordsCommWait) {
+  // The paper's Fig. 2 idle band: with the blocking exchange, the lead
+  // atmosphere rank sits in comm-wait while the ocean integrates.
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(2, [&](par::Comm& world) {
+    ParallelRunOptions opts;
+    opts.n_atm = 1;
+    opts.overlap = false;
+    const auto res = run_coupled_parallel(world, opts, cfg, 0.5);
+    EXPECT_GT(res.region_seconds(0, par::Region::kCommWait), 0.0);
+  });
+}
+
+TEST(ParallelCoupled, OverlapExchangeRunsAndShrinksCommWait) {
+  // With overlap on, the SST reply rides under the next atmosphere
+  // interval: rank 0's comm-wait must not exceed the blocking run's.
+  FoamConfig cfg = FoamConfig::testing();
+  double wait_blocking = 0.0, wait_overlap = 0.0;
+  par::run(2, [&](par::Comm& world) {
+    ParallelRunOptions opts;
+    opts.n_atm = 1;
+    opts.overlap = false;
+    auto res = run_coupled_parallel(world, opts, cfg, 0.5);
+    if (world.rank() == 0)
+      wait_blocking = res.region_seconds(0, par::Region::kCommWait);
+    opts.overlap = true;
+    res = run_coupled_parallel(world, opts, cfg, 0.5);
+    EXPECT_GT(res.speedup(), 0.0);
+    EXPECT_NEAR(res.simulated_seconds, 0.5 * 86400.0, 1.0);
+    if (world.rank() == 0)
+      wait_overlap = res.region_seconds(0, par::Region::kCommWait);
+  });
+  EXPECT_GT(wait_blocking, 0.0);
+  EXPECT_LT(wait_overlap, wait_blocking);
+}
+
+TEST(ParallelCoupled, OverlapWorksWithManyAtmRanks) {
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(4, [&](par::Comm& world) {  // 3 atm + 1 ocean
+    ParallelRunOptions opts;
+    opts.n_atm = 3;
+    opts.overlap = true;
+    const auto res = run_coupled_parallel(world, opts, cfg, 0.25);
+    EXPECT_GT(res.speedup(), 0.0);
+    // Ocean work still lands on the ocean rank.
+    EXPECT_GT(res.region_seconds(3, par::Region::kOcean), 0.0);
+  });
+}
+
+TEST(ParallelCoupled, CaptureTimelinesOffSkipsGather) {
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(2, [&](par::Comm& world) {
+    ParallelRunOptions opts;
+    opts.n_atm = 1;
+    opts.capture_timelines = false;
+    const auto res = run_coupled_parallel(world, opts, cfg, 0.25);
+    EXPECT_GT(res.speedup(), 0.0);
+    EXPECT_TRUE(res.timelines.empty());
+    EXPECT_DOUBLE_EQ(res.region_seconds(0, par::Region::kAtmosphere), 0.0);
+  });
+}
+
+TEST(ParallelCoupled, DeprecatedPositionalOverloadStillForwards) {
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(2, [&](par::Comm& world) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const auto res = run_coupled_parallel(world, 1, cfg, 0.25);
+#pragma GCC diagnostic pop
+    EXPECT_GT(res.speedup(), 0.0);
+    ASSERT_EQ(res.timelines.size(), 2u);  // historic default: capture on
+  });
+}
+
+TEST(FoamConfigValidate, AcceptsDefaultsAndTestingConfigs) {
+  EXPECT_NO_THROW(FoamConfig::paper_default().validate());
+  EXPECT_NO_THROW(FoamConfig::testing().validate());
+}
+
+TEST(FoamConfigValidate, RejectsInconsistentCoupling) {
+  FoamConfig cfg = FoamConfig::testing();
+  cfg.exchange_seconds = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.exchange_seconds = -3600.0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = FoamConfig::testing();
+  cfg.ocean_accel = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.ocean_accel = -2.0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = FoamConfig::testing();
+  cfg.exchange_seconds = 1.5 * cfg.atm.dt;  // not a whole step multiple
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.exchange_seconds = 0.5 * cfg.atm.dt;  // shorter than one step
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(FoamConfigValidate, DriversRejectBadConfigs) {
+  FoamConfig cfg = FoamConfig::testing();
+  cfg.exchange_seconds = 1.5 * cfg.atm.dt;
+  EXPECT_THROW(CoupledFoam model(cfg), Error);
+  par::run(2, [&](par::Comm& world) {
+    ParallelRunOptions opts;
+    opts.n_atm = 1;
+    EXPECT_THROW(run_coupled_parallel(world, opts, cfg, 0.25), Error);
   });
 }
 
@@ -267,7 +381,9 @@ TEST(ParallelCoupled, MultiRankOceanPlacement) {
   // The paper's 34-node shape in miniature: the ocean on two ranks.
   FoamConfig cfg = FoamConfig::testing();
   par::run(4, [&](par::Comm& world) {  // 2 atm + 2 ocean
-    const auto res = run_coupled_parallel(world, 2, cfg, 0.25);
+    ParallelRunOptions opts;
+    opts.n_atm = 2;
+    const auto res = run_coupled_parallel(world, opts, cfg, 0.25);
     EXPECT_GT(res.speedup(), 0.0);
     // Both ocean ranks must have recorded ocean work.
     for (int r = 2; r < 4; ++r) {

@@ -90,6 +90,9 @@ TEST(RegionName, CoversAll) {
   EXPECT_STREQ(region_name(Region::kOcean), "ocean");
   EXPECT_STREQ(region_name(Region::kIdle), "idle");
   EXPECT_STREQ(region_name(Region::kOther), "other");
+  EXPECT_STREQ(region_name(Region::kCommWait), "comm-wait");
+  // kRegionCount must cover every enumerator (benches size arrays with it).
+  EXPECT_EQ(static_cast<int>(Region::kCommWait) + 1, kRegionCount);
 }
 
 TEST(Stopwatch, MeasuresElapsed) {
