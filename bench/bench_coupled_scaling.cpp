@@ -15,8 +15,10 @@
 // comm-wait on the lead atmosphere rank prints side by side.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "foam/coupled.hpp"
 
 using namespace foam;
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
     int ocean;
   };
   const std::vector<Placement> placements = {{1, 1}, {2, 1}, {4, 1}, {8, 1}};
+  bench::BenchJson json("coupled_scaling");
 
   std::printf("%-10s %-8s %9s %10s %13s %11s %10s %8s\n", "placement",
               "mode", "wall [s]", "speedup", "atm busy/rank", "ocean busy",
@@ -60,6 +63,16 @@ int main(int argc, char** argv) {
       });
       if (p.atm == 1 && !overlap) busy1 = atm_busy;
       const double eff = busy1 > 0.0 ? busy1 / (atm_busy * p.atm) : 0.0;
+      const std::vector<std::pair<std::string, std::string>> jcfg = {
+          {"atm_ranks", std::to_string(p.atm)},
+          {"ocean_ranks", std::to_string(p.ocean)},
+          {"exchange", overlap ? "overlap" : "blocking"},
+          {"spectral", cfg.atm.spectral_engine ? "engine" : "reference"}};
+      json.add("wall_seconds", wall, "s", jcfg);
+      json.add("model_speedup", speedup, "x", jcfg);
+      json.add("atm_busy_seconds", atm_busy, "s", jcfg);
+      json.add("ocean_busy_seconds", ocean_busy, "s", jcfg);
+      json.add("atm_commwait_seconds", atm_wait, "s", jcfg);
       std::printf("%2d atm+%d oc %-8s %9.1f %9.0fx %12.2fs %10.2fs %9.2fs "
                   "%7s  (work-scaling efficiency %.0f%%)\n",
                   p.atm, p.ocean, overlap ? "overlap" : "blocking", wall,

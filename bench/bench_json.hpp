@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file bench_json.hpp
+/// Machine-readable bench output: each bench accumulates (metric, value,
+/// unit, config) rows and writes them to BENCH_<name>.json in the working
+/// directory, so CI can archive results next to the human-readable stdout.
+///
+/// No dependencies beyond the standard library; the emitted document is
+///   { "bench": "<name>", "results": [
+///       { "metric": "...", "value": <num>, "unit": "...",
+///         "config": { "key": "value", ... } }, ... ] }
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace foam::bench {
+
+class BenchJson {
+ public:
+  /// \p name becomes the BENCH_<name>.json filename.
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// Destructor writes the file (explicit write() earlier also works).
+  ~BenchJson() { write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void add(const std::string& metric, double value, const std::string& unit,
+           const std::vector<std::pair<std::string, std::string>>& config =
+               {}) {
+    rows_.push_back(Row{metric, value, unit, config});
+  }
+
+  /// Write BENCH_<name>.json; idempotent (later calls rewrite the file
+  /// with any rows added since).
+  void write() {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;  // benches must not fail on an RO directory
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"results\": [",
+                 quoted(name_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "%s\n    { \"metric\": %s, \"value\": %.17g, "
+                      "\"unit\": %s, \"config\": {",
+                   i == 0 ? "" : ",", quoted(r.metric).c_str(), r.value,
+                   quoted(r.unit).c_str());
+      for (std::size_t c = 0; c < r.config.size(); ++c)
+        std::fprintf(f, "%s %s: %s", c == 0 ? "" : ",",
+                     quoted(r.config[c].first).c_str(),
+                     quoted(r.config[c].second).c_str());
+      std::fprintf(f, " } }");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    double value;
+    std::string unit;
+    std::vector<std::pair<std::string, std::string>> config;
+  };
+
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') out += '\\';
+      if (static_cast<unsigned char>(ch) >= 0x20) {
+        out += ch;
+      } else {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+        out += buf;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace foam::bench

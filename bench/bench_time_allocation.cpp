@@ -16,23 +16,33 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "foam/coupled.hpp"
 
 using namespace foam;
 
 namespace {
 
-void run_placement(int n_atm, int n_ocean, double days, bool overlap) {
+/// \p engine toggles the plan-based spectral engine vs the reference
+/// transform loops (the A/B that shows the atmosphere's spectral share
+/// shrinking). Returns the lead atmosphere rank's busy seconds.
+double run_placement(int n_atm, int n_ocean, double days, bool overlap,
+                     bool engine, bench::BenchJson& json) {
   FoamConfig cfg = FoamConfig::paper_default();
   cfg.atm.emulate_full_core_cost = true;
   cfg.atm.emulate_transforms_per_level = 40;  // full 18-level core cost
+  cfg.atm.spectral_engine = engine;
   const int world = n_atm + n_ocean;
+  double atm_busy_out = 0.0, ocean_busy_out = 0.0, wait_out = 0.0,
+         atm_share_out = 0.0;
   std::printf(
       "\n--- placement: %d atmosphere + %d ocean ranks, %.2f day, "
-      "%s exchange ---\n",
-      n_atm, n_ocean, days, overlap ? "overlap" : "blocking");
+      "%s exchange, %s transforms ---\n",
+      n_atm, n_ocean, days, overlap ? "overlap" : "blocking",
+      engine ? "engine" : "reference");
   par::run(world, [&](par::Comm& comm) {
     ParallelRunOptions opts;
     opts.n_atm = n_atm;
@@ -86,9 +96,11 @@ void run_placement(int n_atm, int n_ocean, double days, bool overlap) {
     }
     // The paper's observation: one ocean rank keeps up with the atmosphere
     // ranks when the atmosphere dominates the cost.
-    double atm_busy = 0.0, ocean_busy = 0.0;
-    for (const auto& seg : res.timelines[0])
+    double atm_busy = 0.0, ocean_busy = 0.0, rank0_total = 0.0;
+    for (const auto& seg : res.timelines[0]) {
       if (seg.region == par::Region::kAtmosphere) atm_busy += seg.t1 - seg.t0;
+      rank0_total += seg.t1 - seg.t0;
+    }
     for (const auto& seg : res.timelines[n_atm])
       if (seg.region == par::Region::kOcean) ocean_busy += seg.t1 - seg.t0;
     std::printf("busy time: atmosphere rank 0 = %.2fs, ocean rank = %.2fs "
@@ -96,7 +108,21 @@ void run_placement(int n_atm, int n_ocean, double days, bool overlap) {
                 atm_busy, ocean_busy,
                 ocean_busy <= atm_busy * 1.3 ? "yes" : "no",
                 res.region_seconds(0, par::Region::kCommWait));
+    atm_busy_out = atm_busy;
+    ocean_busy_out = ocean_busy;
+    wait_out = res.region_seconds(0, par::Region::kCommWait);
+    atm_share_out = rank0_total > 0.0 ? atm_busy / rank0_total : 0.0;
   });
+  const std::vector<std::pair<std::string, std::string>> jcfg = {
+      {"atm_ranks", std::to_string(n_atm)},
+      {"ocean_ranks", std::to_string(n_ocean)},
+      {"exchange", overlap ? "overlap" : "blocking"},
+      {"spectral", engine ? "engine" : "reference"}};
+  json.add("atm_busy_seconds", atm_busy_out, "s", jcfg);
+  json.add("atm_busy_share", atm_share_out, "fraction", jcfg);
+  json.add("ocean_busy_seconds", ocean_busy_out, "s", jcfg);
+  json.add("atm_commwait_seconds", wait_out, "s", jcfg);
+  return atm_busy_out;
 }
 
 }  // namespace
@@ -106,11 +132,28 @@ int main() {
   std::printf("(ranks are threads multiplexed over the host cores; shares,\n"
               " schedule structure and the atm:ocean busy ratio are the\n"
               " reproduced quantities)\n");
+  bench::BenchJson json("time_allocation");
   // A scaled version of the paper's 17-node placement (16+1) first, then
   // the small placements used for the scaling study, over the paper's one
   // simulated day (4 exchanges). Each placement is run blocking, then with
-  // the overlapped exchange, for the A/B comparison.
-  for (const bool overlap : {false, true}) run_placement(8, 1, 1.0, overlap);
-  for (const bool overlap : {false, true}) run_placement(4, 1, 1.0, overlap);
+  // the overlapped exchange, for the exchange A/B; the 4+1 placement is
+  // additionally run with the reference transforms for the spectral-engine
+  // A/B (the atmosphere is transform-dominated under the emulated
+  // 18-level core, so its busy time tracks the spectral share directly).
+  for (const bool overlap : {false, true})
+    run_placement(8, 1, 1.0, overlap, /*engine=*/true, json);
+  double eng_busy = 0.0, ref_busy = 0.0;
+  for (const bool overlap : {false, true})
+    eng_busy = run_placement(4, 1, 1.0, overlap, /*engine=*/true, json);
+  ref_busy = run_placement(4, 1, 1.0, /*overlap=*/true, /*engine=*/false,
+                           json);
+  if (eng_busy > 0.0) {
+    std::printf("\nspectral engine A/B (4 atm + 1 ocean, overlap): "
+                "atm busy %.2fs engine vs %.2fs reference (%.2fx)\n",
+                eng_busy, ref_busy, ref_busy / eng_busy);
+    json.add("atm_busy_engine_speedup", ref_busy / eng_busy, "x",
+             {{"atm_ranks", "4"}, {"ocean_ranks", "1"},
+              {"exchange", "overlap"}});
+  }
   return 0;
 }

@@ -101,12 +101,24 @@ void SpectralDynamics::set_thermal_jet(
 
 void SpectralDynamics::synthesize_winds() {
   const auto& grid = st_.grid();
-  for (int l = 0; l < cfg_.ndyn; ++l) {
-    SpectralField psi(zeta_[l]);
-    st_.inverse_laplacian(psi);
-    SpectralField chi(st_.mmax(), st_.kmax());  // nondivergent core
-    pst_.uv_from_psi_chi(psi, chi, u_[l], v_[l]);
-    // Divide out the cos(lat) image on owned rows.
+  const int nd = cfg_.ndyn;
+  // All levels through one batched inverse transform: the Legendre panels
+  // are loaded once per latitude pair for the whole level stack.
+  std::vector<SpectralField> psis(nd, SpectralField(st_.mmax(), st_.kmax()));
+  const SpectralField chi(st_.mmax(), st_.kmax());  // nondivergent core
+  std::vector<const SpectralField*> psi_ptrs(nd), chi_ptrs(nd);
+  std::vector<Field2Dd*> u_ptrs(nd), v_ptrs(nd);
+  for (int l = 0; l < nd; ++l) {
+    psis[l] = zeta_[l];
+    st_.inverse_laplacian(psis[l]);
+    psi_ptrs[l] = &psis[l];
+    chi_ptrs[l] = &chi;
+    u_ptrs[l] = &u_[l];
+    v_ptrs[l] = &v_[l];
+  }
+  pst_.uv_from_psi_chi_batch(psi_ptrs, chi_ptrs, u_ptrs, v_ptrs);
+  // Divide out the cos(lat) image on owned rows.
+  for (int l = 0; l < nd; ++l) {
     for (const int j : my_lats_) {
       const double inv_cos = 1.0 / std::cos(grid.lat(j));
       for (int i = 0; i < grid.nlon(); ++i) {
@@ -126,26 +138,42 @@ void SpectralDynamics::step(par::Comm* comm) {
       static_cast<double>(st_.mmax() + st_.kmax() - 1) *
       (st_.mmax() + st_.kmax());
 
-  for (int l = 0; l < cfg_.ndyn; ++l) {
-    // Absolute vorticity on the grid (owned rows).
-    SpectralField abs_zeta(zeta_[l]);
-    abs_zeta += planetary_;
-    Field2Dd zg(nlon, grid.nlat(), 0.0);
-    pst_.synthesize(abs_zeta, zg);
-    // Flux images A = U * zeta_a, B = V * zeta_a (winds are true winds;
-    // the transform expects cos(lat) images, so multiply back).
-    Field2Dd A(nlon, grid.nlat(), 0.0), B(nlon, grid.nlat(), 0.0);
+  const int nd = cfg_.ndyn;
+  // Batched synthesis of all levels' absolute vorticity, then batched flux
+  // divergence analysis (with one fused allreduce in the parallel case).
+  std::vector<SpectralField> abs_zeta(nd, SpectralField(zeta_[0]));
+  std::vector<Field2Dd> zg(nd, Field2Dd(nlon, grid.nlat(), 0.0));
+  std::vector<const SpectralField*> az_ptrs(nd);
+  std::vector<Field2Dd*> zg_ptrs(nd);
+  for (int l = 0; l < nd; ++l) {
+    abs_zeta[l] = zeta_[l];
+    abs_zeta[l] += planetary_;
+    az_ptrs[l] = &abs_zeta[l];
+    zg_ptrs[l] = &zg[l];
+  }
+  pst_.synthesize_batch(az_ptrs, zg_ptrs);
+  // Flux images A = U * zeta_a, B = V * zeta_a (winds are true winds;
+  // the transform expects cos(lat) images, so multiply back).
+  std::vector<Field2Dd> A(nd, Field2Dd(nlon, grid.nlat(), 0.0));
+  std::vector<Field2Dd> B(nd, Field2Dd(nlon, grid.nlat(), 0.0));
+  std::vector<const Field2Dd*> a_ptrs(nd), b_ptrs(nd);
+  for (int l = 0; l < nd; ++l) {
     for (const int j : my_lats_) {
       const double cl = std::cos(grid.lat(j));
       for (int i = 0; i < nlon; ++i) {
-        A(i, j) = u_[l](i, j) * cl * zg(i, j);
-        B(i, j) = v_[l](i, j) * cl * zg(i, j);
+        A[l](i, j) = u_[l](i, j) * cl * zg[l](i, j);
+        B[l](i, j) = v_[l](i, j) * cl * zg[l](i, j);
       }
     }
-    SpectralField adv = (comm != nullptr)
-                            ? pst_.analyze_div(*comm, A, B)
-                            : st_.analyze_div(A, B);
+    a_ptrs[l] = &A[l];
+    b_ptrs[l] = &B[l];
+  }
+  std::vector<SpectralField> advs =
+      (comm != nullptr) ? pst_.analyze_div_batch(*comm, a_ptrs, b_ptrs)
+                        : st_.analyze_div_batch(a_ptrs, b_ptrs, ws_);
 
+  for (int l = 0; l < nd; ++l) {
+    const SpectralField& adv = advs[l];
     // Leapfrog with lagged del^4 damping and jet relaxation.
     const double tau_relax = 8.0 * 86400.0;
     SpectralField znew(st_.mmax(), st_.kmax());

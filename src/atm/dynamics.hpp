@@ -83,6 +83,8 @@ class SpectralDynamics {
   const numerics::SpectralTransform& st_;
   numerics::ParSpectralTransform pst_;
   std::vector<int> my_lats_;
+  /// Scratch for the serial batched transforms (one instance per rank).
+  mutable numerics::SpectralWorkspace ws_;
 
   std::vector<numerics::SpectralField> zeta_;
   std::vector<numerics::SpectralField> zeta_prev_;

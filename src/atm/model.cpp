@@ -27,7 +27,9 @@ AtmosphereModel::AtmosphereModel(const AtmConfig& cfg, par::Comm* comm)
     : cfg_(cfg),
       comm_(comm),
       grid_(cfg.nlon, cfg.nlat),
-      st_(grid_, cfg.mmax),
+      st_(grid_, cfg.mmax,
+          cfg.spectral_engine ? numerics::SpectralMode::kEngine
+                              : numerics::SpectralMode::kReference),
       my_lats_((comm != nullptr)
                    ? contiguous_rows(
                          par::block_range(cfg.nlat, comm->size(),
@@ -37,6 +39,7 @@ AtmosphereModel::AtmosphereModel(const AtmConfig& cfg, par::Comm* comm)
                                           comm->rank())
                              .hi)
                    : contiguous_rows(0, cfg.nlat)),
+      pst_(st_, my_lats_),
       dyn_(cfg_, st_, my_lats_),
       t3_(cfg.nlon, cfg.nlat, cfg.nlev, 260.0),
       q3_(cfg.nlon, cfg.nlat, cfg.nlev, 1e-3),
@@ -299,19 +302,30 @@ void AtmosphereModel::step(const ModelTime& now) {
   dyn_.step(comm_);
   if (cfg_.emulate_full_core_cost) {
     // One synthesis + analysis per physics level beyond the reduced core:
-    // the transform work the full 18-level PCCM2 core would perform.
-    numerics::ParSpectralTransform pst(st_, my_lats_);
-    Field2Dd scratch(cfg_.nlon, cfg_.nlat, 0.0);
+    // the transform work the full 18-level PCCM2 core would perform. The
+    // levels are independent, so each rep moves the whole level stack
+    // through one batched analysis (a single fused allreduce when
+    // parallel) and one batched synthesis.
+    const int nem = cfg_.nlev - cfg_.ndyn;
+    std::vector<Field2Dd> scratch(nem, Field2Dd(cfg_.nlon, cfg_.nlat, 0.0));
+    std::vector<const Field2Dd*> in_ptrs(nem);
+    std::vector<Field2Dd*> out_ptrs(nem);
     for (int k = cfg_.ndyn; k < cfg_.nlev; ++k) {
+      Field2Dd& sc = scratch[k - cfg_.ndyn];
       for (int j = j0_; j < j1_; ++j)
-        for (int i = 0; i < cfg_.nlon; ++i) scratch(i, j) = t3_(i, j, k);
-      for (int rep = 0; rep < cfg_.emulate_transforms_per_level; ++rep) {
-        numerics::SpectralField sp =
-            (comm_ != nullptr) ? pst.analyze(*comm_, scratch)
-                               : st_.analyze(scratch);
-        pst.synthesize(sp, scratch);
-        work_points_ += static_cast<double>(j1_ - j0_) * cfg_.nlon;
-      }
+        for (int i = 0; i < cfg_.nlon; ++i) sc(i, j) = t3_(i, j, k);
+      in_ptrs[k - cfg_.ndyn] = &sc;
+      out_ptrs[k - cfg_.ndyn] = &sc;
+    }
+    for (int rep = 0; rep < cfg_.emulate_transforms_per_level; ++rep) {
+      std::vector<numerics::SpectralField> sps =
+          (comm_ != nullptr) ? pst_.analyze_batch(*comm_, in_ptrs)
+                             : st_.analyze_batch(in_ptrs, ws_);
+      std::vector<const numerics::SpectralField*> sp_ptrs(nem);
+      for (int n = 0; n < nem; ++n) sp_ptrs[n] = &sps[n];
+      pst_.synthesize_batch(sp_ptrs, out_ptrs);
+      work_points_ +=
+          static_cast<double>(nem) * (j1_ - j0_) * cfg_.nlon;
     }
   }
   advect_tracers();

@@ -130,6 +130,10 @@ class AtmosphereModel {
   numerics::GaussianGrid grid_;
   numerics::SpectralTransform st_;
   std::vector<int> my_lats_;
+  /// Persistent distributed transform for the emulated full-core transform
+  /// work (constructed once, not per step).
+  numerics::ParSpectralTransform pst_;
+  numerics::SpectralWorkspace ws_;
   int j0_ = 0, j1_ = 0;  // contiguous owned range
   SpectralDynamics dyn_;
 

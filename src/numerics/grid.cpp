@@ -36,7 +36,9 @@ void LatLonGrid::finalize() {
 }
 
 GaussianGrid::GaussianGrid(int nlon, int nlat) {
-  FOAM_REQUIRE(nlon > 0 && nlat > 1 && nlat % 2 == 0,
+  // Odd nlat is legal: the quadrature then has an equator node (mu = 0),
+  // which the spectral engine treats as an unpaired row.
+  FOAM_REQUIRE(nlon > 0 && nlat > 1,
                "GaussianGrid(" << nlon << "," << nlat << ")");
   nlon_ = nlon;
   const GaussNodes nodes = gauss_legendre(nlat);

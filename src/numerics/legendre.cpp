@@ -17,23 +17,27 @@ double eps(int n, int m) {
                    (4.0 * n * n - 1.0));
 }
 
-/// Fill column[n - m] = Pbar_n^m(mu) for n = m .. m + len - 1.
-void pbar_column(int m, int len, double mu, std::vector<double>& column) {
-  column.resize(len);
+/// Fill column[n - m] = Pbar_n^m(mu) for n = m .. m + len - 1, with the
+/// per-m constants precomputed by the caller (they are latitude
+/// independent, so the table builder hoists them out of its j loop):
+///   fac[k]  = sqrt((2k+1)/(2k)) for k = 1..m  (sectoral product factors)
+///   sq2m3   = sqrt(2m+3)                       (first off-sectoral step)
+///   epsm[i] = eps(m+i, m) for i = 0..len-1     (recurrence couplings)
+void pbar_column(int m, int len, double mu, const double* fac, double sq2m3,
+                 const double* epsm, double* column) {
   if (len == 0) return;
   // Sectoral start Pbar_m^m.
   double pmm = 1.0;
   const double s2 = std::max(0.0, 1.0 - mu * mu);
   const double s = std::sqrt(s2);
-  for (int k = 1; k <= m; ++k)
-    pmm *= std::sqrt((2.0 * k + 1.0) / (2.0 * k)) * s;
+  for (int k = 1; k <= m; ++k) pmm *= fac[k] * s;
   column[0] = pmm;
   if (len == 1) return;
-  column[1] = mu * std::sqrt(2.0 * m + 3.0) * pmm;
+  column[1] = mu * sq2m3 * pmm;
   for (int n = m + 2; n < m + len; ++n) {
     column[n - m] =
-        (mu * column[n - m - 1] - eps(n - 1, m) * column[n - m - 2]) /
-        eps(n, m);
+        (mu * column[n - m - 1] - epsm[n - m - 1] * column[n - m - 2]) /
+        epsm[n - m];
   }
 }
 
@@ -41,8 +45,14 @@ void pbar_column(int m, int len, double mu, std::vector<double>& column) {
 
 double legendre_pbar(int n, int m, double mu) {
   FOAM_REQUIRE(m >= 0 && n >= m, "legendre_pbar(n=" << n << ",m=" << m << ")");
-  std::vector<double> column;
-  pbar_column(m, n - m + 1, mu, column);
+  const int len = n - m + 1;
+  std::vector<double> fac(m + 1, 0.0);
+  for (int k = 1; k <= m; ++k) fac[k] = std::sqrt((2.0 * k + 1.0) / (2.0 * k));
+  std::vector<double> epsm(len);
+  for (int i = 0; i < len; ++i) epsm[i] = eps(m + i, m);
+  std::vector<double> column(len);
+  pbar_column(m, len, mu, fac.data(), std::sqrt(2.0 * m + 3.0), epsm.data(),
+              column.data());
   return column.back();
 }
 
@@ -56,11 +66,25 @@ LegendreTable::LegendreTable(int mmax, int kmax,
       mu.size() * static_cast<std::size_t>(mmax + 1) * kmax;
   p_.resize(total);
   h_.resize(total);
-  std::vector<double> column;
-  for (int j = 0; j < nlat(); ++j) {
-    for (int m = 0; m <= mmax_; ++m) {
+  // Latitude-independent constants, computed once per m instead of once per
+  // (m, latitude): the sectoral product factors and every eps(n, m) the
+  // recurrence and the derivative relation touch (two sqrts per recurrence
+  // step in the old per-column form).
+  std::vector<double> fac(mmax_ + 1, 0.0);
+  for (int k = 1; k <= mmax_; ++k)
+    fac[k] = std::sqrt((2.0 * k + 1.0) / (2.0 * k));
+  std::vector<double> epsm(kmax_ + 2);
+  std::vector<double> column(kmax_ + 1);
+  for (int m = 0; m <= mmax_; ++m) {
+    // eps(m+i, m) for i = 0..kmax+1: the column recurrence needs i up to
+    // kmax, the derivative relation eps_{n+1,m} up to i = kmax + 1... the
+    // last column entry is n = m + kmax, so eps indices reach kmax + 1.
+    for (int i = 0; i <= kmax_ + 1; ++i) epsm[i] = eps(m + i, m);
+    const double sq2m3 = std::sqrt(2.0 * m + 3.0);
+    for (int j = 0; j < nlat(); ++j) {
       // One extra degree so the derivative relation has Pbar_{n+1}.
-      pbar_column(m, kmax_ + 1, mu_[j], column);
+      pbar_column(m, kmax_ + 1, mu_[j], fac.data(), sq2m3, epsm.data(),
+                  column.data());
       for (int k = 0; k < kmax_; ++k) {
         const int n = m + k;
         p_[index(m, k, j)] = column[k];
@@ -68,8 +92,8 @@ LegendreTable::LegendreTable(int mmax, int kmax,
         //                        - n eps_{n+1,m} Pbar_{n+1}
         const double below = (k > 0) ? column[k - 1] : 0.0;
         const double above = column[k + 1];
-        double h = -n * eps(n + 1, m) * above;
-        if (n > m) h += (n + 1) * eps(n, m) * below;
+        double h = -n * epsm[k + 1] * above;
+        if (n > m) h += (n + 1) * epsm[k] * below;
         h_[index(m, k, j)] = h;
       }
     }

@@ -30,6 +30,11 @@ class LegendreTable {
   /// Hbar_{m+k}^m = (1-mu^2) d/dmu Pbar_{m+k}^m at latitude j.
   double h(int m, int k, int j) const { return h_[index(m, k, j)]; }
 
+  /// Contiguous (m, k) panel of latitude j: entry m*kmax + k. The panel
+  /// kernels of the transform engine stream these rows directly.
+  const double* p_row(int j) const { return p_.data() + index(0, 0, j); }
+  const double* h_row(int j) const { return h_.data() + index(0, 0, j); }
+
  private:
   std::size_t index(int m, int k, int j) const {
     return (static_cast<std::size_t>(j) * (mmax_ + 1) + m) * kmax_ + k;

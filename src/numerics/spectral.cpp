@@ -40,11 +40,14 @@ double SpectralField::power() const {
   return sum;
 }
 
-SpectralTransform::SpectralTransform(const GaussianGrid& grid, int mmax)
+SpectralTransform::SpectralTransform(const GaussianGrid& grid, int mmax,
+                                     SpectralMode mode)
     : grid_(grid),
       mmax_(mmax),
       kmax_(mmax + 1),
+      mode_(mode),
       fft_(grid.nlon()),
+      plan_(grid.nlon()),
       table_(mmax, /*kmax=*/mmax + 1, grid.mus()) {
   FOAM_REQUIRE(mmax >= 1, "mmax=" << mmax);
   // Alias-free quadratic products need nlon >= 3*mmax + 1 and
@@ -53,7 +56,45 @@ SpectralTransform::SpectralTransform(const GaussianGrid& grid, int mmax)
                "nlon=" << grid.nlon() << " too small for R" << mmax);
   FOAM_REQUIRE(grid.nlat() >= (3 * mmax + 1) / 2,
                "nlat=" << grid.nlat() << " too small for R" << mmax);
+  std::vector<int> all(grid.nlat());
+  for (int j = 0; j < grid.nlat(); ++j) all[j] = j;
+  pairing_ = make_pairing(grid, all);
 }
+
+SpectralTransform::LatPairing SpectralTransform::make_pairing(
+    const GaussianGrid& grid, std::span<const int> lats) {
+  LatPairing lp;
+  const int nlat = grid.nlat();
+  std::vector<char> in_set(nlat, 0), used(nlat, 0);
+  for (const int j : lats) {
+    FOAM_REQUIRE(j >= 0 && j < nlat, "latitude " << j);
+    in_set[j] = 1;
+  }
+  for (const int j : lats) {
+    if (used[j]) continue;
+    const int jm = nlat - 1 - j;
+    // Gaussian nodes are stored exactly mirror-symmetric (gauss.cpp writes
+    // mu[i] = -x, mu[n-1-i] = x), so the parity fold is exact; guard it
+    // anyway in case a non-Gaussian latitude set ever reaches here.
+    const bool mirrored =
+        jm != j && in_set[jm] &&
+        std::abs(grid.mu(j) + grid.mu(jm)) <=
+            1e-14 * (1.0 + std::abs(grid.mu(j))) &&
+        std::abs(grid.gauss_weight(j) - grid.gauss_weight(jm)) <=
+            1e-14 * grid.gauss_weight(j);
+    if (mirrored) {
+      used[j] = used[jm] = 1;
+      lp.pairs.push_back({std::min(j, jm), std::max(j, jm)});
+    } else {
+      used[j] = 1;
+      lp.singles.push_back(j);
+    }
+  }
+  return lp;
+}
+
+// ---------------------------------------------------------------------------
+// Reference row transforms
 
 void SpectralTransform::fourier_row(const Field2Dd& f, int j,
                                     std::vector<cplx>& fm) const {
@@ -76,10 +117,358 @@ void SpectralTransform::inv_fourier_row(const std::vector<cplx>& fm,
   for (int i = 0; i < nlon; ++i) f(i, j) = row[i];
 }
 
+// ---------------------------------------------------------------------------
+// Plan-based row transforms
+
+void SpectralTransform::fourier_row_plan(const Field2Dd& f, int j, cplx* fm,
+                                         SpectralWorkspace& ws) const {
+  const int nlon = grid_.nlon();
+  ws.fft.resize(plan_.workspace_size());
+  ws.row.resize(nlon);
+  ws.spec.resize(nlon / 2 + 1);
+  for (int i = 0; i < nlon; ++i) ws.row[i] = f(i, j);
+  plan_.forward_real(ws.row.data(), ws.spec.data(), ws.fft.data());
+  const double inv_n = 1.0 / nlon;
+  for (int m = 0; m <= mmax_; ++m) fm[m] = ws.spec[m] * inv_n;
+}
+
+void SpectralTransform::inv_fourier_row_plan(const cplx* fm, Field2Dd& f,
+                                             int j,
+                                             SpectralWorkspace& ws) const {
+  const int nlon = grid_.nlon();
+  ws.fft.resize(plan_.workspace_size());
+  ws.row.resize(nlon);
+  ws.spec.assign(nlon / 2 + 1, cplx(0.0, 0.0));
+  for (int m = 0; m <= mmax_; ++m)
+    ws.spec[m] = fm[m] * static_cast<double>(nlon);
+  plan_.inverse_real(ws.spec.data(), ws.row.data(), ws.fft.data());
+  for (int i = 0; i < nlon; ++i) f(i, j) = ws.row[i];
+}
+
+// ---------------------------------------------------------------------------
+// Engine kernels: parity-folded, panel-blocked Legendre sums.
+//
+// Pbar parity about the equator: P(m, k, jn) = (-1)^k P(m, k, js) and
+// H(m, k, jn) = (-1)^{k+1} H(m, k, js) for a mirror pair (js, jn). Folding
+// the pair's Fourier rows into even/odd combinations therefore halves the
+// Legendre work: even-k coefficients see only the even fold, odd-k only the
+// odd fold. The inner loops stream the LegendreTable's contiguous (m, k)
+// panels for the southern row of each pair.
+
+void SpectralTransform::engine_analyze(const LatPairing& lp,
+                                       const std::vector<const Field2Dd*>& fs,
+                                       std::vector<SpectralField>& out,
+                                       SpectralWorkspace& ws) const {
+  const int nm = mmax_ + 1;
+  const int nf = static_cast<int>(fs.size());
+  ws.fm_a.resize(nm);
+  ws.fm_b.resize(nm);
+  ws.fold_pe.resize(static_cast<std::size_t>(nf) * nm);
+  ws.fold_po.resize(static_cast<std::size_t>(nf) * nm);
+  for (const auto& pr : lp.pairs) {
+    const int js = pr[0], jn = pr[1];
+    const double w = 0.5 * grid_.gauss_weight(js);
+    for (int f = 0; f < nf; ++f) {
+      fourier_row_plan(*fs[f], js, ws.fm_a.data(), ws);
+      fourier_row_plan(*fs[f], jn, ws.fm_b.data(), ws);
+      cplx* fe = ws.fold_pe.data() + static_cast<std::size_t>(f) * nm;
+      cplx* fo = ws.fold_po.data() + static_cast<std::size_t>(f) * nm;
+      for (int m = 0; m < nm; ++m) {
+        fe[m] = w * (ws.fm_a[m] + ws.fm_b[m]);
+        fo[m] = w * (ws.fm_a[m] - ws.fm_b[m]);
+      }
+    }
+    const double* P = table_.p_row(js);
+    for (int f = 0; f < nf; ++f) {
+      cplx* s = out[f].data();
+      const cplx* fe = ws.fold_pe.data() + static_cast<std::size_t>(f) * nm;
+      const cplx* fo = ws.fold_po.data() + static_cast<std::size_t>(f) * nm;
+      for (int m = 0; m < nm; ++m) {
+        const double* pm = P + static_cast<std::size_t>(m) * kmax_;
+        cplx* sm = s + static_cast<std::size_t>(m) * kmax_;
+        const cplx Fe = fe[m], Fo = fo[m];
+        int k = 0;
+        for (; k + 1 < kmax_; k += 2) {
+          sm[k] += Fe * pm[k];
+          sm[k + 1] += Fo * pm[k + 1];
+        }
+        if (k < kmax_) sm[k] += Fe * pm[k];
+      }
+    }
+  }
+  for (const int j : lp.singles) {
+    const double w = 0.5 * grid_.gauss_weight(j);
+    const double* P = table_.p_row(j);
+    for (int f = 0; f < nf; ++f) {
+      fourier_row_plan(*fs[f], j, ws.fm_a.data(), ws);
+      cplx* s = out[f].data();
+      for (int m = 0; m < nm; ++m) {
+        const double* pm = P + static_cast<std::size_t>(m) * kmax_;
+        cplx* sm = s + static_cast<std::size_t>(m) * kmax_;
+        const cplx wf = w * ws.fm_a[m];
+        for (int k = 0; k < kmax_; ++k) sm[k] += wf * pm[k];
+      }
+    }
+  }
+}
+
+void SpectralTransform::engine_synthesize(
+    const LatPairing& lp, const std::vector<const SpectralField*>& ss,
+    const std::vector<Field2Dd*>& outs, SpectralWorkspace& ws) const {
+  const int nm = mmax_ + 1;
+  const int nf = static_cast<int>(ss.size());
+  ws.fm_a.resize(nm);
+  ws.fm_b.resize(nm);
+  for (const auto& pr : lp.pairs) {
+    const int js = pr[0], jn = pr[1];
+    const double* P = table_.p_row(js);
+    for (int f = 0; f < nf; ++f) {
+      const cplx* s = ss[f]->data();
+      for (int m = 0; m < nm; ++m) {
+        const double* pm = P + static_cast<std::size_t>(m) * kmax_;
+        const cplx* sm = s + static_cast<std::size_t>(m) * kmax_;
+        cplx acc_e(0.0, 0.0), acc_o(0.0, 0.0);
+        int k = 0;
+        for (; k + 1 < kmax_; k += 2) {
+          acc_e += sm[k] * pm[k];
+          acc_o += sm[k + 1] * pm[k + 1];
+        }
+        if (k < kmax_) acc_e += sm[k] * pm[k];
+        ws.fm_a[m] = acc_e + acc_o;  // southern row: P as tabulated
+        ws.fm_b[m] = acc_e - acc_o;  // northern mirror: (-1)^k parity
+      }
+      inv_fourier_row_plan(ws.fm_a.data(), *outs[f], js, ws);
+      inv_fourier_row_plan(ws.fm_b.data(), *outs[f], jn, ws);
+    }
+  }
+  for (const int j : lp.singles) {
+    const double* P = table_.p_row(j);
+    for (int f = 0; f < nf; ++f) {
+      const cplx* s = ss[f]->data();
+      for (int m = 0; m < nm; ++m) {
+        const double* pm = P + static_cast<std::size_t>(m) * kmax_;
+        const cplx* sm = s + static_cast<std::size_t>(m) * kmax_;
+        cplx acc(0.0, 0.0);
+        for (int k = 0; k < kmax_; ++k) acc += sm[k] * pm[k];
+        ws.fm_a[m] = acc;
+      }
+      inv_fourier_row_plan(ws.fm_a.data(), *outs[f], j, ws);
+    }
+  }
+}
+
+void SpectralTransform::engine_analyze_vec(
+    const LatPairing& lp, bool curl, const std::vector<const Field2Dd*>& As,
+    const std::vector<const Field2Dd*>& Bs, std::vector<SpectralField>& out,
+    SpectralWorkspace& ws) const {
+  const int nm = mmax_ + 1;
+  const int nf = static_cast<int>(As.size());
+  ws.fm_a.resize(nm);
+  ws.fm_b.resize(nm);
+  ws.fm_c.resize(nm);
+  ws.fm_d.resize(nm);
+  ws.fold_pe.resize(static_cast<std::size_t>(nf) * nm);
+  ws.fold_po.resize(static_cast<std::size_t>(nf) * nm);
+  ws.fold_he.resize(static_cast<std::size_t>(nf) * nm);
+  ws.fold_ho.resize(static_cast<std::size_t>(nf) * nm);
+  for (const auto& pr : lp.pairs) {
+    const int js = pr[0], jn = pr[1];
+    const double mu = grid_.mu(js);
+    const double wj = 0.5 * grid_.gauss_weight(js) /
+                      (earth_radius * (1.0 - mu * mu));
+    for (int f = 0; f < nf; ++f) {
+      fourier_row_plan(*As[f], js, ws.fm_a.data(), ws);
+      fourier_row_plan(*As[f], jn, ws.fm_b.data(), ws);
+      fourier_row_plan(*Bs[f], js, ws.fm_c.data(), ws);
+      fourier_row_plan(*Bs[f], jn, ws.fm_d.data(), ws);
+      cplx* pe = ws.fold_pe.data() + static_cast<std::size_t>(f) * nm;
+      cplx* po = ws.fold_po.data() + static_cast<std::size_t>(f) * nm;
+      cplx* he = ws.fold_he.data() + static_cast<std::size_t>(f) * nm;
+      cplx* ho = ws.fold_ho.data() + static_cast<std::size_t>(f) * nm;
+      for (int m = 0; m < nm; ++m) {
+        const cplx im(0.0, static_cast<double>(m));
+        if (!curl) {
+          // div: s += (i m A_m) wj P - (B_m wj) H. With H's (-1)^{k+1}
+          // parity the even-k H term sees the *odd* fold and vice versa.
+          const cplx iaS = im * ws.fm_a[m] * wj, iaN = im * ws.fm_b[m] * wj;
+          const cplx bS = ws.fm_c[m] * wj, bN = ws.fm_d[m] * wj;
+          pe[m] = iaS + iaN;
+          po[m] = iaS - iaN;
+          he[m] = -(bS - bN);
+          ho[m] = -(bS + bN);
+        } else {
+          // curl: s += (i m B_m) wj P + (A_m wj) H.
+          const cplx ibS = im * ws.fm_c[m] * wj, ibN = im * ws.fm_d[m] * wj;
+          const cplx aS = ws.fm_a[m] * wj, aN = ws.fm_b[m] * wj;
+          pe[m] = ibS + ibN;
+          po[m] = ibS - ibN;
+          he[m] = aS - aN;
+          ho[m] = aS + aN;
+        }
+      }
+    }
+    const double* P = table_.p_row(js);
+    const double* H = table_.h_row(js);
+    for (int f = 0; f < nf; ++f) {
+      cplx* s = out[f].data();
+      const cplx* pe = ws.fold_pe.data() + static_cast<std::size_t>(f) * nm;
+      const cplx* po = ws.fold_po.data() + static_cast<std::size_t>(f) * nm;
+      const cplx* he = ws.fold_he.data() + static_cast<std::size_t>(f) * nm;
+      const cplx* ho = ws.fold_ho.data() + static_cast<std::size_t>(f) * nm;
+      for (int m = 0; m < nm; ++m) {
+        const double* pm = P + static_cast<std::size_t>(m) * kmax_;
+        const double* hm = H + static_cast<std::size_t>(m) * kmax_;
+        cplx* sm = s + static_cast<std::size_t>(m) * kmax_;
+        const cplx Pe = pe[m], Po = po[m], He = he[m], Ho = ho[m];
+        int k = 0;
+        for (; k + 1 < kmax_; k += 2) {
+          sm[k] += Pe * pm[k] + He * hm[k];
+          sm[k + 1] += Po * pm[k + 1] + Ho * hm[k + 1];
+        }
+        if (k < kmax_) sm[k] += Pe * pm[k] + He * hm[k];
+      }
+    }
+  }
+  for (const int j : lp.singles) {
+    const double mu = grid_.mu(j);
+    const double wj =
+        0.5 * grid_.gauss_weight(j) / (earth_radius * (1.0 - mu * mu));
+    const double* P = table_.p_row(j);
+    const double* H = table_.h_row(j);
+    for (int f = 0; f < nf; ++f) {
+      fourier_row_plan(*As[f], j, ws.fm_a.data(), ws);
+      fourier_row_plan(*Bs[f], j, ws.fm_c.data(), ws);
+      cplx* s = out[f].data();
+      for (int m = 0; m < nm; ++m) {
+        const cplx im(0.0, static_cast<double>(m));
+        cplx cp, ch;
+        if (!curl) {
+          cp = im * ws.fm_a[m] * wj;
+          ch = -ws.fm_c[m] * wj;
+        } else {
+          cp = im * ws.fm_c[m] * wj;
+          ch = ws.fm_a[m] * wj;
+        }
+        const double* pm = P + static_cast<std::size_t>(m) * kmax_;
+        const double* hm = H + static_cast<std::size_t>(m) * kmax_;
+        cplx* sm = s + static_cast<std::size_t>(m) * kmax_;
+        for (int k = 0; k < kmax_; ++k) sm[k] += cp * pm[k] + ch * hm[k];
+      }
+    }
+  }
+}
+
+void SpectralTransform::engine_uv(const LatPairing& lp,
+                                  const std::vector<const SpectralField*>& psis,
+                                  const std::vector<const SpectralField*>& chis,
+                                  const std::vector<Field2Dd*>& Us,
+                                  const std::vector<Field2Dd*>& Vs,
+                                  SpectralWorkspace& ws) const {
+  const int nm = mmax_ + 1;
+  const int nf = static_cast<int>(psis.size());
+  const double inv_a = 1.0 / earth_radius;
+  ws.fm_a.resize(nm);  // u southern
+  ws.fm_b.resize(nm);  // u northern
+  ws.fm_c.resize(nm);  // v southern
+  ws.fm_d.resize(nm);  // v northern
+  for (const auto& pr : lp.pairs) {
+    const int js = pr[0], jn = pr[1];
+    const double* P = table_.p_row(js);
+    const double* H = table_.h_row(js);
+    for (int f = 0; f < nf; ++f) {
+      const cplx* psi = psis[f]->data();
+      const cplx* chi = chis[f]->data();
+      for (int m = 0; m < nm; ++m) {
+        const cplx im(0.0, static_cast<double>(m));
+        const double* pm = P + static_cast<std::size_t>(m) * kmax_;
+        const double* hm = H + static_cast<std::size_t>(m) * kmax_;
+        const cplx* psm = psi + static_cast<std::size_t>(m) * kmax_;
+        const cplx* csm = chi + static_cast<std::size_t>(m) * kmax_;
+        // u = sum_k (i m chi_k) P_k - psi_k H_k;
+        // v = sum_k (i m psi_k) P_k + chi_k H_k.
+        // Split each of the four products by k parity; the northern row
+        // flips the odd-parity P sums and the even-parity H sums.
+        cplx Ae(0.0, 0.0), Ao(0.0, 0.0);  // (i m chi) P
+        cplx Be(0.0, 0.0), Bo(0.0, 0.0);  // psi H
+        cplx Ce(0.0, 0.0), Co(0.0, 0.0);  // (i m psi) P
+        cplx De(0.0, 0.0), Do(0.0, 0.0);  // chi H
+        int k = 0;
+        for (; k + 1 < kmax_; k += 2) {
+          Ae += csm[k] * pm[k];
+          Be += psm[k] * hm[k];
+          Ce += psm[k] * pm[k];
+          De += csm[k] * hm[k];
+          Ao += csm[k + 1] * pm[k + 1];
+          Bo += psm[k + 1] * hm[k + 1];
+          Co += psm[k + 1] * pm[k + 1];
+          Do += csm[k + 1] * hm[k + 1];
+        }
+        if (k < kmax_) {
+          Ae += csm[k] * pm[k];
+          Be += psm[k] * hm[k];
+          Ce += psm[k] * pm[k];
+          De += csm[k] * hm[k];
+        }
+        Ae *= im;
+        Ao *= im;
+        Ce *= im;
+        Co *= im;
+        ws.fm_a[m] = inv_a * (Ae + Ao - Be - Bo);
+        ws.fm_b[m] = inv_a * (Ae - Ao + Be - Bo);
+        ws.fm_c[m] = inv_a * (Ce + Co + De + Do);
+        ws.fm_d[m] = inv_a * (Ce - Co - De + Do);
+      }
+      inv_fourier_row_plan(ws.fm_a.data(), *Us[f], js, ws);
+      inv_fourier_row_plan(ws.fm_b.data(), *Us[f], jn, ws);
+      inv_fourier_row_plan(ws.fm_c.data(), *Vs[f], js, ws);
+      inv_fourier_row_plan(ws.fm_d.data(), *Vs[f], jn, ws);
+    }
+  }
+  for (const int j : lp.singles) {
+    const double* P = table_.p_row(j);
+    const double* H = table_.h_row(j);
+    for (int f = 0; f < nf; ++f) {
+      const cplx* psi = psis[f]->data();
+      const cplx* chi = chis[f]->data();
+      for (int m = 0; m < nm; ++m) {
+        const cplx im(0.0, static_cast<double>(m));
+        const double* pm = P + static_cast<std::size_t>(m) * kmax_;
+        const double* hm = H + static_cast<std::size_t>(m) * kmax_;
+        const cplx* psm = psi + static_cast<std::size_t>(m) * kmax_;
+        const cplx* csm = chi + static_cast<std::size_t>(m) * kmax_;
+        cplx u(0.0, 0.0), v(0.0, 0.0);
+        for (int k = 0; k < kmax_; ++k) {
+          u += im * csm[k] * pm[k] - psm[k] * hm[k];
+          v += im * psm[k] * pm[k] + csm[k] * hm[k];
+        }
+        ws.fm_a[m] = u * inv_a;
+        ws.fm_c[m] = v * inv_a;
+      }
+      inv_fourier_row_plan(ws.fm_a.data(), *Us[f], j, ws);
+      inv_fourier_row_plan(ws.fm_c.data(), *Vs[f], j, ws);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial entry points
+
 SpectralField SpectralTransform::analyze(const Field2Dd& f) const {
+  SpectralWorkspace ws;
+  return analyze(f, ws);
+}
+
+SpectralField SpectralTransform::analyze(const Field2Dd& f,
+                                         SpectralWorkspace& ws) const {
   FOAM_REQUIRE(f.nx() == grid_.nlon() && f.ny() == grid_.nlat(),
                "field shape " << f.nx() << "x" << f.ny());
   SpectralField s(mmax_, kmax_);
+  if (mode_ == SpectralMode::kEngine) {
+    std::vector<SpectralField> out(1);
+    out[0] = std::move(s);
+    engine_analyze(pairing_, {&f}, out, ws);
+    return std::move(out[0]);
+  }
   std::vector<cplx> fm;
   for (int j = 0; j < grid_.nlat(); ++j) {
     fourier_row(f, j, fm);
@@ -93,8 +482,18 @@ SpectralField SpectralTransform::analyze(const Field2Dd& f) const {
 }
 
 Field2Dd SpectralTransform::synthesize(const SpectralField& s) const {
+  SpectralWorkspace ws;
+  return synthesize(s, ws);
+}
+
+Field2Dd SpectralTransform::synthesize(const SpectralField& s,
+                                       SpectralWorkspace& ws) const {
   FOAM_REQUIRE(s.mmax() == mmax_ && s.kmax() == kmax_, "truncation mismatch");
   Field2Dd f(grid_.nlon(), grid_.nlat());
+  if (mode_ == SpectralMode::kEngine) {
+    engine_synthesize(pairing_, {&s}, {&f}, ws);
+    return f;
+  }
   std::vector<cplx> fm(mmax_ + 1);
   for (int j = 0; j < grid_.nlat(); ++j) {
     for (int m = 0; m <= mmax_; ++m) {
@@ -109,6 +508,13 @@ Field2Dd SpectralTransform::synthesize(const SpectralField& s) const {
 
 SpectralField SpectralTransform::analyze_div(const Field2Dd& A,
                                              const Field2Dd& B) const {
+  if (mode_ == SpectralMode::kEngine) {
+    SpectralWorkspace ws;
+    std::vector<SpectralField> out(1);
+    out[0] = SpectralField(mmax_, kmax_);
+    engine_analyze_vec(pairing_, /*curl=*/false, {&A}, {&B}, out, ws);
+    return std::move(out[0]);
+  }
   SpectralField s(mmax_, kmax_);
   std::vector<cplx> am, bm;
   for (int j = 0; j < grid_.nlat(); ++j) {
@@ -131,6 +537,13 @@ SpectralField SpectralTransform::analyze_div(const Field2Dd& A,
 
 SpectralField SpectralTransform::analyze_curl(const Field2Dd& A,
                                               const Field2Dd& B) const {
+  if (mode_ == SpectralMode::kEngine) {
+    SpectralWorkspace ws;
+    std::vector<SpectralField> out(1);
+    out[0] = SpectralField(mmax_, kmax_);
+    engine_analyze_vec(pairing_, /*curl=*/true, {&A}, {&B}, out, ws);
+    return std::move(out[0]);
+  }
   SpectralField s(mmax_, kmax_);
   std::vector<cplx> am, bm;
   for (int j = 0; j < grid_.nlat(); ++j) {
@@ -160,6 +573,11 @@ void SpectralTransform::uv_from_psi_chi(const SpectralField& psi,
     U = Field2Dd(grid_.nlon(), grid_.nlat());
   if (V.nx() != grid_.nlon() || V.ny() != grid_.nlat())
     V = Field2Dd(grid_.nlon(), grid_.nlat());
+  if (mode_ == SpectralMode::kEngine) {
+    SpectralWorkspace ws;
+    engine_uv(pairing_, {&psi}, {&chi}, {&U}, {&V}, ws);
+    return;
+  }
   std::vector<cplx> um(mmax_ + 1), vm(mmax_ + 1);
   const double inv_a = 1.0 / earth_radius;
   for (int j = 0; j < grid_.nlat(); ++j) {
@@ -177,6 +595,88 @@ void SpectralTransform::uv_from_psi_chi(const SpectralField& psi,
     }
     inv_fourier_row(um, U, j);
     inv_fourier_row(vm, V, j);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial batched entry points
+
+std::vector<SpectralField> SpectralTransform::analyze_batch(
+    const std::vector<const Field2Dd*>& fs, SpectralWorkspace& ws) const {
+  std::vector<SpectralField> out(fs.size());
+  for (auto& s : out) s = SpectralField(mmax_, kmax_);
+  if (mode_ == SpectralMode::kEngine) {
+    engine_analyze(pairing_, fs, out, ws);
+  } else {
+    for (std::size_t f = 0; f < fs.size(); ++f) out[f] = analyze(*fs[f]);
+  }
+  return out;
+}
+
+void SpectralTransform::synthesize_batch(
+    const std::vector<const SpectralField*>& ss,
+    const std::vector<Field2Dd*>& outs, SpectralWorkspace& ws) const {
+  FOAM_REQUIRE(ss.size() == outs.size(), "batch size mismatch");
+  for (auto* g : outs) {
+    if (g->nx() != grid_.nlon() || g->ny() != grid_.nlat())
+      *g = Field2Dd(grid_.nlon(), grid_.nlat());
+  }
+  if (mode_ == SpectralMode::kEngine) {
+    engine_synthesize(pairing_, ss, outs, ws);
+  } else {
+    for (std::size_t f = 0; f < ss.size(); ++f) *outs[f] = synthesize(*ss[f]);
+  }
+}
+
+std::vector<SpectralField> SpectralTransform::analyze_div_batch(
+    const std::vector<const Field2Dd*>& As,
+    const std::vector<const Field2Dd*>& Bs, SpectralWorkspace& ws) const {
+  FOAM_REQUIRE(As.size() == Bs.size(), "batch size mismatch");
+  std::vector<SpectralField> out(As.size());
+  for (auto& s : out) s = SpectralField(mmax_, kmax_);
+  if (mode_ == SpectralMode::kEngine) {
+    engine_analyze_vec(pairing_, /*curl=*/false, As, Bs, out, ws);
+  } else {
+    for (std::size_t f = 0; f < As.size(); ++f)
+      out[f] = analyze_div(*As[f], *Bs[f]);
+  }
+  return out;
+}
+
+std::vector<SpectralField> SpectralTransform::analyze_curl_batch(
+    const std::vector<const Field2Dd*>& As,
+    const std::vector<const Field2Dd*>& Bs, SpectralWorkspace& ws) const {
+  FOAM_REQUIRE(As.size() == Bs.size(), "batch size mismatch");
+  std::vector<SpectralField> out(As.size());
+  for (auto& s : out) s = SpectralField(mmax_, kmax_);
+  if (mode_ == SpectralMode::kEngine) {
+    engine_analyze_vec(pairing_, /*curl=*/true, As, Bs, out, ws);
+  } else {
+    for (std::size_t f = 0; f < As.size(); ++f)
+      out[f] = analyze_curl(*As[f], *Bs[f]);
+  }
+  return out;
+}
+
+void SpectralTransform::uv_from_psi_chi_batch(
+    const std::vector<const SpectralField*>& psis,
+    const std::vector<const SpectralField*>& chis,
+    const std::vector<Field2Dd*>& Us, const std::vector<Field2Dd*>& Vs,
+    SpectralWorkspace& ws) const {
+  FOAM_REQUIRE(psis.size() == chis.size() && psis.size() == Us.size() &&
+                   psis.size() == Vs.size(),
+               "batch size mismatch");
+  for (std::size_t f = 0; f < Us.size(); ++f) {
+    if (Us[f]->nx() != grid_.nlon() || Us[f]->ny() != grid_.nlat())
+      *Us[f] = Field2Dd(grid_.nlon(), grid_.nlat());
+    if (Vs[f]->nx() != grid_.nlon() || Vs[f]->ny() != grid_.nlat())
+      *Vs[f] = Field2Dd(grid_.nlon(), grid_.nlat());
+  }
+  if (mode_ == SpectralMode::kEngine) {
+    engine_uv(pairing_, psis, chis, Us, Vs, ws);
+  } else {
+    for (std::size_t f = 0; f < psis.size(); ++f)
+      uv_from_psi_chi(*psis[f], *chis[f], *Us[f], *Vs[f]);
   }
 }
 
@@ -211,29 +711,57 @@ SpectralField SpectralTransform::d_dlon(const SpectralField& s) const {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Distributed (latitude-band) transform
+
 ParSpectralTransform::ParSpectralTransform(const SpectralTransform& serial,
                                            std::vector<int> my_lats)
     : serial_(serial), my_lats_(std::move(my_lats)) {
   for (const int j : my_lats_)
     FOAM_REQUIRE(j >= 0 && j < serial_.grid().nlat(), "latitude " << j);
+  pairing_ = SpectralTransform::make_pairing(serial_.grid(), my_lats_);
 }
 
 void ParSpectralTransform::allreduce_spectral(par::Comm& comm,
                                               SpectralField& s) const {
+  // Reduce directly over the coefficient storage viewed as doubles — the
+  // rank-ordered reduction writes into the same span, no staging copies.
   const std::size_t n = s.size() * 2;  // complex -> 2 doubles
-  std::vector<double> buf(n);
-  const double* raw = reinterpret_cast<const double*>(s.data());
-  std::copy(raw, raw + n, buf.begin());
-  std::vector<double> out(n);
-  comm.allreduce(std::span<const double>(buf), std::span<double>(out),
+  double* raw = reinterpret_cast<double*>(s.data());
+  comm.allreduce(std::span<const double>(raw, n), std::span<double>(raw, n),
                  par::ReduceOp::kSum);
-  double* dst = reinterpret_cast<double*>(s.data());
-  std::copy(out.begin(), out.end(), dst);
+}
+
+void ParSpectralTransform::allreduce_fused(
+    par::Comm& comm, std::vector<SpectralField>& fields) const {
+  if (fields.empty()) return;
+  const std::size_t per = fields[0].size() * 2;
+  ws_.reduce.resize(per * fields.size());
+  for (std::size_t f = 0; f < fields.size(); ++f) {
+    const double* raw = reinterpret_cast<const double*>(fields[f].data());
+    std::copy(raw, raw + per, ws_.reduce.begin() + f * per);
+  }
+  comm.allreduce(
+      std::span<const double>(ws_.reduce.data(), ws_.reduce.size()),
+      std::span<double>(ws_.reduce.data(), ws_.reduce.size()),
+      par::ReduceOp::kSum);
+  for (std::size_t f = 0; f < fields.size(); ++f) {
+    double* raw = reinterpret_cast<double*>(fields[f].data());
+    std::copy(ws_.reduce.begin() + f * per,
+              ws_.reduce.begin() + (f + 1) * per, raw);
+  }
 }
 
 SpectralField ParSpectralTransform::analyze(par::Comm& comm,
                                             const Field2Dd& f) const {
   SpectralField s(serial_.mmax(), serial_.kmax());
+  if (serial_.mode() == SpectralMode::kEngine) {
+    std::vector<SpectralField> out(1);
+    out[0] = std::move(s);
+    serial_.engine_analyze(pairing_, {&f}, out, ws_);
+    allreduce_spectral(comm, out[0]);
+    return std::move(out[0]);
+  }
   std::vector<cplx> fm;
   for (const int j : my_lats_) {
     serial_.fourier_row(f, j, fm);
@@ -250,6 +778,10 @@ SpectralField ParSpectralTransform::analyze(par::Comm& comm,
 
 void ParSpectralTransform::synthesize(const SpectralField& s,
                                       Field2Dd& f) const {
+  if (serial_.mode() == SpectralMode::kEngine) {
+    serial_.engine_synthesize(pairing_, {&s}, {&f}, ws_);
+    return;
+  }
   std::vector<cplx> fm(serial_.mmax() + 1);
   for (const int j : my_lats_) {
     for (int m = 0; m <= serial_.mmax(); ++m) {
@@ -266,6 +798,14 @@ SpectralField ParSpectralTransform::analyze_div(par::Comm& comm,
                                                 const Field2Dd& A,
                                                 const Field2Dd& B) const {
   SpectralField s(serial_.mmax(), serial_.kmax());
+  if (serial_.mode() == SpectralMode::kEngine) {
+    std::vector<SpectralField> out(1);
+    out[0] = std::move(s);
+    serial_.engine_analyze_vec(pairing_, /*curl=*/false, {&A}, {&B}, out,
+                               ws_);
+    allreduce_spectral(comm, out[0]);
+    return std::move(out[0]);
+  }
   std::vector<cplx> am, bm;
   for (const int j : my_lats_) {
     serial_.fourier_row(A, j, am);
@@ -289,6 +829,13 @@ SpectralField ParSpectralTransform::analyze_curl(par::Comm& comm,
                                                  const Field2Dd& A,
                                                  const Field2Dd& B) const {
   SpectralField s(serial_.mmax(), serial_.kmax());
+  if (serial_.mode() == SpectralMode::kEngine) {
+    std::vector<SpectralField> out(1);
+    out[0] = std::move(s);
+    serial_.engine_analyze_vec(pairing_, /*curl=*/true, {&A}, {&B}, out, ws_);
+    allreduce_spectral(comm, out[0]);
+    return std::move(out[0]);
+  }
   std::vector<cplx> am, bm;
   for (const int j : my_lats_) {
     serial_.fourier_row(A, j, am);
@@ -311,6 +858,10 @@ SpectralField ParSpectralTransform::analyze_curl(par::Comm& comm,
 void ParSpectralTransform::uv_from_psi_chi(const SpectralField& psi,
                                            const SpectralField& chi,
                                            Field2Dd& U, Field2Dd& V) const {
+  if (serial_.mode() == SpectralMode::kEngine) {
+    serial_.engine_uv(pairing_, {&psi}, {&chi}, {&U}, {&V}, ws_);
+    return;
+  }
   std::vector<cplx> um(serial_.mmax() + 1), vm(serial_.mmax() + 1);
   const double inv_a = 1.0 / earth_radius;
   for (const int j : my_lats_) {
@@ -328,6 +879,80 @@ void ParSpectralTransform::uv_from_psi_chi(const SpectralField& psi,
     }
     serial_.inv_fourier_row(um, U, j);
     serial_.inv_fourier_row(vm, V, j);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed batched entry points
+
+std::vector<SpectralField> ParSpectralTransform::analyze_batch(
+    par::Comm& comm, const std::vector<const Field2Dd*>& fs) const {
+  std::vector<SpectralField> out(fs.size());
+  for (auto& s : out) s = SpectralField(serial_.mmax(), serial_.kmax());
+  if (serial_.mode() == SpectralMode::kEngine) {
+    serial_.engine_analyze(pairing_, fs, out, ws_);
+    allreduce_fused(comm, out);
+  } else {
+    for (std::size_t f = 0; f < fs.size(); ++f) out[f] = analyze(comm, *fs[f]);
+  }
+  return out;
+}
+
+void ParSpectralTransform::synthesize_batch(
+    const std::vector<const SpectralField*>& ss,
+    const std::vector<Field2Dd*>& outs) const {
+  FOAM_REQUIRE(ss.size() == outs.size(), "batch size mismatch");
+  if (serial_.mode() == SpectralMode::kEngine) {
+    serial_.engine_synthesize(pairing_, ss, outs, ws_);
+  } else {
+    for (std::size_t f = 0; f < ss.size(); ++f) synthesize(*ss[f], *outs[f]);
+  }
+}
+
+std::vector<SpectralField> ParSpectralTransform::analyze_div_batch(
+    par::Comm& comm, const std::vector<const Field2Dd*>& As,
+    const std::vector<const Field2Dd*>& Bs) const {
+  FOAM_REQUIRE(As.size() == Bs.size(), "batch size mismatch");
+  std::vector<SpectralField> out(As.size());
+  for (auto& s : out) s = SpectralField(serial_.mmax(), serial_.kmax());
+  if (serial_.mode() == SpectralMode::kEngine) {
+    serial_.engine_analyze_vec(pairing_, /*curl=*/false, As, Bs, out, ws_);
+    allreduce_fused(comm, out);
+  } else {
+    for (std::size_t f = 0; f < As.size(); ++f)
+      out[f] = analyze_div(comm, *As[f], *Bs[f]);
+  }
+  return out;
+}
+
+std::vector<SpectralField> ParSpectralTransform::analyze_curl_batch(
+    par::Comm& comm, const std::vector<const Field2Dd*>& As,
+    const std::vector<const Field2Dd*>& Bs) const {
+  FOAM_REQUIRE(As.size() == Bs.size(), "batch size mismatch");
+  std::vector<SpectralField> out(As.size());
+  for (auto& s : out) s = SpectralField(serial_.mmax(), serial_.kmax());
+  if (serial_.mode() == SpectralMode::kEngine) {
+    serial_.engine_analyze_vec(pairing_, /*curl=*/true, As, Bs, out, ws_);
+    allreduce_fused(comm, out);
+  } else {
+    for (std::size_t f = 0; f < As.size(); ++f)
+      out[f] = analyze_curl(comm, *As[f], *Bs[f]);
+  }
+  return out;
+}
+
+void ParSpectralTransform::uv_from_psi_chi_batch(
+    const std::vector<const SpectralField*>& psis,
+    const std::vector<const SpectralField*>& chis,
+    const std::vector<Field2Dd*>& Us, const std::vector<Field2Dd*>& Vs) const {
+  FOAM_REQUIRE(psis.size() == chis.size() && psis.size() == Us.size() &&
+                   psis.size() == Vs.size(),
+               "batch size mismatch");
+  if (serial_.mode() == SpectralMode::kEngine) {
+    serial_.engine_uv(pairing_, psis, chis, Us, Vs, ws_);
+  } else {
+    for (std::size_t f = 0; f < psis.size(); ++f)
+      uv_from_psi_chi(*psis[f], *chis[f], *Us[f], *Vs[f]);
   }
 }
 

@@ -14,16 +14,40 @@
 /// derivative is ever taken (the standard transform-method trick that also
 /// shapes the parallel data flow).
 ///
+/// Two implementations share this interface, selected by SpectralMode:
+///
+///  * kReference — the correctness-first scalar loops (per-row recursive
+///    FFT, full (m,k,j) Legendre triple loops). Kept as the A/B baseline.
+///  * kEngine (default) — the plan-based engine: allocation-free iterative
+///    real FFT (FftPlan), equatorial-symmetry folding of the Legendre sums
+///    (Pbar_n^m(-mu) = (-1)^{n+m} Pbar_n^m(mu), so north/south latitude
+///    pairs fold into even/odd-parity contributions and the Legendre flops
+///    halve), and contiguous panel kernels over the LegendreTable rows.
+///    The *_batch entry points transform many fields per pass, amortizing
+///    FFT plans and Legendre panel loads (and, in ParSpectralTransform,
+///    fusing the per-field allreduces into one collective).
+///
+/// Engine results agree with the reference to <= 1e-12 relative (the
+/// folding reassociates the latitude sum; the complex FFT stages are
+/// bitwise identical).
+///
+/// Engine entry points are const and thread-safe as long as each thread
+/// uses its own SpectralWorkspace (the overloads without a workspace
+/// allocate a fresh one per call).
+///
 /// ParSpectralTransform layers the same operations over a latitude-band
 /// decomposition on foam::par — FFTs are local to a rank's latitudes and the
 /// Legendre stage completes partial sums with an allreduce, the
 /// "distributed Legendre transform" variant studied for PCCM2.
 
+#include <array>
 #include <complex>
+#include <span>
 #include <vector>
 
 #include "base/field.hpp"
 #include "numerics/fft.hpp"
+#include "numerics/fft_plan.hpp"
 #include "numerics/grid.hpp"
 #include "numerics/legendre.hpp"
 #include "par/comm.hpp"
@@ -78,21 +102,52 @@ class SpectralField {
   std::vector<std::complex<double>> c_;
 };
 
+/// Implementation selector for the transform entry points (A/B toggle).
+enum class SpectralMode { kReference, kEngine };
+
+/// Reusable scratch for the plan-based engine: FFT workspace, Fourier-row
+/// and parity-fold buffers. All storage grows on first use and is reused
+/// afterwards, making repeated engine transforms allocation-free. One
+/// workspace per thread — workspaces must not be shared concurrently.
+class SpectralWorkspace {
+ public:
+  SpectralWorkspace() = default;
+
+ private:
+  friend class SpectralTransform;
+  friend class ParSpectralTransform;
+  friend class TransposeSpectralTransform;
+  std::vector<std::complex<double>> fft;    // FftPlan ping-pong workspace
+  std::vector<double> row;                  // one real latitude row
+  std::vector<std::complex<double>> spec;   // n/2+1 rFFT coefficients
+  std::vector<std::complex<double>> fm_a, fm_b, fm_c, fm_d;  // Fourier modes
+  std::vector<std::complex<double>> fold_pe, fold_po;  // P-term folds [f][m]
+  std::vector<std::complex<double>> fold_he, fold_ho;  // H-term folds [f][m]
+  std::vector<std::complex<double>> acc;    // per-m Legendre accumulators
+  std::vector<double> reduce;               // fused-allreduce packing
+};
+
 /// Serial spectral transform bound to one Gaussian grid and truncation.
 class SpectralTransform {
  public:
   /// Rhomboidal truncation R(mmax): kmax = mmax + 1 degrees per m.
-  SpectralTransform(const GaussianGrid& grid, int mmax);
+  SpectralTransform(const GaussianGrid& grid, int mmax,
+                    SpectralMode mode = SpectralMode::kEngine);
 
   int mmax() const { return mmax_; }
   int kmax() const { return kmax_; }
   const GaussianGrid& grid() const { return grid_; }
 
+  SpectralMode mode() const { return mode_; }
+  void set_mode(SpectralMode mode) { mode_ = mode; }
+
   /// Scalar analysis: grid -> spectral.
   SpectralField analyze(const Field2Dd& f) const;
+  SpectralField analyze(const Field2Dd& f, SpectralWorkspace& ws) const;
 
   /// Scalar synthesis: spectral -> grid.
   Field2Dd synthesize(const SpectralField& s) const;
+  Field2Dd synthesize(const SpectralField& s, SpectralWorkspace& ws) const;
 
   /// Vector analysis of the flux pair (A, B) = (U q, V q) with U = u cos(lat):
   ///   analyze_div  -> spectral of  (1/(a(1-mu^2))) dA/dlon + (1/a) dB/dmu
@@ -108,6 +163,34 @@ class SpectralTransform {
   void uv_from_psi_chi(const SpectralField& psi, const SpectralField& chi,
                        Field2Dd& U, Field2Dd& V) const;
 
+  /// --- Batched multi-field entry points -------------------------------
+  /// Transform every field of a step in one pass: the Legendre panels are
+  /// loaded once per latitude pair and reused across the batch. Under
+  /// kReference these loop the single-field reference paths (A/B
+  /// comparability); under kEngine they run the folded panel kernels.
+
+  std::vector<SpectralField> analyze_batch(
+      const std::vector<const Field2Dd*>& fs, SpectralWorkspace& ws) const;
+
+  void synthesize_batch(const std::vector<const SpectralField*>& ss,
+                        const std::vector<Field2Dd*>& outs,
+                        SpectralWorkspace& ws) const;
+
+  std::vector<SpectralField> analyze_div_batch(
+      const std::vector<const Field2Dd*>& As,
+      const std::vector<const Field2Dd*>& Bs, SpectralWorkspace& ws) const;
+
+  std::vector<SpectralField> analyze_curl_batch(
+      const std::vector<const Field2Dd*>& As,
+      const std::vector<const Field2Dd*>& Bs, SpectralWorkspace& ws) const;
+
+  /// Batched winds; U/V outputs are resized to the grid shape if needed.
+  void uv_from_psi_chi_batch(const std::vector<const SpectralField*>& psis,
+                             const std::vector<const SpectralField*>& chis,
+                             const std::vector<Field2Dd*>& Us,
+                             const std::vector<Field2Dd*>& Vs,
+                             SpectralWorkspace& ws) const;
+
   /// Spectral Laplacian: c_n^m *= -n(n+1)/a^2.
   void laplacian(SpectralField& s) const;
   /// Inverse Laplacian; the n = 0 coefficient (undetermined) is zeroed.
@@ -122,6 +205,16 @@ class SpectralTransform {
   friend class ParSpectralTransform;
   friend class TransposeSpectralTransform;
 
+  /// Latitude rows grouped for equatorial-symmetry folding: mirror pairs
+  /// (js, jn) with mu[jn] == -mu[js], plus unpaired rows (the equator row
+  /// of an odd-nlat grid, or rows whose mirror another rank owns).
+  struct LatPairing {
+    std::vector<std::array<int, 2>> pairs;
+    std::vector<int> singles;
+  };
+  static LatPairing make_pairing(const GaussianGrid& grid,
+                                 std::span<const int> lats);
+
   /// Fourier analysis of one latitude row (truncated to mmax+1 modes, with
   /// the 1/nlon normalization folded in).
   void fourier_row(const Field2Dd& f, int j,
@@ -130,11 +223,44 @@ class SpectralTransform {
   void inv_fourier_row(const std::vector<std::complex<double>>& fm,
                        Field2Dd& f, int j) const;
 
+  /// Plan-based row transforms (allocation-free given a warm workspace).
+  void fourier_row_plan(const Field2Dd& f, int j, std::complex<double>* fm,
+                        SpectralWorkspace& ws) const;
+  void inv_fourier_row_plan(const std::complex<double>* fm, Field2Dd& f,
+                            int j, SpectralWorkspace& ws) const;
+
+  /// Engine kernels over an arbitrary row grouping (serial uses the full
+  /// grid's pairing; the parallel variants pass their owned rows).
+  /// Analysis kernels accumulate into zero-initialized outputs; synthesis
+  /// kernels write only the rows named by the pairing.
+  void engine_analyze(const LatPairing& lp,
+                      const std::vector<const Field2Dd*>& fs,
+                      std::vector<SpectralField>& out,
+                      SpectralWorkspace& ws) const;
+  void engine_synthesize(const LatPairing& lp,
+                         const std::vector<const SpectralField*>& ss,
+                         const std::vector<Field2Dd*>& outs,
+                         SpectralWorkspace& ws) const;
+  void engine_analyze_vec(const LatPairing& lp, bool curl,
+                          const std::vector<const Field2Dd*>& As,
+                          const std::vector<const Field2Dd*>& Bs,
+                          std::vector<SpectralField>& out,
+                          SpectralWorkspace& ws) const;
+  void engine_uv(const LatPairing& lp,
+                 const std::vector<const SpectralField*>& psis,
+                 const std::vector<const SpectralField*>& chis,
+                 const std::vector<Field2Dd*>& Us,
+                 const std::vector<Field2Dd*>& Vs,
+                 SpectralWorkspace& ws) const;
+
   const GaussianGrid& grid_;
   int mmax_;
   int kmax_;
-  Fft fft_;
+  SpectralMode mode_;
+  Fft fft_;        // reference recursive FFT
+  FftPlan plan_;   // engine iterative plan
   LegendreTable table_;
+  LatPairing pairing_;  // full-grid mirror pairs
 };
 
 /// Latitude-distributed spectral transform. Each rank owns a set of latitude
@@ -142,6 +268,11 @@ class SpectralTransform {
 /// ends with an allreduce so every rank holds the full spectral state, and
 /// synthesis fills only the rank's own rows of the output field (other rows
 /// are left untouched).
+///
+/// The instance carries its own SpectralWorkspace, so it is cheap to call
+/// repeatedly but must not be shared across ranks/threads (each rank
+/// constructs its own, which is the existing usage pattern). The underlying
+/// serial transform may be shared freely.
 class ParSpectralTransform {
  public:
   ParSpectralTransform(const SpectralTransform& serial,
@@ -158,10 +289,34 @@ class ParSpectralTransform {
   void uv_from_psi_chi(const SpectralField& psi, const SpectralField& chi,
                        Field2Dd& U, Field2Dd& V) const;
 
+  /// Batched variants: one pass over the rank's latitudes for the whole
+  /// batch, and — for the analysis entry points — the per-field spectral
+  /// allreduces fused into a single collective over one packed buffer.
+  std::vector<SpectralField> analyze_batch(
+      par::Comm& comm, const std::vector<const Field2Dd*>& fs) const;
+  void synthesize_batch(const std::vector<const SpectralField*>& ss,
+                        const std::vector<Field2Dd*>& outs) const;
+  std::vector<SpectralField> analyze_div_batch(
+      par::Comm& comm, const std::vector<const Field2Dd*>& As,
+      const std::vector<const Field2Dd*>& Bs) const;
+  std::vector<SpectralField> analyze_curl_batch(
+      par::Comm& comm, const std::vector<const Field2Dd*>& As,
+      const std::vector<const Field2Dd*>& Bs) const;
+  void uv_from_psi_chi_batch(const std::vector<const SpectralField*>& psis,
+                             const std::vector<const SpectralField*>& chis,
+                             const std::vector<Field2Dd*>& Us,
+                             const std::vector<Field2Dd*>& Vs) const;
+
  private:
   void allreduce_spectral(par::Comm& comm, SpectralField& s) const;
+  /// One collective for the whole batch: pack every field's partial sums
+  /// into the workspace buffer, allreduce in place, unpack.
+  void allreduce_fused(par::Comm& comm,
+                       std::vector<SpectralField>& fields) const;
   const SpectralTransform& serial_;
   std::vector<int> my_lats_;
+  SpectralTransform::LatPairing pairing_;  // folding groups within my_lats
+  mutable SpectralWorkspace ws_;
 };
 
 }  // namespace foam::numerics

@@ -134,10 +134,18 @@ std::vector<std::vector<cplx>> TransposeSpectralTransform::forward_transpose(
 
 SpectralField TransposeSpectralTransform::analyze(par::Comm& comm,
                                                   const Field2Dd& f) const {
+  const bool engine = serial_.mode() == SpectralMode::kEngine;
+  const int nm = serial_.mmax() + 1;
   // Latitude-local FFTs.
   std::vector<std::vector<cplx>> fm_rows(my_lats_.size());
-  for (std::size_t row = 0; row < my_lats_.size(); ++row)
-    serial_.fourier_row(f, my_lats_[row], fm_rows[row]);
+  for (std::size_t row = 0; row < my_lats_.size(); ++row) {
+    if (engine) {
+      fm_rows[row].resize(nm);
+      serial_.fourier_row_plan(f, my_lats_[row], fm_rows[row].data(), ws_);
+    } else {
+      serial_.fourier_row(f, my_lats_[row], fm_rows[row]);
+    }
+  }
 
   // Transpose to the m decomposition, then local full Legendre sums.
   const auto columns = forward_transpose(comm, fm_rows);
@@ -146,17 +154,53 @@ SpectralField TransposeSpectralTransform::analyze(par::Comm& comm,
   std::vector<double> mine(static_cast<std::size_t>(max_ms_per_rank_) *
                                kmax * 2,
                            0.0);
-  for (int m = m_lo_; m < m_hi_; ++m) {
-    for (int k = 0; k < kmax; ++k) {
-      cplx acc(0.0, 0.0);
-      for (int j = 0; j < nlat; ++j) {
-        const double wj = 0.5 * serial_.grid().gauss_weight(j);
-        acc += wj * columns[m - m_lo_][j] * serial_.table_.p(m, k, j);
+  if (engine) {
+    // Parity-folded sums over the full-grid mirror pairs: even-k entries
+    // of the panel see the even fold, odd-k the odd fold.
+    std::vector<cplx> acc(kmax);
+    for (int m = m_lo_; m < m_hi_; ++m) {
+      const cplx* col = columns[m - m_lo_].data();
+      std::fill(acc.begin(), acc.end(), cplx(0.0, 0.0));
+      for (const auto& pr : serial_.pairing_.pairs) {
+        const int js = pr[0], jn = pr[1];
+        const double w = 0.5 * serial_.grid().gauss_weight(js);
+        const cplx fe = w * (col[js] + col[jn]);
+        const cplx fo = w * (col[js] - col[jn]);
+        const double* pm =
+            serial_.table_.p_row(js) + static_cast<std::size_t>(m) * kmax;
+        int k = 0;
+        for (; k + 1 < kmax; k += 2) {
+          acc[k] += fe * pm[k];
+          acc[k + 1] += fo * pm[k + 1];
+        }
+        if (k < kmax) acc[k] += fe * pm[k];
       }
-      const std::size_t slot =
-          (static_cast<std::size_t>(m - m_lo_) * kmax + k) * 2;
-      mine[slot] = acc.real();
-      mine[slot + 1] = acc.imag();
+      for (const int j : serial_.pairing_.singles) {
+        const cplx wf = 0.5 * serial_.grid().gauss_weight(j) * col[j];
+        const double* pm =
+            serial_.table_.p_row(j) + static_cast<std::size_t>(m) * kmax;
+        for (int k = 0; k < kmax; ++k) acc[k] += wf * pm[k];
+      }
+      for (int k = 0; k < kmax; ++k) {
+        const std::size_t slot =
+            (static_cast<std::size_t>(m - m_lo_) * kmax + k) * 2;
+        mine[slot] = acc[k].real();
+        mine[slot + 1] = acc[k].imag();
+      }
+    }
+  } else {
+    for (int m = m_lo_; m < m_hi_; ++m) {
+      for (int k = 0; k < kmax; ++k) {
+        cplx acc(0.0, 0.0);
+        for (int j = 0; j < nlat; ++j) {
+          const double wj = 0.5 * serial_.grid().gauss_weight(j);
+          acc += wj * columns[m - m_lo_][j] * serial_.table_.p(m, k, j);
+        }
+        const std::size_t slot =
+            (static_cast<std::size_t>(m - m_lo_) * kmax + k) * 2;
+        mine[slot] = acc.real();
+        mine[slot + 1] = acc.imag();
+      }
     }
   }
   // Allgather the m-blocks so every rank holds the full spectral field.
@@ -180,16 +224,48 @@ void TransposeSpectralTransform::synthesize(par::Comm& comm,
                                             Field2Dd& f) const {
   const int nlat = serial_.grid().nlat();
   const int nm = serial_.mmax() + 1;
+  const int kmax = serial_.kmax();
+  const bool engine = serial_.mode() == SpectralMode::kEngine;
   // Inverse Legendre on owned m's: f_m(j) for all j.
   std::vector<std::vector<cplx>> columns(
       m_hi_ - m_lo_, std::vector<cplx>(nlat, cplx(0.0, 0.0)));
-  for (int m = m_lo_; m < m_hi_; ++m)
-    for (int j = 0; j < nlat; ++j) {
-      cplx acc(0.0, 0.0);
-      for (int k = 0; k < serial_.kmax(); ++k)
-        acc += s.at(m, k) * serial_.table_.p(m, k, j);
-      columns[m - m_lo_][j] = acc;
+  if (engine) {
+    // Folded inverse sums: one even/odd accumulation per mirror pair gives
+    // both rows (northern row flips the odd-parity part).
+    for (int m = m_lo_; m < m_hi_; ++m) {
+      cplx* col = columns[m - m_lo_].data();
+      const cplx* sm = s.data() + static_cast<std::size_t>(m) * kmax;
+      for (const auto& pr : serial_.pairing_.pairs) {
+        const int js = pr[0], jn = pr[1];
+        const double* pm =
+            serial_.table_.p_row(js) + static_cast<std::size_t>(m) * kmax;
+        cplx acc_e(0.0, 0.0), acc_o(0.0, 0.0);
+        int k = 0;
+        for (; k + 1 < kmax; k += 2) {
+          acc_e += sm[k] * pm[k];
+          acc_o += sm[k + 1] * pm[k + 1];
+        }
+        if (k < kmax) acc_e += sm[k] * pm[k];
+        col[js] = acc_e + acc_o;
+        col[jn] = acc_e - acc_o;
+      }
+      for (const int j : serial_.pairing_.singles) {
+        const double* pm =
+            serial_.table_.p_row(j) + static_cast<std::size_t>(m) * kmax;
+        cplx acc(0.0, 0.0);
+        for (int k = 0; k < kmax; ++k) acc += sm[k] * pm[k];
+        col[j] = acc;
+      }
     }
+  } else {
+    for (int m = m_lo_; m < m_hi_; ++m)
+      for (int j = 0; j < nlat; ++j) {
+        cplx acc(0.0, 0.0);
+        for (int k = 0; k < kmax; ++k)
+          acc += s.at(m, k) * serial_.table_.p(m, k, j);
+        columns[m - m_lo_][j] = acc;
+      }
+  }
   // Inverse transpose: send to each rank its latitudes of my m-columns;
   // each arriving block fills its m-slice of the full Fourier rows.
   const std::size_t block =
@@ -220,8 +296,13 @@ void TransposeSpectralTransform::synthesize(par::Comm& comm,
         }
       });
   // Latitude-local inverse FFTs into the rank's rows of f.
-  for (std::size_t row = 0; row < my_lats_.size(); ++row)
-    serial_.inv_fourier_row(fm[row], f, my_lats_[row]);
+  for (std::size_t row = 0; row < my_lats_.size(); ++row) {
+    if (engine) {
+      serial_.inv_fourier_row_plan(fm[row].data(), f, my_lats_[row], ws_);
+    } else {
+      serial_.inv_fourier_row(fm[row], f, my_lats_[row]);
+    }
+  }
 }
 
 }  // namespace foam::numerics

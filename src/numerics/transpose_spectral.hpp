@@ -86,6 +86,8 @@ class TransposeSpectralTransform {
 
   const SpectralTransform& serial_;
   std::vector<int> my_lats_;
+  /// Per-instance engine scratch (instances are per-rank, never shared).
+  mutable SpectralWorkspace ws_;
   int nranks_;
   bool overlap_ = true;
   int m_lo_ = 0;

@@ -268,7 +268,8 @@ void Comm::reduce_impl(const void* in, void* out, std::size_t elem_bytes,
   FOAM_REQUIRE(root >= 0 && root < size(), "root " << root);
   const std::size_t bytes = elem_bytes * count;
   if (rank_ == root) {
-    if (bytes > 0) std::memcpy(out, in, bytes);
+    // in == out is allowed (in-place reduction over the caller's storage).
+    if (bytes > 0 && out != in) std::memcpy(out, in, bytes);
     // Receive in rank order: deterministic combination (bitwise-reproducible
     // sums) and no cross-round message mixing.
     for (int r = 0; r < size(); ++r) {

@@ -105,9 +105,19 @@ TEST(LatLonGrid, LongitudesUniformPeriodic) {
 
 TEST(Grids, RejectBadArguments) {
   EXPECT_THROW(GaussianGrid(0, 40), Error);
-  EXPECT_THROW(GaussianGrid(48, 39), Error);  // odd nlat
+  EXPECT_THROW(GaussianGrid(48, 1), Error);
   EXPECT_THROW(MercatorGrid(128, 128, 95.0), Error);
   EXPECT_THROW(MercatorGrid(128, 0), Error);
+}
+
+TEST(Grids, OddNlatHasEquatorNode) {
+  // Odd nlat is legal: the Gaussian quadrature gains a mu = 0 node and the
+  // weights still sum to 2 (full area).
+  GaussianGrid g(48, 39);
+  EXPECT_NEAR(g.mu(19), 0.0, 1e-14);
+  double wsum = 0.0;
+  for (int j = 0; j < 39; ++j) wsum += g.gauss_weight(j);
+  EXPECT_NEAR(wsum, 2.0, 1e-12);
 }
 
 }  // namespace
