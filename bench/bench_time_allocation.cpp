@@ -13,14 +13,31 @@
 // run twice — blocking exchange, then comm/compute overlap — so the
 // "comm-wait" column shows the atmosphere rank's exchange stall shrinking
 // when the SST reply is left in flight across the next interval.
+//
+// It is also the gate for the telemetry subsystem:
+//  * regions-only tracing is run A/B against tracing off on the same
+//    placement and its busy-time overhead asserted under 2% (+0.2 s
+//    scheduler slack) — the production-default budget;
+//  * a full-trace run exports TRACE_time_allocation.json (Chrome
+//    trace-event format, loadable in ui.perfetto.dev), self-validated
+//    here: strict JSON, >= 4 ranks present as distinct tids, nested spans
+//    recorded, and span-derived region totals matching the flat timeline
+//    totals within 1%.
+//
+// FOAM_BENCH_QUICK=1 shortens the run (0.25 day, largest placement
+// skipped) for CI smoke use.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "foam/coupled.hpp"
+#include "telemetry/chrome_trace.hpp"
 
 using namespace foam;
 
@@ -28,9 +45,13 @@ namespace {
 
 /// \p engine toggles the plan-based spectral engine vs the reference
 /// transform loops (the A/B that shows the atmosphere's spectral share
-/// shrinking). Returns the lead atmosphere rank's busy seconds.
+/// shrinking); \p level the telemetry depth for the run. Returns the lead
+/// atmosphere rank's busy seconds; with \p capture the world-rank-0 result
+/// (timelines, traces, metrics) is copied out.
 double run_placement(int n_atm, int n_ocean, double days, bool overlap,
-                     bool engine, bench::BenchJson& json) {
+                     bool engine, telemetry::TraceLevel level,
+                     bench::BenchJson& json,
+                     ParallelRunResult* capture = nullptr, int rep = 0) {
   FoamConfig cfg = FoamConfig::paper_default();
   cfg.atm.emulate_full_core_cost = true;
   cfg.atm.emulate_transforms_per_level = 40;  // full 18-level core cost
@@ -40,15 +61,17 @@ double run_placement(int n_atm, int n_ocean, double days, bool overlap,
          atm_share_out = 0.0;
   std::printf(
       "\n--- placement: %d atmosphere + %d ocean ranks, %.2f day, "
-      "%s exchange, %s transforms ---\n",
+      "%s exchange, %s transforms, telemetry %s ---\n",
       n_atm, n_ocean, days, overlap ? "overlap" : "blocking",
-      engine ? "engine" : "reference");
+      engine ? "engine" : "reference", telemetry::trace_level_name(level));
   par::run(world, [&](par::Comm& comm) {
     ParallelRunOptions opts;
     opts.n_atm = n_atm;
     opts.overlap = overlap;
+    opts.telemetry.level = level;
     const auto res = run_coupled_parallel(comm, opts, cfg, days);
     if (comm.rank() != 0) return;
+    if (capture != nullptr) *capture = res;
     std::printf("simulated %.2f h in %.1f s wall => speedup %.0fx\n",
                 res.simulated_seconds / 3600.0, res.wall_seconds,
                 res.speedup());
@@ -113,11 +136,13 @@ double run_placement(int n_atm, int n_ocean, double days, bool overlap,
     wait_out = res.region_seconds(0, par::Region::kCommWait);
     atm_share_out = rank0_total > 0.0 ? atm_busy / rank0_total : 0.0;
   });
-  const std::vector<std::pair<std::string, std::string>> jcfg = {
+  std::vector<std::pair<std::string, std::string>> jcfg = {
       {"atm_ranks", std::to_string(n_atm)},
       {"ocean_ranks", std::to_string(n_ocean)},
       {"exchange", overlap ? "overlap" : "blocking"},
-      {"spectral", engine ? "engine" : "reference"}};
+      {"spectral", engine ? "engine" : "reference"},
+      {"telemetry", telemetry::trace_level_name(level)}};
+  if (rep > 0) jcfg.push_back({"rep", std::to_string(rep)});
   json.add("atm_busy_seconds", atm_busy_out, "s", jcfg);
   json.add("atm_busy_share", atm_share_out, "fraction", jcfg);
   json.add("ocean_busy_seconds", ocean_busy_out, "s", jcfg);
@@ -125,13 +150,86 @@ double run_placement(int n_atm, int n_ocean, double days, bool overlap,
   return atm_busy_out;
 }
 
+/// Validate the full-trace result and export the merged Chrome trace;
+/// throws foam::Error if any acceptance property fails.
+void export_and_check_trace(const ParallelRunResult& res, int n_atm,
+                            bench::BenchJson& json) {
+  const int world = static_cast<int>(res.traces.size());
+
+  // Span-derived per-region totals must agree with the flat recorder's
+  // (both views come from the same begin/end events; only clock-read
+  // jitter separates them).
+  for (int r = 0; r < world; ++r) {
+    for (int reg = 0; reg < par::kRegionCount; ++reg) {
+      const auto region = static_cast<par::Region>(reg);
+      const double flat_total = res.region_seconds(r, region);
+      if (flat_total < 0.05) continue;
+      const double span_total = res.span_region_seconds(r, region);
+      FOAM_REQUIRE(std::abs(span_total - flat_total) <=
+                       0.01 * flat_total + 1e-3,
+                   "span/timeline mismatch rank "
+                       << r << " region " << par::region_name(region) << ": "
+                       << span_total << "s vs " << flat_total << "s");
+    }
+  }
+
+  // Every rank must have recorded spans, and the atmosphere ranks nested
+  // ones (component FOAM_TRACE_SCOPEs inside the region spans).
+  int ranks_with_spans = 0;
+  bool nested = false;
+  for (const auto& t : res.traces) {
+    if (!t.spans.empty()) ++ranks_with_spans;
+    nested = nested || t.has_nested();
+  }
+  FOAM_REQUIRE(ranks_with_spans >= 4, "only " << ranks_with_spans
+                                              << " ranks recorded spans");
+  FOAM_REQUIRE(nested, "no nested spans recorded at full trace level");
+
+  const std::string doc = telemetry::chrome_trace_json(res.traces);
+  std::string err;
+  FOAM_REQUIRE(telemetry::json_validate(doc, &err),
+               "chrome trace JSON invalid: " << err);
+  // The merged timeline must expose >= 4 ranks as distinct tids.
+  std::set<std::string> tids;
+  for (std::size_t pos = doc.find("\"tid\": "); pos != std::string::npos;
+       pos = doc.find("\"tid\": ", pos + 1))
+    tids.insert(doc.substr(pos + 7, doc.find_first_of(",}", pos) - pos - 7));
+  FOAM_REQUIRE(tids.size() >= 4,
+               "expected >= 4 distinct tids, got " << tids.size());
+
+  const char* path = "TRACE_time_allocation.json";
+  FOAM_REQUIRE(telemetry::write_chrome_trace(path, res.traces),
+               "cannot write " << path);
+  std::size_t n_spans = 0;
+  for (const auto& t : res.traces) n_spans += t.spans.size();
+  std::printf("\nwrote %s: %d ranks, %zu spans (load in ui.perfetto.dev)\n",
+              path, world, n_spans);
+  json.add("trace_ranks", static_cast<double>(tids.size()), "count", {});
+  json.add("trace_spans", static_cast<double>(n_spans), "count", {});
+
+  // Fold a digest of the gathered metrics into the bench JSON: the lead
+  // atmosphere rank and the lead ocean rank, skipping the per-peer rows.
+  for (const int r : {0, n_atm}) {
+    if (r >= static_cast<int>(res.metrics.size())) continue;
+    const std::vector<std::pair<std::string, std::string>> mcfg = {
+        {"rank", std::to_string(r)}};
+    for (const auto& [name, value] : res.metrics[r])
+      if (name.find(".peer") == std::string::npos)
+        json.add(name, value, "", mcfg);
+  }
+}
+
 }  // namespace
 
 int main() {
+  const bool quick = std::getenv("FOAM_BENCH_QUICK") != nullptr;
+  const double days = quick ? 0.25 : 1.0;
+  using telemetry::TraceLevel;
   std::printf("=== Figure 2: per-processor time allocation ===\n");
   std::printf("(ranks are threads multiplexed over the host cores; shares,\n"
               " schedule structure and the atm:ocean busy ratio are the\n"
-              " reproduced quantities)\n");
+              " reproduced quantities)%s\n",
+              quick ? " [quick]" : "");
   bench::BenchJson json("time_allocation");
   // A scaled version of the paper's 17-node placement (16+1) first, then
   // the small placements used for the scaling study, over the paper's one
@@ -140,20 +238,61 @@ int main() {
   // additionally run with the reference transforms for the spectral-engine
   // A/B (the atmosphere is transform-dominated under the emulated
   // 18-level core, so its busy time tracks the spectral share directly).
-  for (const bool overlap : {false, true})
-    run_placement(8, 1, 1.0, overlap, /*engine=*/true, json);
-  double eng_busy = 0.0, ref_busy = 0.0;
-  for (const bool overlap : {false, true})
-    eng_busy = run_placement(4, 1, 1.0, overlap, /*engine=*/true, json);
-  ref_busy = run_placement(4, 1, 1.0, /*overlap=*/true, /*engine=*/false,
-                           json);
-  if (eng_busy > 0.0) {
+  if (!quick)
+    for (const bool overlap : {false, true})
+      run_placement(8, 1, days, overlap, /*engine=*/true,
+                    TraceLevel::kRegions, json);
+  run_placement(4, 1, days, /*overlap=*/false, /*engine=*/true,
+                TraceLevel::kRegions, json);
+
+  // --- telemetry overhead gate: regions-only tracing vs tracing off on
+  // the same placement. Both runs keep the flat Fig. 2 recorder (that is
+  // the pre-telemetry baseline); the delta isolates the hierarchical
+  // tracer's cost. Busy seconds rather than wall seconds: barrier skew
+  // lands in idle/wait and would drown the signal. The ranks are threads
+  // multiplexed over the host cores, so a single-shot measurement carries
+  // scheduler noise far above the tracer cost; contention only ever adds
+  // time, so min-of-3 per level recovers the compute floor, and the reps
+  // are interleaved off/regions so slow machine drift (frequency scaling,
+  // noisy neighbors) lands on both levels equally.
+  double busy_off = 0.0, busy_regions = 0.0;
+  for (int rep = 1; rep <= 3; ++rep) {
+    const double off = run_placement(4, 1, days, /*overlap=*/true,
+                                     /*engine=*/true, TraceLevel::kOff,
+                                     json, nullptr, rep);
+    const double reg = run_placement(4, 1, days, /*overlap=*/true,
+                                     /*engine=*/true, TraceLevel::kRegions,
+                                     json, nullptr, rep);
+    busy_off = rep == 1 ? off : std::min(busy_off, off);
+    busy_regions = rep == 1 ? reg : std::min(busy_regions, reg);
+  }
+  const double overhead =
+      busy_off > 0.0 ? (busy_regions - busy_off) / busy_off : 0.0;
+  std::printf("\ntelemetry overhead (regions vs off, 4+1 overlap): "
+              "%.2fs vs %.2fs busy (%+.2f%%)\n",
+              busy_regions, busy_off, 100.0 * overhead);
+  json.add("telemetry_regions_overhead", overhead, "fraction",
+           {{"atm_ranks", "4"}, {"ocean_ranks", "1"}});
+  FOAM_REQUIRE(busy_regions <= busy_off * 1.02 + 0.2,
+               "regions-only telemetry overhead above budget: "
+                   << busy_regions << "s vs " << busy_off << "s off");
+
+  const double ref_busy = run_placement(4, 1, days, /*overlap=*/true,
+                                        /*engine=*/false,
+                                        TraceLevel::kRegions, json);
+  if (busy_regions > 0.0) {
     std::printf("\nspectral engine A/B (4 atm + 1 ocean, overlap): "
                 "atm busy %.2fs engine vs %.2fs reference (%.2fx)\n",
-                eng_busy, ref_busy, ref_busy / eng_busy);
-    json.add("atm_busy_engine_speedup", ref_busy / eng_busy, "x",
+                busy_regions, ref_busy, ref_busy / busy_regions);
+    json.add("atm_busy_engine_speedup", ref_busy / busy_regions, "x",
              {{"atm_ranks", "4"}, {"ocean_ranks", "1"},
               {"exchange", "overlap"}});
   }
+
+  // --- full-trace run: export + self-validate the Chrome trace.
+  ParallelRunResult full;
+  run_placement(4, 1, days, /*overlap=*/true, /*engine=*/true,
+                TraceLevel::kFull, json, &full);
+  export_and_check_trace(full, /*n_atm=*/4, json);
   return 0;
 }

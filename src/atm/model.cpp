@@ -6,6 +6,7 @@
 #include "base/constants.hpp"
 #include "data/earth.hpp"
 #include "par/decomp.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace foam::atm {
 
@@ -291,16 +292,22 @@ void AtmosphereModel::run_physics(const ModelTime& now) {
 }
 
 void AtmosphereModel::step(const ModelTime& now) {
+  FOAM_TRACE_SCOPE("atm.step");
   // Radiation on its period (twice daily by default).
   const auto period_steps =
       static_cast<std::int64_t>(cfg_.radiation_period / cfg_.dt);
   if (steps_ - last_radiation_step_ >= period_steps) {
+    FOAM_TRACE_SCOPE("atm.radiation");
     update_radiation_cache(now);
     update_thermal_jet(comm_);
     last_radiation_step_ = steps_;
   }
-  dyn_.step(comm_);
+  {
+    FOAM_TRACE_SCOPE("atm.dynamics");
+    dyn_.step(comm_);
+  }
   if (cfg_.emulate_full_core_cost) {
+    FOAM_TRACE_SCOPE("atm.emulate_core");
     // One synthesis + analysis per physics level beyond the reduced core:
     // the transform work the full 18-level PCCM2 core would perform. The
     // levels are independent, so each rep moves the whole level stack
@@ -328,8 +335,14 @@ void AtmosphereModel::step(const ModelTime& now) {
           static_cast<double>(nem) * (j1_ - j0_) * cfg_.nlon;
     }
   }
-  advect_tracers();
-  run_physics(now);
+  {
+    FOAM_TRACE_SCOPE("atm.advect");
+    advect_tracers();
+  }
+  {
+    FOAM_TRACE_SCOPE("atm.physics");
+    run_physics(now);
+  }
   ++steps_;
 }
 

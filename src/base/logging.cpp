@@ -1,7 +1,12 @@
 #include "base/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace foam {
@@ -9,7 +14,20 @@ namespace foam {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_level_init;
 std::mutex g_mutex;
+thread_local int t_rank = -1;
+
+/// First caller wins: either an explicit set_log_level or the environment
+/// default. Later explicit calls still override via the atomic store.
+void init_level_from_env() {
+  std::call_once(g_level_init, [] {
+    const char* env = std::getenv("FOAM_LOG_LEVEL");
+    if (env != nullptr)
+      g_level.store(static_cast<int>(parse_log_level(env, LogLevel::kInfo)),
+                    std::memory_order_relaxed);
+  });
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -25,21 +43,71 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
+bool iequals(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b)
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b)))
+      return false;
+  return *a == '\0' && *b == '\0';
+}
+
 }  // namespace
 
+LogLevel parse_log_level(const char* text, LogLevel fallback) {
+  if (text == nullptr) return fallback;
+  if (iequals(text, "debug") || std::strcmp(text, "0") == 0)
+    return LogLevel::kDebug;
+  if (iequals(text, "info") || std::strcmp(text, "1") == 0)
+    return LogLevel::kInfo;
+  if (iequals(text, "warn") || iequals(text, "warning") ||
+      std::strcmp(text, "2") == 0)
+    return LogLevel::kWarn;
+  if (iequals(text, "error") || std::strcmp(text, "3") == 0)
+    return LogLevel::kError;
+  return fallback;
+}
+
 void set_log_level(LogLevel level) {
+  // Claim the once_flag so a racing first log call cannot clobber an
+  // explicit choice with the environment default.
+  std::call_once(g_level_init, [] {});
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel log_level() {
+  init_level_from_env();
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_rank(int rank) { t_rank = rank; }
+
+int log_rank() { return t_rank; }
+
 void log_message(LogLevel level, const std::string& msg) {
+  init_level_from_env();
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed))
     return;
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+
+  char stamp[16];
+  std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm_utc.tm_hour,
+                tm_utc.tm_min, tm_utc.tm_sec, millis);
+
+  char rank_tag[16] = "";
+  if (t_rank >= 0) std::snprintf(rank_tag, sizeof(rank_tag), " r%d", t_rank);
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[foam %s] %s\n", level_tag(level), msg.c_str());
+  std::fprintf(stderr, "[foam %s %s%s] %s\n", stamp, level_tag(level),
+               rank_tag, msg.c_str());
 }
 
 }  // namespace foam

@@ -3,6 +3,12 @@
 /// \file logging.hpp
 /// Leveled, thread-safe logging. FOAM components log through this sink so
 /// that parallel runs interleave whole lines rather than characters.
+///
+/// Each line carries a wall-clock timestamp and, when the calling thread has
+/// declared a rank via set_log_rank, an `rN` prefix — ranks are threads in
+/// one process, so the rank tag is thread-local. The initial minimum level
+/// comes from the FOAM_LOG_LEVEL environment variable (name or digit),
+/// parsed once at first use; an explicit set_log_level always wins.
 
 #include <sstream>
 #include <string>
@@ -11,9 +17,19 @@ namespace foam {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+/// Global minimum level; messages below it are dropped. Defaults to kInfo,
+/// or to FOAM_LOG_LEVEL from the environment if set.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parse a level name ("debug", "info", "warn", "error", case-insensitive)
+/// or digit ("0".."3"). Returns \p fallback for null/unrecognized input.
+LogLevel parse_log_level(const char* text, LogLevel fallback);
+
+/// Rank tag for the calling thread; lines it logs are prefixed with `rN`.
+/// Negative (the default) means no prefix.
+void set_log_rank(int rank);
+int log_rank();
 
 /// Emit one line (thread-safe).
 void log_message(LogLevel level, const std::string& msg);

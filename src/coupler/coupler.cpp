@@ -5,6 +5,7 @@
 
 #include "base/constants.hpp"
 #include "data/earth.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace foam::coupler {
 
@@ -40,6 +41,7 @@ Coupler::Coupler(const numerics::GaussianGrid& agrid,
 }
 
 void Coupler::step_land(const atm::FluxFields& f, double dt) {
+  FOAM_TRACE_SCOPE("coupler.land");
   const land::LandModel::Forcing forcing{f.sw_sfc, f.lw_down,  f.sensible,
                                          f.latent, f.evaporation, f.rain,
                                          f.snow};
@@ -49,6 +51,8 @@ void Coupler::step_land(const atm::FluxFields& f, double dt) {
 Coupler::OceanForcing Coupler::make_ocean_forcing(
     const atm::FluxFields& mean_fluxes, const Field2Dd& sst_o,
     const Field2Dd& frazil_o, double interval) {
+  FOAM_TRACE_SCOPE("coupler.forcing");
+  telemetry::count("coupler.fields_to_ocean", 8);
   OceanForcing out;
   out.taux = overlap_.to_ocean(mean_fluxes.taux);
   out.tauy = overlap_.to_ocean(mean_fluxes.tauy);
@@ -122,6 +126,8 @@ void Coupler::load_state(const HistoryReader& in,
 }
 
 atm::SurfaceFields Coupler::make_atm_surface(const Field2Dd& sst_o) const {
+  FOAM_TRACE_SCOPE("coupler.surface");
+  telemetry::count("coupler.surfaces_built");
   atm::SurfaceFields sfc(agrid_.nlon(), agrid_.nlat());
   // Remap ocean state to the atmosphere grid.
   Field2Dd sst_a = overlap_.to_atm(sst_o, ocean_mask_o_, 0.0);

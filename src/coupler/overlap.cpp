@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/constants.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace foam::coupler {
 
@@ -77,6 +78,7 @@ OverlapGrid::OverlapGrid(const numerics::GaussianGrid& atm,
 Field2Dd OverlapGrid::to_ocean(const Field2Dd& atm_field) const {
   FOAM_REQUIRE(atm_field.nx() == na_lon_ && atm_field.ny() == na_lat_,
                "atm field shape");
+  telemetry::count("coupler.overlap_cells_averaged", cells_.size());
   Field2Dd num(no_lon_, no_lat_, 0.0);
   Field2Dd den(no_lon_, no_lat_, 0.0);
   for (const Cell& cell : cells_) {
@@ -96,6 +98,7 @@ Field2Dd OverlapGrid::to_atm(const Field2Dd& ocn_field,
   FOAM_REQUIRE(ocn_field.nx() == no_lon_ && ocn_field.ny() == no_lat_,
                "ocean field shape");
   FOAM_REQUIRE(valid.nx() == no_lon_ && valid.ny() == no_lat_, "valid mask");
+  telemetry::count("coupler.overlap_cells_averaged", cells_.size());
   Field2Dd num(na_lon_, na_lat_, 0.0);
   Field2Dd den(na_lon_, na_lat_, 0.0);
   for (const Cell& cell : cells_) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/constants.hpp"
+#include "base/logging.hpp"
 #include "data/earth.hpp"
 
 namespace foam {
@@ -129,6 +130,30 @@ void recv_field(par::Comm& comm, int src, Field2Dd& f) {
   std::copy(buf.begin(), buf.end(), f.vec().begin());
 }
 
+/// Allgather variable-length per-rank double streams (timelines, traces,
+/// metric samples): every rank ends up with every rank's stream.
+std::vector<std::vector<double>> allgather_streams(
+    par::Comm& world, const std::vector<double>& mine) {
+  const double n_mine = static_cast<double>(mine.size());
+  std::vector<double> all_counts(world.size());
+  world.allgather(&n_mine, 1, all_counts.data());
+  std::vector<int> counts(world.size());
+  for (int r = 0; r < world.size(); ++r)
+    counts[r] = static_cast<int>(all_counts[r]);
+  std::vector<double> flat;
+  world.gatherv(mine, flat, counts, 0);
+  world.bcast_vec(flat, 0);
+  std::vector<std::vector<double>> out(world.size());
+  std::size_t off = 0;
+  for (int r = 0; r < world.size(); ++r) {
+    out[r].assign(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                  flat.begin() + static_cast<std::ptrdiff_t>(off) +
+                      counts[r]);
+    off += static_cast<std::size_t>(counts[r]);
+  }
+  return out;
+}
+
 }  // namespace
 
 ParallelRunResult run_coupled_parallel(par::Comm& world,
@@ -148,7 +173,17 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
                                ocean::OceanConfig::kStandardLatMax);
   const Field2Dd bathy = data::bathymetry(ogrid);
 
-  par::ActivityRecorder rec;
+  // Per-rank telemetry session: region spans drive the flat Fig. 2 view
+  // (timelines); FOAM_TRACE_SCOPE spans throughout the component stack are
+  // recorded at TraceLevel::kFull; comm counters accumulate whenever the
+  // session is installed.
+  telemetry::TelemetryOptions topts = opts.telemetry;
+  topts.record_flat = opts.capture_timelines;
+  telemetry::Telemetry tel(topts);
+  telemetry::ScopedSession session(tel);
+  telemetry::Tracer& rec = tel.tracer();
+  set_log_rank(world.rank());
+
   const auto exchange_steps =
       static_cast<std::int64_t>(cfg.exchange_seconds / cfg.atm.dt);
   const auto total_steps = static_cast<std::int64_t>(
@@ -199,10 +234,13 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
     par::Request sst_req, frazil_req;
     const auto wait_reply = [&]() {
       if (!reply_pending) return;
-      rec.begin(par::Region::kCommWait);
-      world.wait(sst_req);
-      world.wait(frazil_req);
-      rec.end();
+      rec.begin_region(par::Region::kCommWait);
+      {
+        FOAM_TRACE_SCOPE("exchange.sst_reply_wait");
+        world.wait(sst_req);
+        world.wait(frazil_req);
+      }
+      rec.end_region();
       FOAM_REQUIRE(sst_buf.size() == sst_o.size() &&
                        frazil_buf.size() == frazil_o.size(),
                    "field size mismatch in exchange");
@@ -215,73 +253,82 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
     ModelTime now;
     for (std::int64_t ex = 0; ex < n_exchanges; ++ex) {
       for (std::int64_t s = 0; s < exchange_steps; ++s) {
-        rec.begin(par::Region::kAtmosphere);
+        rec.begin_region(par::Region::kAtmosphere);
         atm.step(now);
         now.advance(static_cast<std::int64_t>(cfg.atm.dt));
-        rec.end();
+        rec.end_region();
       }
       // --- exchange: gather fluxes, compute forcing, talk to the ocean ---
-      rec.begin(par::Region::kCoupler);
+      rec.begin_region(par::Region::kCoupler);
       const int steps = std::max(1, atm.accumulated_steps());
       atm::FluxFields mean = atm.accumulated_fluxes();
-      const double inv = 1.0 / steps;
-      for (Field2Dd* f : {&mean.sw_sfc, &mean.lw_down, &mean.sensible,
-                          &mean.latent, &mean.evaporation, &mean.rain,
-                          &mean.snow, &mean.taux, &mean.tauy}) {
-        *f *= inv;
-        // Reduce the row-decomposed accumulations to rank 0 (each rank
-        // contributed only its rows; others are zero).
-        std::vector<double> out(f->size());
-        sub->reduce(std::span<const double>(f->data(), f->size()),
-                    std::span<double>(out), par::ReduceOp::kSum, 0);
-        if (sub->rank() == 0) std::copy(out.begin(), out.end(), f->data());
+      {
+        FOAM_TRACE_SCOPE("exchange.flux_reduce");
+        const double inv = 1.0 / steps;
+        for (Field2Dd* f : {&mean.sw_sfc, &mean.lw_down, &mean.sensible,
+                            &mean.latent, &mean.evaporation, &mean.rain,
+                            &mean.snow, &mean.taux, &mean.tauy}) {
+          *f *= inv;
+          // Reduce the row-decomposed accumulations to rank 0 (each rank
+          // contributed only its rows; others are zero).
+          std::vector<double> out(f->size());
+          sub->reduce(std::span<const double>(f->data(), f->size()),
+                      std::span<double>(out), par::ReduceOp::kSum, 0);
+          if (sub->rank() == 0) std::copy(out.begin(), out.end(), f->data());
+        }
       }
-      rec.end();
+      rec.end_region();
       if (world.rank() == 0) {
         // The forcing uses the newest SST the ocean has delivered: with
         // overlap on, that is the reply launched at the previous exchange,
         // completed here — by now usually already arrived, so the wait is
         // short (the whole point of the overlap).
         wait_reply();
-        rec.begin(par::Region::kCoupler);
+        rec.begin_region(par::Region::kCoupler);
         coupler->step_land(mean, cfg.exchange_seconds);
         const auto forcing = coupler->make_ocean_forcing(
             mean, sst_o, frazil_o, cfg.exchange_seconds);
-        // Ship forcing to the ocean lead rank (buffered sends).
-        send_field(world, n_atm, forcing.taux);
-        send_field(world, n_atm, forcing.tauy);
-        send_field(world, n_atm, forcing.qnet);
-        send_field(world, n_atm, forcing.fw);
-        send_field(world, n_atm, coupler->ice_fraction_o());
-        rec.end();
+        {
+          // Ship forcing to the ocean lead rank (buffered sends).
+          FOAM_TRACE_SCOPE("exchange.forcing_send");
+          send_field(world, n_atm, forcing.taux);
+          send_field(world, n_atm, forcing.tauy);
+          send_field(world, n_atm, forcing.qnet);
+          send_field(world, n_atm, forcing.fw);
+          send_field(world, n_atm, coupler->ice_fraction_o());
+        }
+        rec.end_region();
         if (opts.overlap) {
           sst_req = world.irecv_vec(n_atm, kTagForcing, sst_buf);
           frazil_req = world.irecv_vec(n_atm, kTagForcing, frazil_buf);
           reply_pending = true;
         } else {
           // Blocking exchange: sit out the whole ocean call here.
-          rec.begin(par::Region::kCommWait);
+          rec.begin_region(par::Region::kCommWait);
           recv_field(world, n_atm, sst_o);
           recv_field(world, n_atm, frazil_o);
-          rec.end();
+          rec.end_region();
         }
       }
-      rec.begin(world.rank() == 0 ? par::Region::kCoupler
-                                  : par::Region::kIdle);
-      atm::SurfaceFields sfc(cfg.atm.nlon, cfg.atm.nlat);
-      if (world.rank() == 0) sfc = coupler->make_atm_surface(sst_o);
-      // Broadcast the new surface over the atmosphere ranks (non-root
-      // ranks are effectively waiting here).
-      for (Field2Dd* f :
-           {&sfc.tsurf, &sfc.albedo, &sfc.roughness, &sfc.wetness})
-        sub->bcast_bytes(f->data(), f->size() * sizeof(double), 0);
-      sub->bcast_bytes(sfc.is_ocean.data(),
-                       sfc.is_ocean.size() * sizeof(int), 0);
-      sub->bcast_bytes(sfc.is_ice.data(), sfc.is_ice.size() * sizeof(int),
-                       0);
-      atm.set_surface(sfc);
-      atm.reset_flux_accumulation();
-      rec.end();
+      rec.begin_region(world.rank() == 0 ? par::Region::kCoupler
+                                         : par::Region::kIdle);
+      {
+        FOAM_TRACE_SCOPE("exchange.surface_bcast");
+        atm::SurfaceFields sfc(cfg.atm.nlon, cfg.atm.nlat);
+        if (world.rank() == 0) sfc = coupler->make_atm_surface(sst_o);
+        // Broadcast the new surface over the atmosphere ranks (non-root
+        // ranks are effectively waiting here).
+        for (Field2Dd* f :
+             {&sfc.tsurf, &sfc.albedo, &sfc.roughness, &sfc.wetness})
+          sub->bcast_bytes(f->data(), f->size() * sizeof(double), 0);
+        sub->bcast_bytes(sfc.is_ocean.data(),
+                         sfc.is_ocean.size() * sizeof(int), 0);
+        sub->bcast_bytes(sfc.is_ice.data(), sfc.is_ice.size() * sizeof(int),
+                         0);
+        atm.set_surface(sfc);
+        atm.reset_flux_accumulation();
+      }
+      rec.end_region();
     }
     // Drain the reply still in flight after the last interval so the
     // ocean's sends are all consumed before the timeline gather.
@@ -293,21 +340,22 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
     Field2Dd taux(ogrid.nlon(), ogrid.nlat(), 0.0), tauy(taux), qnet(taux),
         fw(taux), icef(taux);
     for (std::int64_t ex = 0; ex < n_exchanges; ++ex) {
-      rec.begin(par::Region::kCommWait);
+      rec.begin_region(par::Region::kCommWait);
       if (sub->rank() == 0 && world.rank() == n_atm) {
+        FOAM_TRACE_SCOPE("exchange.forcing_recv");
         recv_field(world, 0, taux);
         recv_field(world, 0, tauy);
         recv_field(world, 0, qnet);
         recv_field(world, 0, fw);
         recv_field(world, 0, icef);
       }
-      rec.end();
+      rec.end_region();
       // Share forcing across ocean ranks.
-      rec.begin(par::Region::kIdle);
+      rec.begin_region(par::Region::kIdle);
       for (Field2Dd* f : {&taux, &tauy, &qnet, &fw, &icef})
         sub->bcast_bytes(f->data(), f->size() * sizeof(double), 0);
-      rec.end();
-      rec.begin(par::Region::kOcean);
+      rec.end_region();
+      rec.begin_region(par::Region::kOcean);
       ocn.set_wind_stress(taux, tauy);
       ocn.set_heat_flux(qnet);
       ocn.set_freshwater_flux(fw);
@@ -319,7 +367,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
         world.send_vec(0, kTagForcing, sst.vec());
         world.send_vec(0, kTagForcing, frazil.vec());
       }
-      rec.end();
+      rec.end_region();
     }
   }
 
@@ -327,24 +375,32 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
   result.wall_seconds = wall.seconds();
   result.simulated_seconds =
       static_cast<double>(n_exchanges) * cfg.exchange_seconds;
-  if (!opts.capture_timelines) return result;
-  // Gather timelines from every rank to everyone.
-  const std::vector<double> mine = rec.serialize();
-  std::vector<int> counts(world.size(), 0);
-  const double n_mine = static_cast<double>(mine.size());
-  std::vector<double> all_counts(world.size());
-  world.allgather(&n_mine, 1, all_counts.data());
-  for (int r = 0; r < world.size(); ++r)
-    counts[r] = static_cast<int>(all_counts[r]);
-  std::vector<double> flat;
-  world.gatherv(mine, flat, counts, 0);
-  world.bcast_vec(flat, 0);
-  result.timelines.resize(world.size());
-  std::size_t off = 0;
-  for (int r = 0; r < world.size(); ++r) {
-    result.timelines[r] = par::ActivityRecorder::deserialize(
-        flat.data() + off, counts[r]);
-    off += counts[r];
+
+  // Gather the per-rank telemetry to every rank: flat timelines (Fig. 2),
+  // hierarchical traces (kFull), and metric samples. Each stream is
+  // validated on decode — the bytes crossed rank boundaries.
+  if (opts.capture_timelines) {
+    const auto streams = allgather_streams(world, rec.flat().serialize());
+    result.timelines.resize(world.size());
+    for (int r = 0; r < world.size(); ++r)
+      result.timelines[r] = par::ActivityRecorder::deserialize(
+          streams[r].data(), streams[r].size());
+  }
+  if (topts.level == telemetry::TraceLevel::kFull) {
+    const auto streams =
+        allgather_streams(world, telemetry::serialize_trace(rec.trace()));
+    result.traces.resize(world.size());
+    for (int r = 0; r < world.size(); ++r)
+      result.traces[r] = telemetry::deserialize_trace(streams[r].data(),
+                                                      streams[r].size());
+  }
+  if (topts.level != telemetry::TraceLevel::kOff) {
+    const auto streams =
+        allgather_streams(world, telemetry::serialize_samples(tel.snapshot()));
+    result.metrics.resize(world.size());
+    for (int r = 0; r < world.size(); ++r)
+      result.metrics[r] = telemetry::deserialize_samples(streams[r].data(),
+                                                         streams[r].size());
   }
   return result;
 }

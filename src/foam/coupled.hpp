@@ -35,6 +35,7 @@
 #include "coupler/coupler.hpp"
 #include "ocean/model.hpp"
 #include "par/timers.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace foam {
 
@@ -127,6 +128,22 @@ struct ParallelRunResult {
       if (seg.region == r) sum += seg.t1 - seg.t0;
     return sum;
   }
+
+  /// Per-world-rank hierarchical traces (name table + nested spans); filled
+  /// only when ParallelRunOptions::telemetry.level == TraceLevel::kFull.
+  /// Feed to telemetry::write_chrome_trace for a Perfetto timeline.
+  std::vector<telemetry::RankTrace> traces;
+
+  /// Per-world-rank flattened metric samples (comm counters, spectral batch
+  /// stats, coupler counters, ...); empty at TraceLevel::kOff.
+  std::vector<std::vector<std::pair<std::string, double>>> metrics;
+
+  /// Seconds rank \p rank spent in depth-0 spans of region \p r according
+  /// to the hierarchical trace — the cross-check against region_seconds.
+  double span_region_seconds(int rank, par::Region r) const {
+    if (rank < 0 || rank >= static_cast<int>(traces.size())) return 0.0;
+    return traces[rank].region_total(r);
+  }
 };
 
 /// Options for run_coupled_parallel; every rank of the world communicator
@@ -142,6 +159,10 @@ struct ParallelRunOptions {
   bool overlap = false;
   /// Gather per-rank activity timelines into ParallelRunResult::timelines.
   bool capture_timelines = true;
+  /// Telemetry session installed on every rank for the run: trace level
+  /// (off / regions-only / full hierarchical spans) and span ring capacity.
+  /// The flat-view setting is overridden by capture_timelines.
+  telemetry::TelemetryOptions telemetry;
 };
 
 /// Run the coupled model SPMD on \p world. Must be called by every rank of

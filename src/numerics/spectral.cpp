@@ -3,11 +3,29 @@
 #include <cmath>
 
 #include "base/constants.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace foam::numerics {
 
 using cplx = std::complex<double>;
 using constants::earth_radius;
+
+namespace {
+
+/// Batch-level telemetry: per-row counters at ~1.3M row transforms per
+/// simulated day would cost a few percent, so sizes are accounted here,
+/// once per batch call. plan_rows counts latitude rows pushed through the
+/// cached FFT plan — the plan-reuse analogue of a cache-hit counter.
+void note_batch(bool engine, std::size_t fields, std::size_t rows) {
+  if (telemetry::current() == nullptr) return;
+  telemetry::count(engine ? "spectral.engine_batches"
+                          : "spectral.reference_batches");
+  telemetry::observe("spectral.batch_fields", static_cast<double>(fields));
+  telemetry::count("spectral.plan_rows",
+                   static_cast<std::uint64_t>(rows) * fields);
+}
+
+}  // namespace
 
 SpectralField& SpectralField::operator+=(const SpectralField& o) {
   FOAM_REQUIRE(same_shape(o), "spectral shape mismatch");
@@ -603,6 +621,9 @@ void SpectralTransform::uv_from_psi_chi(const SpectralField& psi,
 
 std::vector<SpectralField> SpectralTransform::analyze_batch(
     const std::vector<const Field2Dd*>& fs, SpectralWorkspace& ws) const {
+  FOAM_TRACE_SCOPE("spectral.analyze_batch");
+  note_batch(mode_ == SpectralMode::kEngine, fs.size(),
+             static_cast<std::size_t>(grid_.nlat()));
   std::vector<SpectralField> out(fs.size());
   for (auto& s : out) s = SpectralField(mmax_, kmax_);
   if (mode_ == SpectralMode::kEngine) {
@@ -617,6 +638,9 @@ void SpectralTransform::synthesize_batch(
     const std::vector<const SpectralField*>& ss,
     const std::vector<Field2Dd*>& outs, SpectralWorkspace& ws) const {
   FOAM_REQUIRE(ss.size() == outs.size(), "batch size mismatch");
+  FOAM_TRACE_SCOPE("spectral.synthesize_batch");
+  note_batch(mode_ == SpectralMode::kEngine, ss.size(),
+             static_cast<std::size_t>(grid_.nlat()));
   for (auto* g : outs) {
     if (g->nx() != grid_.nlon() || g->ny() != grid_.nlat())
       *g = Field2Dd(grid_.nlon(), grid_.nlat());
@@ -632,6 +656,9 @@ std::vector<SpectralField> SpectralTransform::analyze_div_batch(
     const std::vector<const Field2Dd*>& As,
     const std::vector<const Field2Dd*>& Bs, SpectralWorkspace& ws) const {
   FOAM_REQUIRE(As.size() == Bs.size(), "batch size mismatch");
+  FOAM_TRACE_SCOPE("spectral.analyze_div_batch");
+  note_batch(mode_ == SpectralMode::kEngine, As.size(),
+             static_cast<std::size_t>(grid_.nlat()));
   std::vector<SpectralField> out(As.size());
   for (auto& s : out) s = SpectralField(mmax_, kmax_);
   if (mode_ == SpectralMode::kEngine) {
@@ -647,6 +674,9 @@ std::vector<SpectralField> SpectralTransform::analyze_curl_batch(
     const std::vector<const Field2Dd*>& As,
     const std::vector<const Field2Dd*>& Bs, SpectralWorkspace& ws) const {
   FOAM_REQUIRE(As.size() == Bs.size(), "batch size mismatch");
+  FOAM_TRACE_SCOPE("spectral.analyze_curl_batch");
+  note_batch(mode_ == SpectralMode::kEngine, As.size(),
+             static_cast<std::size_t>(grid_.nlat()));
   std::vector<SpectralField> out(As.size());
   for (auto& s : out) s = SpectralField(mmax_, kmax_);
   if (mode_ == SpectralMode::kEngine) {
@@ -666,6 +696,9 @@ void SpectralTransform::uv_from_psi_chi_batch(
   FOAM_REQUIRE(psis.size() == chis.size() && psis.size() == Us.size() &&
                    psis.size() == Vs.size(),
                "batch size mismatch");
+  FOAM_TRACE_SCOPE("spectral.uv_batch");
+  note_batch(mode_ == SpectralMode::kEngine, psis.size(),
+             static_cast<std::size_t>(grid_.nlat()));
   for (std::size_t f = 0; f < Us.size(); ++f) {
     if (Us[f]->nx() != grid_.nlon() || Us[f]->ny() != grid_.nlat())
       *Us[f] = Field2Dd(grid_.nlon(), grid_.nlat());
@@ -724,6 +757,7 @@ ParSpectralTransform::ParSpectralTransform(const SpectralTransform& serial,
 
 void ParSpectralTransform::allreduce_spectral(par::Comm& comm,
                                               SpectralField& s) const {
+  FOAM_TRACE_SCOPE("spectral.allreduce");
   // Reduce directly over the coefficient storage viewed as doubles — the
   // rank-ordered reduction writes into the same span, no staging copies.
   const std::size_t n = s.size() * 2;  // complex -> 2 doubles
@@ -735,6 +769,7 @@ void ParSpectralTransform::allreduce_spectral(par::Comm& comm,
 void ParSpectralTransform::allreduce_fused(
     par::Comm& comm, std::vector<SpectralField>& fields) const {
   if (fields.empty()) return;
+  FOAM_TRACE_SCOPE("spectral.allreduce");
   const std::size_t per = fields[0].size() * 2;
   ws_.reduce.resize(per * fields.size());
   for (std::size_t f = 0; f < fields.size(); ++f) {
@@ -887,6 +922,9 @@ void ParSpectralTransform::uv_from_psi_chi(const SpectralField& psi,
 
 std::vector<SpectralField> ParSpectralTransform::analyze_batch(
     par::Comm& comm, const std::vector<const Field2Dd*>& fs) const {
+  FOAM_TRACE_SCOPE("spectral.analyze_batch");
+  note_batch(serial_.mode() == SpectralMode::kEngine, fs.size(),
+             my_lats_.size());
   std::vector<SpectralField> out(fs.size());
   for (auto& s : out) s = SpectralField(serial_.mmax(), serial_.kmax());
   if (serial_.mode() == SpectralMode::kEngine) {
@@ -902,6 +940,9 @@ void ParSpectralTransform::synthesize_batch(
     const std::vector<const SpectralField*>& ss,
     const std::vector<Field2Dd*>& outs) const {
   FOAM_REQUIRE(ss.size() == outs.size(), "batch size mismatch");
+  FOAM_TRACE_SCOPE("spectral.synthesize_batch");
+  note_batch(serial_.mode() == SpectralMode::kEngine, ss.size(),
+             my_lats_.size());
   if (serial_.mode() == SpectralMode::kEngine) {
     serial_.engine_synthesize(pairing_, ss, outs, ws_);
   } else {
@@ -913,6 +954,9 @@ std::vector<SpectralField> ParSpectralTransform::analyze_div_batch(
     par::Comm& comm, const std::vector<const Field2Dd*>& As,
     const std::vector<const Field2Dd*>& Bs) const {
   FOAM_REQUIRE(As.size() == Bs.size(), "batch size mismatch");
+  FOAM_TRACE_SCOPE("spectral.analyze_div_batch");
+  note_batch(serial_.mode() == SpectralMode::kEngine, As.size(),
+             my_lats_.size());
   std::vector<SpectralField> out(As.size());
   for (auto& s : out) s = SpectralField(serial_.mmax(), serial_.kmax());
   if (serial_.mode() == SpectralMode::kEngine) {
@@ -929,6 +973,9 @@ std::vector<SpectralField> ParSpectralTransform::analyze_curl_batch(
     par::Comm& comm, const std::vector<const Field2Dd*>& As,
     const std::vector<const Field2Dd*>& Bs) const {
   FOAM_REQUIRE(As.size() == Bs.size(), "batch size mismatch");
+  FOAM_TRACE_SCOPE("spectral.analyze_curl_batch");
+  note_batch(serial_.mode() == SpectralMode::kEngine, As.size(),
+             my_lats_.size());
   std::vector<SpectralField> out(As.size());
   for (auto& s : out) s = SpectralField(serial_.mmax(), serial_.kmax());
   if (serial_.mode() == SpectralMode::kEngine) {
@@ -948,6 +995,9 @@ void ParSpectralTransform::uv_from_psi_chi_batch(
   FOAM_REQUIRE(psis.size() == chis.size() && psis.size() == Us.size() &&
                    psis.size() == Vs.size(),
                "batch size mismatch");
+  FOAM_TRACE_SCOPE("spectral.uv_batch");
+  note_batch(serial_.mode() == SpectralMode::kEngine, psis.size(),
+             my_lats_.size());
   if (serial_.mode() == SpectralMode::kEngine) {
     serial_.engine_uv(pairing_, psis, chis, Us, Vs, ws_);
   } else {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "par/decomp.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace foam::numerics {
 
@@ -58,6 +59,7 @@ void TransposeSpectralTransform::exchange_blocks(
     par::Comm& comm, int tag, std::size_t block,
     const std::function<void(int, double*)>& pack,
     const std::function<void(int, const double*)>& unpack) const {
+  FOAM_TRACE_SCOPE("spectral.transpose");
   const int me = comm.rank();
   if (!overlap_) {
     // Blocking reference path: full pack, one alltoall, full unpack.

@@ -7,6 +7,7 @@
 #include "data/earth.hpp"
 #include "numerics/tridiag.hpp"
 #include "par/decomp.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace foam::ocean {
 
@@ -1055,10 +1056,19 @@ void OceanModel::apply_polar_filter_3d(Field3Dd& f) {
 }
 
 void OceanModel::step() {
-  internal_momentum_step();
-  barotropic_subcycle();
+  {
+    FOAM_TRACE_SCOPE("ocean.baroclinic");
+    internal_momentum_step();
+  }
+  {
+    FOAM_TRACE_SCOPE("ocean.barotropic");
+    barotropic_subcycle();
+  }
   ++steps_;
-  if (steps_ % cfg_.tracer_every == 0) tracer_step();
+  if (steps_ % cfg_.tracer_every == 0) {
+    FOAM_TRACE_SCOPE("ocean.tracer");
+    tracer_step();
+  }
 }
 
 void OceanModel::run_days(double days) {
@@ -1082,6 +1092,7 @@ Field2Dd OceanModel::sst() const {
 }
 
 Field2Dd OceanModel::gather(const Field2Dd& f) const {
+  FOAM_TRACE_SCOPE("ocean.gather");
   Field2Dd out(f);
   if (comm_ == nullptr || comm_->size() == 1) return out;
   const auto counts_rows = par::block_counts(cfg_.ny, comm_->size());

@@ -7,6 +7,8 @@
 #include <thread>
 #include <tuple>
 
+#include "telemetry/telemetry.hpp"
+
 namespace foam::par {
 
 namespace {
@@ -43,6 +45,9 @@ bool matches(const detail::RequestState& rs, const detail::Message& m) {
 /// Complete \p rs with \p msg. Runs on the posting rank's thread with the
 /// mailbox lock held.
 void deliver(detail::RequestState& rs, detail::Message& msg) {
+  if (telemetry::Telemetry* tel = telemetry::current())
+    tel->comm().on_recv(msg.src_global, msg.tag > kMaxUserTag,
+                        msg.payload.size());
   if (rs.sink) {
     rs.sink(msg);
   } else {
@@ -99,11 +104,15 @@ void Comm::send_internal(int dst, int tag, const void* data,
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
   detail::Mailbox& box = ctx_->boxes[members_[dst]];
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.queue.push_back(std::move(msg));
+    depth = box.queue.size();
   }
   box.cv.notify_all();
+  if (telemetry::Telemetry* tel = telemetry::current())
+    tel->comm().on_send(members_[dst], tag > kMaxUserTag, bytes, depth);
 }
 
 std::shared_ptr<detail::RequestState> Comm::make_recv_state(int src,
@@ -127,12 +136,22 @@ void Comm::post_recv_state(
 void Comm::wait_state(detail::RequestState& rs) {
   detail::Mailbox& box = ctx_->boxes[members_[rank_]];
   auto& pend = ctx_->pending[members_[rank_]];
+  telemetry::Telemetry* tel = telemetry::current();
+  std::chrono::steady_clock::time_point t0;
+  if (tel != nullptr) t0 = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
     check_abort();
+    if (tel != nullptr) tel->comm().on_mailbox_depth(box.queue.size());
     progress(box, pend);
-    if (rs.done) return;
+    if (rs.done) break;
     box.cv.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  if (tel != nullptr) {
+    tel->comm().wait_seconds.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    ++tel->comm().requests_waited;
   }
 }
 
@@ -219,14 +238,25 @@ int Comm::waitany(std::span<Request> rs, RecvStatus* st) {
   if (!any) return -1;
   detail::Mailbox& box = ctx_->boxes[members_[rank_]];
   auto& pend = ctx_->pending[members_[rank_]];
+  telemetry::Telemetry* tel = telemetry::current();
+  std::chrono::steady_clock::time_point t0;
+  if (tel != nullptr) t0 = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
     check_abort();
+    if (tel != nullptr) tel->comm().on_mailbox_depth(box.queue.size());
     progress(box, pend);
     for (std::size_t i = 0; i < rs.size(); ++i) {
       if (!rs[i].valid() || !rs[i].state_->done) continue;
       if (st) *st = rs[i].state_->status;
       rs[i].state_.reset();
+      if (tel != nullptr) {
+        tel->comm().wait_seconds.record(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count());
+        ++tel->comm().requests_waited;
+      }
       return static_cast<int>(i);
     }
     box.cv.wait_for(lock, std::chrono::milliseconds(50));
@@ -239,7 +269,13 @@ void Comm::barrier() {
   if (rank_ == 0) {
     // Receive from each rank specifically: per-source FIFO keeps successive
     // collective rounds from stealing each other's messages.
+    telemetry::Telemetry* tel = telemetry::current();
+    const auto t0 = std::chrono::steady_clock::now();
     for (int r = 1; r < size(); ++r) recv_internal(r, kCollTag);
+    if (tel != nullptr)
+      tel->comm().collective_skew_seconds.record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
     for (int r = 1; r < size(); ++r) send_internal(r, kCollTag, &token, 0);
   } else {
     send_internal(0, kCollTag, &token, 0);
@@ -272,12 +308,18 @@ void Comm::reduce_impl(const void* in, void* out, std::size_t elem_bytes,
     if (bytes > 0 && out != in) std::memcpy(out, in, bytes);
     // Receive in rank order: deterministic combination (bitwise-reproducible
     // sums) and no cross-round message mixing.
+    telemetry::Telemetry* tel = telemetry::current();
+    const auto t0 = std::chrono::steady_clock::now();
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
       detail::Message msg = recv_internal(r, kCollTag);
       FOAM_REQUIRE(msg.payload.size() == bytes, "reduce size mismatch");
       combine(out, msg.payload.data(), count, op);
     }
+    if (tel != nullptr)
+      tel->comm().collective_skew_seconds.record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
   } else {
     send_internal(root, kCollTag, in, bytes);
   }

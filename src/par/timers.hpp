@@ -1,15 +1,22 @@
 #pragma once
 
 /// \file timers.hpp
-/// Per-rank activity instrumentation.
+/// Per-rank activity instrumentation (the flat Fig. 2 view).
 ///
 /// Figure 2 of the paper shows, for every SP processor, how one simulated
 /// day divides into atmosphere (green), coupler (red), ocean (blue) and idle
 /// (purple) time. ActivityRecorder captures exactly that: each rank records
 /// a sequence of (region, start, end) segments against a common wall clock;
 /// the Fig. 2 bench gathers them and renders/aggregates the timeline.
+///
+/// This is the *flat* layer: one region active at a time, no nesting. The
+/// hierarchical tracer in telemetry/telemetry.hpp generalizes it to named,
+/// nesting-aware spans and embeds an ActivityRecorder as its lossless
+/// downgrade, which is why everything here is header-only (the telemetry
+/// library builds on it without a link cycle through foam_par).
 
 #include <chrono>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -34,7 +41,23 @@ enum class Region : int {
 
 inline constexpr int kRegionCount = 6;
 
-const char* region_name(Region r);
+inline const char* region_name(Region r) {
+  switch (r) {
+    case Region::kAtmosphere:
+      return "atmosphere";
+    case Region::kCoupler:
+      return "coupler";
+    case Region::kOcean:
+      return "ocean";
+    case Region::kIdle:
+      return "idle";
+    case Region::kOther:
+      return "other";
+    case Region::kCommWait:
+      return "comm-wait";
+  }
+  return "?";
+}
 
 struct Segment {
   Region region;
@@ -46,32 +69,99 @@ struct Segment {
 /// rank, used only from that rank's thread.
 class ActivityRecorder {
  public:
-  ActivityRecorder();
+  ActivityRecorder() { reset(); }
 
   /// Reset the epoch; subsequent segments are relative to now.
-  void reset();
+  void reset() {
+    epoch_ = std::chrono::steady_clock::now();
+    open_ = false;
+    segments_.clear();
+  }
 
   /// Begin a region; regions do not nest (ending implicitly when the next
   /// begins or end_region is called).
-  void begin(Region r);
-  void end();
+  void begin(Region r) {
+    const double t = now();
+    if (open_) segments_.push_back({open_region_, open_t0_, t});
+    open_ = true;
+    open_region_ = r;
+    open_t0_ = t;
+  }
+
+  void end() {
+    if (!open_) return;
+    segments_.push_back({open_region_, open_t0_, now()});
+    open_ = false;
+  }
 
   /// Seconds since the epoch.
-  double now() const;
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
 
   const std::vector<Segment>& segments() const { return segments_; }
 
   /// Total time attributed to \p r.
-  double total(Region r) const;
+  double total(Region r) const {
+    double sum = 0.0;
+    for (const Segment& s : segments_)
+      if (s.region == r) sum += s.t1 - s.t0;
+    return sum;
+  }
 
   /// Sum over all recorded segments.
-  double total_recorded() const;
+  double total_recorded() const {
+    double sum = 0.0;
+    for (const Segment& s : segments_) sum += s.t1 - s.t0;
+    return sum;
+  }
 
   /// Serialize to a flat double vector (triples of region,t0,t1) for
   /// gathering across ranks with Comm::gatherv.
-  std::vector<double> serialize() const;
+  std::vector<double> serialize() const {
+    std::vector<double> out;
+    out.reserve(segments_.size() * 3);
+    for (const Segment& s : segments_) {
+      out.push_back(static_cast<double>(static_cast<int>(s.region)));
+      out.push_back(s.t0);
+      out.push_back(s.t1);
+    }
+    return out;
+  }
+
+  /// Decode a gathered segment stream. The bytes crossed rank boundaries,
+  /// so nothing is trusted: throws foam::Error on a length that is not a
+  /// whole number of triples, a region value that is not one of the Region
+  /// enumerators, or non-finite / reversed segment times.
   static std::vector<Segment> deserialize(const double* data,
-                                          std::size_t count);
+                                          std::size_t count) {
+    FOAM_REQUIRE(count % 3 == 0, "segment stream length "
+                                     << count
+                                     << " is not a multiple of 3");
+    std::vector<Segment> out;
+    out.reserve(count / 3);
+    for (std::size_t i = 0; i < count; i += 3) {
+      const double rv = data[i];
+      const int ri = static_cast<int>(rv);
+      FOAM_REQUIRE(std::isfinite(rv) && rv == static_cast<double>(ri) &&
+                       ri >= 0 && ri < kRegionCount,
+                   "segment stream: invalid region value "
+                       << rv << " in triple " << i / 3);
+      Segment s;
+      s.region = static_cast<Region>(ri);
+      s.t0 = data[i + 1];
+      s.t1 = data[i + 2];
+      FOAM_REQUIRE(std::isfinite(s.t0) && std::isfinite(s.t1) &&
+                       s.t1 >= s.t0,
+                   "segment stream: invalid times [" << s.t0 << ", " << s.t1
+                                                     << ") in triple "
+                                                     << i / 3);
+      out.push_back(s);
+    }
+    return out;
+  }
 
  private:
   std::chrono::steady_clock::time_point epoch_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/constants.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace foam::river {
 
@@ -89,6 +90,8 @@ void RiverModel::add_runoff(const Field2Dd& runoff_m) {
 }
 
 void RiverModel::step(double dt) {
+  FOAM_TRACE_SCOPE("river.route");
+  telemetry::count("river.steps");
   Field2Dd outflow(grid_.nlon(), grid_.nlat(), 0.0);
   for (int j = 0; j < grid_.nlat(); ++j) {
     for (int i = 0; i < grid_.nlon(); ++i) {

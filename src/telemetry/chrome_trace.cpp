@@ -1,0 +1,258 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace foam::telemetry {
+
+namespace {
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    if (static_cast<unsigned char>(ch) >= 0x20) {
+      out += ch;
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+      out += buf;
+    }
+  }
+  out += '"';
+}
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<RankTrace>& ranks) {
+  std::string out = "{\n\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+  };
+  for (std::size_t rank = 0; rank < ranks.size(); ++rank) {
+    sep();
+    out += R"({"name": "thread_name", "ph": "M", "pid": 0, "tid": )";
+    out += std::to_string(rank);
+    out += R"(, "args": {"name": "rank )" + std::to_string(rank) + "\"}}";
+  }
+  for (std::size_t rank = 0; rank < ranks.size(); ++rank) {
+    const RankTrace& t = ranks[rank];
+    for (const SpanRec& s : t.spans) {
+      sep();
+      out += R"({"name": )";
+      const bool known =
+          s.name_id >= 0 && s.name_id < static_cast<int>(t.names.size());
+      append_quoted(out, known ? t.names[static_cast<std::size_t>(s.name_id)]
+                               : std::string("?"));
+      out += R"(, "cat": )";
+      append_quoted(out, par::region_name(s.region));
+      out += R"(, "ph": "X", "ts": )";
+      append_num(out, s.t0 * 1e6);
+      out += R"(, "dur": )";
+      append_num(out, (s.t1 - s.t0) * 1e6);
+      out += R"(, "pid": 0, "tid": )";
+      out += std::to_string(rank);
+      out += '}';
+    }
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<RankTrace>& ranks) {
+  const std::string doc = chrome_trace_json(ranks);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON validator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool fail(const std::string& msg, const char* at) {
+    err = msg + " at byte " + std::to_string(at - begin);
+    return false;
+  }
+  const char* begin = nullptr;
+
+  void skip_ws() {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+
+  bool value(int depth);
+
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (static_cast<std::size_t>(end - p) < len ||
+        std::strncmp(p, word, len) != 0)
+      return fail("invalid literal", p);
+    p += len;
+    return true;
+  }
+
+  bool string() {
+    const char* at = p;
+    if (p >= end || *p != '"') return fail("expected string", at);
+    ++p;
+    while (p < end) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c < 0x20) return fail("control character in string", p);
+      if (c == '\\') {
+        ++p;
+        if (p >= end) break;
+        const char e = *p;
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p;
+            if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p)))
+              return fail("bad \\u escape", p);
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return fail("bad escape", p);
+        }
+      }
+      ++p;
+    }
+    return fail("unterminated string", at);
+  }
+
+  bool number() {
+    const char* at = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+      return fail("bad number", at);
+    if (*p == '0') {
+      ++p;
+    } else {
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+        return fail("bad fraction", at);
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+        return fail("bad exponent", at);
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    return true;
+  }
+
+  bool object(int depth) {
+    ++p;  // past '{'
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (p >= end || *p != ':') return fail("expected ':'", p);
+      ++p;
+      if (!value(depth)) return false;
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or '}'", p);
+    }
+  }
+
+  bool array(int depth) {
+    ++p;  // past '['
+    skip_ws();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      if (!value(depth)) return false;
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or ']'", p);
+    }
+  }
+};
+
+bool JsonCursor::value(int depth) {
+  if (depth > 512) return fail("nesting too deep", p);
+  skip_ws();
+  if (p >= end) return fail("unexpected end of input", p);
+  switch (*p) {
+    case '{':
+      return object(depth + 1);
+    case '[':
+      return array(depth + 1);
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+  }
+}
+
+}  // namespace
+
+bool json_validate(const std::string& text, std::string* error) {
+  JsonCursor c{text.data(), text.data() + text.size(), {}};
+  c.begin = text.data();
+  bool ok = c.value(0);
+  if (ok) {
+    c.skip_ws();
+    if (c.p != c.end) ok = c.fail("trailing content", c.p);
+  }
+  if (!ok && error != nullptr) *error = c.err;
+  return ok;
+}
+
+}  // namespace foam::telemetry

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file chrome_trace.hpp
+/// Chrome trace-event exporter: merges per-rank span traces onto one
+/// timeline loadable by chrome://tracing and Perfetto (ui.perfetto.dev).
+///
+/// The emitted document is the JSON object format:
+///   { "traceEvents": [ ... ], "displayTimeUnit": "ms" }
+/// with one complete ("ph": "X") event per span — microsecond timestamps,
+/// pid 0, tid = world rank — plus a thread_name metadata event per rank so
+/// the UI labels rows "rank N". Nested spans render as nested slices
+/// because their [ts, ts+dur] intervals nest on the same tid.
+///
+/// json_validate is a dependency-free JSON well-formedness checker used by
+/// the tests and the bench self-gate ("the trace loads back").
+
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace foam::telemetry {
+
+/// Render the gathered traces (index = world rank / tid) as a Chrome
+/// trace-event JSON document.
+std::string chrome_trace_json(const std::vector<RankTrace>& ranks);
+
+/// Write chrome_trace_json to \p path. Returns false if the file cannot
+/// be opened (benches must not fail on a read-only directory).
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<RankTrace>& ranks);
+
+/// Strict JSON well-formedness check (RFC 8259 grammar, no extensions).
+/// On failure returns false and, if \p error is non-null, a message with
+/// the byte offset of the problem.
+bool json_validate(const std::string& text, std::string* error = nullptr);
+
+}  // namespace foam::telemetry

@@ -1,0 +1,109 @@
+#include "telemetry/metrics.hpp"
+
+#include <cmath>
+
+namespace foam::telemetry {
+
+int Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;                 // zero, negative, NaN
+  if (std::isinf(v)) return kBuckets - 1;   // overflow, like any huge value
+  int e = 0;
+  std::frexp(v, &e);  // v = m * 2^e with m in [0.5, 1)  =>  v in [2^(e-1), 2^e)
+  const int b = e + kOffset - 1;
+  if (b < 1) return 0;
+  if (b > kBuckets - 1) return kBuckets - 1;
+  return b;
+}
+
+double Histogram::bucket_lower(int b) {
+  if (b <= 0) return 0.0;
+  return std::ldexp(1.0, b - kOffset);
+}
+
+void Histogram::record(double v) {
+  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+  ++count_;
+  sum_ += v;
+  if (v > max_) max_ = v;
+}
+
+void Histogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+void MetricsRegistry::snapshot(
+    std::vector<std::pair<std::string, double>>& out) const {
+  for (const auto& [name, c] : counters_)
+    out.emplace_back(name, static_cast<double>(c.value()));
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.value());
+  for (const auto& [name, h] : hists_) {
+    out.emplace_back(name + ".count", static_cast<double>(h.count()));
+    out.emplace_back(name + ".sum", h.sum());
+    out.emplace_back(name + ".max", h.max());
+  }
+}
+
+CommStats::Peer& CommStats::peer_slot(int cls, int peer_global) {
+  auto& v = peers[static_cast<std::size_t>(cls)];
+  if (peer_global >= static_cast<int>(v.size()))
+    v.resize(static_cast<std::size_t>(peer_global) + 1);
+  return v[static_cast<std::size_t>(peer_global)];
+}
+
+void CommStats::on_send(int peer_global, bool internal, std::size_t bytes,
+                        std::size_t dest_depth) {
+  if (peer_global < 0) return;
+  Peer& p = peer_slot(internal ? 1 : 0, peer_global);
+  ++p.msgs_sent;
+  p.bytes_sent += bytes;
+  if (dest_depth > dest_mailbox_hwm) dest_mailbox_hwm = dest_depth;
+}
+
+void CommStats::on_recv(int peer_global, bool internal, std::size_t bytes) {
+  if (peer_global < 0) return;
+  Peer& p = peer_slot(internal ? 1 : 0, peer_global);
+  ++p.msgs_recv;
+  p.bytes_recv += bytes;
+}
+
+void CommStats::snapshot(
+    std::vector<std::pair<std::string, double>>& out) const {
+  static const char* const kClass[2] = {"user", "internal"};
+  for (int cls = 0; cls < 2; ++cls) {
+    const auto& v = peers[static_cast<std::size_t>(cls)];
+    for (std::size_t g = 0; g < v.size(); ++g) {
+      const Peer& p = v[g];
+      if (p.msgs_sent == 0 && p.msgs_recv == 0) continue;
+      const std::string suffix =
+          std::string(".") + kClass[cls] + ".peer" + std::to_string(g);
+      out.emplace_back("comm.sent.msgs" + suffix,
+                       static_cast<double>(p.msgs_sent));
+      out.emplace_back("comm.sent.bytes" + suffix,
+                       static_cast<double>(p.bytes_sent));
+      out.emplace_back("comm.recv.msgs" + suffix,
+                       static_cast<double>(p.msgs_recv));
+      out.emplace_back("comm.recv.bytes" + suffix,
+                       static_cast<double>(p.bytes_recv));
+    }
+  }
+  out.emplace_back("comm.mailbox_hwm", static_cast<double>(mailbox_hwm));
+  out.emplace_back("comm.dest_mailbox_hwm",
+                   static_cast<double>(dest_mailbox_hwm));
+  out.emplace_back("comm.requests_waited",
+                   static_cast<double>(requests_waited));
+  out.emplace_back("comm.wait_seconds.count",
+                   static_cast<double>(wait_seconds.count()));
+  out.emplace_back("comm.wait_seconds.sum", wait_seconds.sum());
+  out.emplace_back("comm.wait_seconds.max", wait_seconds.max());
+  out.emplace_back("comm.collective_skew_seconds.count",
+                   static_cast<double>(collective_skew_seconds.count()));
+  out.emplace_back("comm.collective_skew_seconds.sum",
+                   collective_skew_seconds.sum());
+  out.emplace_back("comm.collective_skew_seconds.max",
+                   collective_skew_seconds.max());
+}
+
+}  // namespace foam::telemetry

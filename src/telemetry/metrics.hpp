@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Counters, gauges and fixed-bucket log-scale histograms for the FOAM
+/// telemetry layer, plus the per-rank communication statistics the
+/// foam::par runtime feeds (messages/bytes per peer and tag class, request
+/// wait time, mailbox pressure, collective entry skew).
+///
+/// All metric objects are plain per-rank state: every rank (thread) owns
+/// its own registry inside its telemetry::Telemetry session, so no metric
+/// update ever takes a lock. Cross-rank aggregation happens by snapshotting
+/// each rank's registry into flat (name, value) samples and gathering those
+/// through Comm, exactly like the activity timelines.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace foam::telemetry {
+
+/// Monotonic counter (events, bytes, cells, ...).
+class Counter {
+ public:
+  void add(std::uint64_t v = 1) { v_ += v; }
+  std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Last-value gauge with a high-water helper.
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void record_max(double v) {
+    if (v > v_) v_ = v;
+  }
+  double value() const { return v_; }
+  void reset() { v_ = 0.0; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Histogram over fixed base-2 log-scale buckets.
+///
+/// Bucket b (1 <= b < kBuckets-1) covers the half-open value range
+/// [2^(b-kOffset), 2^(b-kOffset+1)); bucket 0 collects zero/negative and
+/// underflow values, the last bucket overflow. With kOffset = 32 the
+/// resolvable range is [2^-31, 2^31) — nanoseconds to decades for
+/// durations in seconds, bytes to gigabytes for sizes.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kOffset = 32;
+
+  /// Bucket index a value lands in (see the class comment).
+  static int bucket_of(double v);
+  /// Inclusive lower bound of bucket \p b (b in [1, kBuckets)); bucket 0
+  /// has no finite lower bound and returns 0.
+  static double bucket_lower(int b);
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double max() const { return max_; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+  void reset();
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics, one registry per rank. Lookups create on first use;
+/// iteration (snapshot) is name-ordered for deterministic output.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return hists_[name]; }
+
+  /// Append flattened (name, value) samples: counters and gauges one row
+  /// each; histograms as <name>.count / <name>.sum / <name>.max.
+  void snapshot(std::vector<std::pair<std::string, double>>& out) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> hists_;
+};
+
+/// Communication statistics fed by foam::par::Comm. Separate from the
+/// generic registry so the per-message hooks are branch-plus-increment
+/// (no string lookups on the message path).
+struct CommStats {
+  struct Peer {
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t msgs_recv = 0;
+    std::uint64_t bytes_recv = 0;
+  };
+
+  /// Indexed by peer *global* (world) rank; [0] = user-tag traffic,
+  /// [1] = runtime-internal traffic (collective rounds, split bookkeeping).
+  std::array<std::vector<Peer>, 2> peers;
+  /// Time blocked in wait/waitany/blocking receives [s].
+  Histogram wait_seconds;
+  /// Root-observed spread of collective entry: time the root spends
+  /// collecting the other ranks' contributions (barrier, reduce).
+  Histogram collective_skew_seconds;
+  /// High-water mark of this rank's own mailbox depth, observed whenever
+  /// the rank drains it.
+  std::uint64_t mailbox_hwm = 0;
+  /// High-water mark of any destination mailbox depth observed at send.
+  std::uint64_t dest_mailbox_hwm = 0;
+  /// Requests (and blocking receives) this rank waited on.
+  std::uint64_t requests_waited = 0;
+
+  void on_send(int peer_global, bool internal, std::size_t bytes,
+               std::size_t dest_depth);
+  void on_recv(int peer_global, bool internal, std::size_t bytes);
+  void on_mailbox_depth(std::size_t depth) {
+    if (depth > mailbox_hwm) mailbox_hwm = depth;
+  }
+
+  /// Append flattened samples ("comm.sent.bytes.user.peer3", ...); peers
+  /// with no traffic are skipped.
+  void snapshot(std::vector<std::pair<std::string, double>>& out) const;
+
+ private:
+  Peer& peer_slot(int cls, int peer_global);
+};
+
+}  // namespace foam::telemetry

@@ -28,6 +28,35 @@ TEST_F(LoggingTest, MacrosCompileAndStream) {
   SUCCEED();
 }
 
+TEST_F(LoggingTest, ParseLogLevelNamesAndDigits) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kDebug), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("0", LogLevel::kError), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("3", LogLevel::kDebug), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, ParseLogLevelFallsBackOnJunk) {
+  EXPECT_EQ(parse_log_level(nullptr, LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("loud", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("7", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("-1", LogLevel::kInfo), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, LogRankIsPerThread) {
+  set_log_rank(3);
+  EXPECT_EQ(log_rank(), 3);
+  int other = 0;
+  std::thread t([&]() { other = log_rank(); });
+  t.join();
+  EXPECT_EQ(other, -1);  // fresh thread has no rank tag
+  set_log_rank(-1);
+  EXPECT_EQ(log_rank(), -1);
+}
+
 TEST_F(LoggingTest, ThreadSafeUnderConcurrentLogging) {
   set_log_level(LogLevel::kError);
   std::vector<std::thread> threads;

@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "telemetry/chrome_trace.hpp"
+
 namespace foam {
 namespace {
 
@@ -173,6 +175,61 @@ TEST(ParallelCoupled, CaptureTimelinesOffSkipsGather) {
     EXPECT_GT(res.speedup(), 0.0);
     EXPECT_TRUE(res.timelines.empty());
     EXPECT_DOUBLE_EQ(res.region_seconds(0, par::Region::kAtmosphere), 0.0);
+  });
+}
+
+TEST(ParallelCoupled, FullTracingGathersNestedSpansAndMetrics) {
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(3, [&](par::Comm& world) {  // 2 atm + 1 ocean
+    ParallelRunOptions opts;
+    opts.n_atm = 2;
+    opts.telemetry.level = telemetry::TraceLevel::kFull;
+    const auto res = run_coupled_parallel(world, opts, cfg, 0.25);
+    ASSERT_EQ(res.traces.size(), 3u);
+    ASSERT_EQ(res.metrics.size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_FALSE(res.traces[r].spans.empty()) << "rank " << r;
+      EXPECT_TRUE(res.traces[r].has_nested()) << "rank " << r;
+    }
+    // The span-derived region totals agree with the flat timelines (same
+    // begin/end events, clock jitter only).
+    for (int r = 0; r < 3; ++r) {
+      for (int reg = 0; reg < par::kRegionCount; ++reg) {
+        const auto region = static_cast<par::Region>(reg);
+        const double flat = res.region_seconds(r, region);
+        if (flat < 0.05) continue;
+        EXPECT_NEAR(res.span_region_seconds(r, region), flat,
+                    0.01 * flat + 1e-3)
+            << "rank " << r << " region " << par::region_name(region);
+      }
+    }
+    // The comm counters saw the exchange traffic on every rank.
+    for (int r = 0; r < 3; ++r) {
+      double waited = -1.0;
+      for (const auto& [name, value] : res.metrics[r])
+        if (name == "comm.requests_waited") waited = value;
+      EXPECT_GT(waited, 0.0) << "rank " << r;
+    }
+    // The gathered traces export as one valid Chrome trace document.
+    std::string err;
+    EXPECT_TRUE(telemetry::json_validate(
+        telemetry::chrome_trace_json(res.traces), &err))
+        << err;
+  });
+}
+
+TEST(ParallelCoupled, TelemetryOffSkipsTraceAndMetricsGather) {
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(2, [&](par::Comm& world) {
+    ParallelRunOptions opts;
+    opts.n_atm = 1;
+    opts.telemetry.level = telemetry::TraceLevel::kOff;
+    const auto res = run_coupled_parallel(world, opts, cfg, 0.25);
+    EXPECT_TRUE(res.traces.empty());
+    EXPECT_TRUE(res.metrics.empty());
+    // The flat timelines still work: they are the pre-telemetry contract.
+    ASSERT_EQ(res.timelines.size(), 2u);
+    EXPECT_GT(res.region_seconds(0, par::Region::kAtmosphere), 0.0);
   });
 }
 

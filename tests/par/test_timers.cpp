@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 
 namespace foam::par {
@@ -71,6 +72,42 @@ TEST(ActivityRecorder, SerializeRoundTrips) {
   EXPECT_EQ(segs[1].region, Region::kCoupler);
   EXPECT_EQ(segs[2].region, Region::kIdle);
   EXPECT_DOUBLE_EQ(segs[1].t0, rec.segments()[1].t0);
+}
+
+TEST(ActivityRecorder, DeserializeRejectsBadLength) {
+  const double buf[] = {0.0, 0.0, 1.0, 2.0};  // 4 doubles: not a multiple of 3
+  EXPECT_THROW(ActivityRecorder::deserialize(buf, 4), foam::Error);
+}
+
+TEST(ActivityRecorder, DeserializeRejectsBadRegion) {
+  {
+    const double buf[] = {7.5, 0.0, 1.0};  // non-integral region code
+    EXPECT_THROW(ActivityRecorder::deserialize(buf, 3), foam::Error);
+  }
+  {
+    const double buf[] = {-1.0, 0.0, 1.0};
+    EXPECT_THROW(ActivityRecorder::deserialize(buf, 3), foam::Error);
+  }
+  {
+    const double buf[] = {99.0, 0.0, 1.0};  // out of [0, kRegionCount)
+    EXPECT_THROW(ActivityRecorder::deserialize(buf, 3), foam::Error);
+  }
+}
+
+TEST(ActivityRecorder, DeserializeRejectsBadTimes) {
+  {
+    const double buf[] = {0.0, 2.0, 1.0};  // t1 < t0
+    EXPECT_THROW(ActivityRecorder::deserialize(buf, 3), foam::Error);
+  }
+  {
+    const double nan = std::nan("");
+    const double buf[] = {0.0, nan, 1.0};
+    EXPECT_THROW(ActivityRecorder::deserialize(buf, 3), foam::Error);
+  }
+}
+
+TEST(ActivityRecorder, DeserializeAcceptsEmpty) {
+  EXPECT_TRUE(ActivityRecorder::deserialize(nullptr, 0).empty());
 }
 
 TEST(ScopedRegion, BeginsAndEnds) {

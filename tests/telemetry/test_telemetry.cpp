@@ -1,0 +1,426 @@
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "par/comm.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace foam::telemetry {
+namespace {
+
+TelemetryOptions full_opts() {
+  TelemetryOptions o;
+  o.level = TraceLevel::kFull;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: nesting, region inheritance, flat downgrade
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, RecordsNestedSpansWithDepthsAndRegions) {
+  Tracer tr(full_opts());
+  tr.begin_region(par::Region::kAtmosphere);
+  tr.begin_span("outer");
+  tr.begin_span("inner");
+  tr.end_span();
+  tr.end_span();
+  tr.end_region();
+  const auto spans = tr.spans();  // completion order: inner, outer, region
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(tr.names()[spans[0].name_id], "inner");
+  EXPECT_EQ(spans[0].depth, 2);
+  EXPECT_EQ(tr.names()[spans[1].name_id], "outer");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(tr.names()[spans[2].name_id], "atmosphere");
+  EXPECT_EQ(spans[2].depth, 0);
+  // Named spans inherit the innermost enclosing region class.
+  for (const auto& s : spans) EXPECT_EQ(s.region, par::Region::kAtmosphere);
+  // Parent intervals contain child intervals.
+  EXPECT_LE(spans[2].t0, spans[1].t0);
+  EXPECT_LE(spans[1].t0, spans[0].t0);
+  EXPECT_LE(spans[0].t1, spans[1].t1);
+  EXPECT_LE(spans[1].t1, spans[2].t1);
+  EXPECT_EQ(tr.open_depth(), 0);
+}
+
+TEST(Tracer, NestedRegionResumesParentInFlatView) {
+  Tracer tr(full_opts());
+  tr.begin_region(par::Region::kAtmosphere);
+  tr.begin_region(par::Region::kCoupler);
+  tr.end_region();
+  tr.end_region();
+  // Flat downgrade: atmosphere, coupler, atmosphere-resumed.
+  const auto& segs = tr.flat().segments();
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].region, par::Region::kAtmosphere);
+  EXPECT_EQ(segs[1].region, par::Region::kCoupler);
+  EXPECT_EQ(segs[2].region, par::Region::kAtmosphere);
+  // The nested coupler span covers the same interval as the flat coupler
+  // segment (same begin/end events, separate clock reads). region_total
+  // deliberately counts depth-0 spans only — the driver never nests
+  // region spans inside region spans — so sum over all depths here.
+  const RankTrace t = tr.trace();
+  double coupler_spans = 0.0;
+  for (const SpanRec& s : t.spans)
+    if (s.region == par::Region::kCoupler) coupler_spans += s.t1 - s.t0;
+  EXPECT_NEAR(coupler_spans, tr.flat().total(par::Region::kCoupler), 1e-3);
+  EXPECT_DOUBLE_EQ(t.region_total(par::Region::kCoupler), 0.0);
+}
+
+TEST(Tracer, NamedSpansNotRecordedBelowFull) {
+  TelemetryOptions o;
+  o.level = TraceLevel::kRegions;
+  Tracer tr(o);
+  tr.begin_region(par::Region::kOcean);
+  tr.begin_span("hidden");
+  tr.end_span();
+  tr.end_region();
+  const auto spans = tr.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(tr.names()[spans[0].name_id], "ocean");
+}
+
+TEST(Tracer, CurrentRegionTracksInnermostRegionSpan) {
+  Tracer tr(full_opts());
+  EXPECT_EQ(tr.current_region(), par::Region::kOther);
+  tr.begin_region(par::Region::kOcean);
+  tr.begin_span("named");  // named spans do not change the region class
+  EXPECT_EQ(tr.current_region(), par::Region::kOcean);
+  tr.begin_region(par::Region::kCommWait);
+  EXPECT_EQ(tr.current_region(), par::Region::kCommWait);
+  tr.end_region();
+  tr.end_span();
+  tr.end_region();
+  EXPECT_EQ(tr.current_region(), par::Region::kOther);
+}
+
+TEST(Tracer, RingBufferDropsOldestAndCounts) {
+  TelemetryOptions o;
+  o.level = TraceLevel::kFull;
+  o.max_spans = 4;  // clamped up to the minimum of 16
+  Tracer tr(o);
+  for (int i = 0; i < 20; ++i) {
+    tr.begin_span(("s" + std::to_string(i)).c_str());
+    tr.end_span();
+  }
+  const auto spans = tr.spans();
+  EXPECT_EQ(spans.size(), 16u);
+  EXPECT_EQ(tr.dropped(), 4u);
+  // Chronological order preserved: the 4 oldest were overwritten.
+  EXPECT_EQ(tr.names()[spans.front().name_id], "s4");
+  EXPECT_EQ(tr.names()[spans.back().name_id], "s19");
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSession / ScopedSpan: RAII and exception unwind
+// ---------------------------------------------------------------------------
+
+void traced_throw() {
+  FOAM_TRACE_SCOPE("throws");
+  throw std::runtime_error("unwind");
+}
+
+TEST(ScopedSpan, ClosesOnExceptionUnwind) {
+  Telemetry tel(full_opts());
+  ScopedSession session(tel);
+  Tracer& tr = tel.tracer();
+  tr.begin_region(par::Region::kAtmosphere);
+  EXPECT_THROW(traced_throw(), std::runtime_error);
+  // The span destructor ran during unwind: the stack is back to just the
+  // region, and the span was recorded.
+  EXPECT_EQ(tr.open_depth(), 1);
+  tr.end_region();
+  const auto spans = tr.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(tr.names()[spans[0].name_id], "throws");
+  EXPECT_EQ(spans[0].depth, 1);
+}
+
+TEST(ScopedSpan, NoOpWithoutSessionOrBelowFull) {
+  {
+    FOAM_TRACE_SCOPE("no session");  // must not crash
+  }
+  Telemetry tel;  // default level: kRegions
+  ScopedSession session(tel);
+  {
+    FOAM_TRACE_SCOPE("below full");
+  }
+  EXPECT_TRUE(tel.tracer().spans().empty());
+}
+
+TEST(ScopedSession, RestoresPreviousSession) {
+  EXPECT_EQ(current(), nullptr);
+  Telemetry outer;
+  {
+    ScopedSession a(outer);
+    EXPECT_EQ(current(), &outer);
+    Telemetry inner;
+    {
+      ScopedSession b(inner);
+      EXPECT_EQ(current(), &inner);
+    }
+    EXPECT_EQ(current(), &outer);
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket b covers [2^(b-32), 2^(b-31)): 1.0 starts bucket 32, 0.5 is the
+  // top of bucket 31.
+  EXPECT_EQ(Histogram::bucket_of(1.0), 32);
+  EXPECT_EQ(Histogram::bucket_of(0.5), 31);
+  EXPECT_EQ(Histogram::bucket_of(1.5), 32);
+  EXPECT_EQ(Histogram::bucket_of(2.0), 33);
+  EXPECT_EQ(Histogram::bucket_of(std::nextafter(2.0, 0.0)), 32);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower(32), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower(31), 0.5);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower(33), 2.0);
+  // Values land at or above their bucket's lower bound.
+  for (const double v : {1e-6, 0.3, 1.0, 7.0, 1e5}) {
+    const int b = Histogram::bucket_of(v);
+    EXPECT_GE(v, Histogram::bucket_lower(b)) << v;
+    EXPECT_LT(v, Histogram::bucket_lower(b + 1)) << v;
+  }
+}
+
+TEST(Histogram, EdgeValuesGoToSentinelBuckets) {
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(-3.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(std::nan("")), 0);
+  EXPECT_EQ(Histogram::bucket_of(1e-30), 0);  // below 2^-31: underflow
+  EXPECT_EQ(Histogram::bucket_of(1e30), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<double>::infinity()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, RecordAccumulates) {
+  Histogram h;
+  h.record(1.0);
+  h.record(1.5);
+  h.record(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.5);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_EQ(h.buckets()[32], 2u);
+  EXPECT_EQ(h.buckets()[34], 1u);
+}
+
+TEST(MetricsHelpers, WriteThroughCurrentSession) {
+  Telemetry tel;
+  {
+    ScopedSession session(tel);
+    count("events", 2);
+    count("events");
+    observe("sizes", 3.0);
+    gauge_max("hwm", 5.0);
+    gauge_max("hwm", 2.0);  // lower: keeps the high-water mark
+  }
+  count("events", 100);  // outside the session: dropped
+  EXPECT_EQ(tel.metrics().counter("events").value(), 3u);
+  EXPECT_EQ(tel.metrics().histogram("sizes").count(), 1u);
+  EXPECT_DOUBLE_EQ(tel.metrics().gauge("hwm").value(), 5.0);
+  const auto samples = tel.snapshot();
+  auto find = [&](const std::string& name) {
+    for (const auto& [n, v] : samples)
+      if (n == name) return v;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(find("events"), 3.0);
+  EXPECT_DOUBLE_EQ(find("sizes.count"), 1.0);
+  EXPECT_DOUBLE_EQ(find("trace.spans_dropped"), 0.0);
+}
+
+TEST(CommStats, TracksPeersByTagClass) {
+  CommStats cs;
+  cs.on_send(3, /*internal=*/false, 100, /*dest_depth=*/2);
+  cs.on_send(3, /*internal=*/false, 50, /*dest_depth=*/7);
+  cs.on_send(1, /*internal=*/true, 8, /*dest_depth=*/0);
+  cs.on_recv(3, /*internal=*/false, 100);
+  cs.on_mailbox_depth(4);
+  cs.on_mailbox_depth(1);
+  EXPECT_EQ(cs.peers[0][3].msgs_sent, 2u);
+  EXPECT_EQ(cs.peers[0][3].bytes_sent, 150u);
+  EXPECT_EQ(cs.peers[1][1].msgs_sent, 1u);
+  EXPECT_EQ(cs.peers[0][3].msgs_recv, 1u);
+  EXPECT_EQ(cs.dest_mailbox_hwm, 7u);
+  EXPECT_EQ(cs.mailbox_hwm, 4u);
+  std::vector<std::pair<std::string, double>> out;
+  cs.snapshot(out);
+  bool found = false;
+  for (const auto& [n, v] : out)
+    if (n == "comm.sent.bytes.user.peer3") {
+      found = true;
+      EXPECT_DOUBLE_EQ(v, 150.0);
+    }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(TraceStream, RoundTrips) {
+  Tracer tr(full_opts());
+  tr.begin_region(par::Region::kOcean);
+  tr.begin_span("solve");
+  tr.end_span();
+  tr.end_region();
+  const RankTrace t = tr.trace();
+  const auto buf = serialize_trace(t);
+  const RankTrace back = deserialize_trace(buf.data(), buf.size());
+  ASSERT_EQ(back.names.size(), t.names.size());
+  EXPECT_EQ(back.names, t.names);
+  ASSERT_EQ(back.spans.size(), t.spans.size());
+  for (std::size_t i = 0; i < t.spans.size(); ++i) {
+    EXPECT_EQ(back.spans[i].name_id, t.spans[i].name_id);
+    EXPECT_EQ(back.spans[i].region, t.spans[i].region);
+    EXPECT_EQ(back.spans[i].depth, t.spans[i].depth);
+    EXPECT_DOUBLE_EQ(back.spans[i].t0, t.spans[i].t0);
+    EXPECT_DOUBLE_EQ(back.spans[i].t1, t.spans[i].t1);
+  }
+  EXPECT_EQ(back.dropped, t.dropped);
+}
+
+TEST(TraceStream, RejectsMalformedInput) {
+  // Empty stream: missing the name count.
+  EXPECT_THROW(deserialize_trace(nullptr, 0), foam::Error);
+  {
+    const double buf[] = {1.0, 3.0, 'a', 'b'};  // truncated name chars
+    EXPECT_THROW(deserialize_trace(buf, 4), foam::Error);
+  }
+  {
+    const double buf[] = {-1.0};  // negative name count
+    EXPECT_THROW(deserialize_trace(buf, 1), foam::Error);
+  }
+  {
+    // One span with an out-of-range name id.
+    const double buf[] = {0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0};
+    EXPECT_THROW(deserialize_trace(buf, 8), foam::Error);
+  }
+  {
+    // One name, one span, t1 < t0.
+    const double buf[] = {1.0, 1.0, 'x', 0.0, 1.0,
+                          0.0, 0.0, 0.0, 2.0, 1.0};
+    EXPECT_THROW(deserialize_trace(buf, 10), foam::Error);
+  }
+  {
+    // Valid empty trace followed by trailing garbage.
+    const double buf[] = {0.0, 0.0, 0.0, 42.0};
+    EXPECT_THROW(deserialize_trace(buf, 4), foam::Error);
+  }
+}
+
+TEST(SampleStream, RoundTripsAndValidates) {
+  const std::vector<std::pair<std::string, double>> samples = {
+      {"a.count", 3.0}, {"b", -1.5}};
+  const auto buf = serialize_samples(samples);
+  EXPECT_EQ(deserialize_samples(buf.data(), buf.size()), samples);
+  EXPECT_THROW(deserialize_samples(nullptr, 0), foam::Error);
+  const double bad[] = {2.0, 1.0, 'a', 0.5};  // second sample missing
+  EXPECT_THROW(deserialize_samples(bad, 4), foam::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Gather and merge across ranks
+// ---------------------------------------------------------------------------
+
+TEST(TraceGather, SerializeGatherMergeAcrossEightRanks) {
+  par::run(8, [](par::Comm& comm) {
+    Telemetry tel(full_opts());
+    ScopedSession session(tel);
+    Tracer& tr = tel.tracer();
+    tr.begin_region(comm.rank() % 2 == 0 ? par::Region::kAtmosphere
+                                         : par::Region::kOcean);
+    {
+      FOAM_TRACE_SCOPE("work");
+      volatile double sink = 0.0;
+      for (int i = 0; i < 1000; ++i) sink = sink + i;
+    }
+    tr.end_region();
+
+    const std::vector<double> mine = serialize_trace(tr.trace());
+    std::vector<double> lens = {static_cast<double>(mine.size())};
+    std::vector<double> all_lens(8);
+    comm.allgather(lens.data(), 1, all_lens.data());
+    std::vector<int> counts(8);
+    for (int r = 0; r < 8; ++r) counts[r] = static_cast<int>(all_lens[r]);
+    std::vector<double> gathered;
+    comm.gatherv(mine, gathered, counts, 0);
+    if (comm.rank() != 0) return;
+
+    std::size_t off = 0;
+    std::vector<RankTrace> ranks;
+    for (int r = 0; r < 8; ++r) {
+      ranks.push_back(deserialize_trace(gathered.data() + off,
+                                        static_cast<std::size_t>(counts[r])));
+      off += static_cast<std::size_t>(counts[r]);
+    }
+    for (int r = 0; r < 8; ++r) {
+      ASSERT_EQ(ranks[r].spans.size(), 2u) << "rank " << r;
+      EXPECT_TRUE(ranks[r].has_nested()) << "rank " << r;
+      const par::Region want = r % 2 == 0 ? par::Region::kAtmosphere
+                                          : par::Region::kOcean;
+      EXPECT_GT(ranks[r].region_total(want), 0.0) << "rank " << r;
+      bool has_work = false;
+      for (const auto& n : ranks[r].names) has_work |= n == "work";
+      EXPECT_TRUE(has_work) << "rank " << r;
+    }
+    // The merged export covers all 8 ranks.
+    const std::string doc = chrome_trace_json(ranks);
+    EXPECT_TRUE(json_validate(doc));
+    for (int r = 0; r < 8; ++r)
+      EXPECT_NE(doc.find("\"rank " + std::to_string(r) + "\""),
+                std::string::npos);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export + JSON validator
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, EmitsValidNestedDocument) {
+  RankTrace t;
+  t.names = {"atmosphere", "legendre \"fold\"\n"};  // needs escaping
+  t.spans = {{1, par::Region::kAtmosphere, 1, 0.0010, 0.0020},
+             {0, par::Region::kAtmosphere, 0, 0.0, 0.0100}};
+  const std::string doc = chrome_trace_json({t});
+  std::string err;
+  EXPECT_TRUE(json_validate(doc, &err)) << err;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+  // Control characters take the \uXXXX form, quotes a backslash prefix.
+  EXPECT_NE(doc.find("legendre \\\"fold\\\"\\u000a"), std::string::npos);
+  // Microsecond timestamps: the 10 ms region span has dur 10000.
+  EXPECT_NE(doc.find("\"dur\": 10000"), std::string::npos);
+}
+
+TEST(JsonValidate, AcceptsValidDocuments) {
+  for (const char* ok :
+       {"{}", "[]", "null", "true", "-1.5e-3", "\"a\\u00e9b\"",
+        R"({"a": [1, 2.5, {"b": "\n"}], "c": false})"}) {
+    std::string err;
+    EXPECT_TRUE(json_validate(ok, &err)) << ok << ": " << err;
+  }
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{]", "[1] extra", "{'a': 1}",
+        "[01]", "\"\\x\"", "\"unterminated", "nul", "+1", "[1 2]",
+        "{\"a\" 1}"}) {
+    EXPECT_FALSE(json_validate(bad)) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace foam::telemetry
