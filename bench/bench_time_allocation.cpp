@@ -51,7 +51,8 @@ namespace {
 double run_placement(int n_atm, int n_ocean, double days, bool overlap,
                      bool engine, telemetry::TraceLevel level,
                      bench::BenchJson& json,
-                     ParallelRunResult* capture = nullptr, int rep = 0) {
+                     ParallelRunResult* capture = nullptr, int rep = 0,
+                     bool audit = false) {
   FoamConfig cfg = FoamConfig::paper_default();
   cfg.atm.emulate_full_core_cost = true;
   cfg.atm.emulate_transforms_per_level = 40;  // full 18-level core cost
@@ -61,15 +62,23 @@ double run_placement(int n_atm, int n_ocean, double days, bool overlap,
          atm_share_out = 0.0;
   std::printf(
       "\n--- placement: %d atmosphere + %d ocean ranks, %.2f day, "
-      "%s exchange, %s transforms, telemetry %s ---\n",
+      "%s exchange, %s transforms, telemetry %s, verify %s ---\n",
       n_atm, n_ocean, days, overlap ? "overlap" : "blocking",
-      engine ? "engine" : "reference", telemetry::trace_level_name(level));
+      engine ? "engine" : "reference", telemetry::trace_level_name(level),
+      audit ? "audit" : "off");
   par::run(world, [&](par::Comm& comm) {
     ParallelRunOptions opts;
     opts.n_atm = n_atm;
     opts.overlap = overlap;
     opts.telemetry.level = level;
+    opts.verify.mode = audit ? par::VerifyMode::kAudit : par::VerifyMode::kOff;
     const auto res = run_coupled_parallel(comm, opts, cfg, days);
+    // A correct coupled schedule must audit clean: any unmatched send,
+    // leaked request or wildcard race in the exchange protocol is a bug.
+    if (audit)
+      FOAM_REQUIRE(res.verify_findings == 0,
+                   "par-verify audit reported " << res.verify_findings
+                                                << " findings");
     if (comm.rank() != 0) return;
     if (capture != nullptr) *capture = res;
     std::printf("simulated %.2f h in %.1f s wall => speedup %.0fx\n",
@@ -141,7 +150,8 @@ double run_placement(int n_atm, int n_ocean, double days, bool overlap,
       {"ocean_ranks", std::to_string(n_ocean)},
       {"exchange", overlap ? "overlap" : "blocking"},
       {"spectral", engine ? "engine" : "reference"},
-      {"telemetry", telemetry::trace_level_name(level)}};
+      {"telemetry", telemetry::trace_level_name(level)},
+      {"verify", audit ? "audit" : "off"}};
   if (rep > 0) jcfg.push_back({"rep", std::to_string(rep)});
   json.add("atm_busy_seconds", atm_busy_out, "s", jcfg);
   json.add("atm_busy_share", atm_share_out, "fraction", jcfg);
@@ -276,6 +286,37 @@ int main() {
   FOAM_REQUIRE(busy_regions <= busy_off * 1.02 + 0.2,
                "regions-only telemetry overhead above budget: "
                    << busy_regions << "s vs " << busy_off << "s off");
+
+  // --- par-verify audit overhead gate: audit-mode checking vs off on the
+  // same placement and trace level as the telemetry gate, so busy_off is a
+  // shared baseline. Audit mode stamps vector clocks on every message,
+  // tracks wait-for state around every blocking call and audits quiescence
+  // once per coupled day; the budget for all of it is 5% of busy time
+  // (+0.2 s scheduler slack). Min-of-3 for the same reason as above. The
+  // run also asserts zero findings — the coupled exchange must audit clean.
+  double busy_audit = 0.0;
+  for (int rep = 1; rep <= 3; ++rep) {
+    const double aud = run_placement(4, 1, days, /*overlap=*/true,
+                                     /*engine=*/true, TraceLevel::kOff,
+                                     json, nullptr, rep, /*audit=*/true);
+    busy_audit = rep == 1 ? aud : std::min(busy_audit, aud);
+  }
+  const double audit_overhead =
+      busy_off > 0.0 ? (busy_audit - busy_off) / busy_off : 0.0;
+  std::printf("\npar-verify overhead (audit vs off, 4+1 overlap): "
+              "%.2fs vs %.2fs busy (%+.2f%%)\n",
+              busy_audit, busy_off, 100.0 * audit_overhead);
+  json.add("verify_audit_overhead", audit_overhead, "fraction",
+           {{"atm_ranks", "4"}, {"ocean_ranks", "1"}});
+  FOAM_REQUIRE(busy_audit <= busy_off * 1.05 + 0.2,
+               "par-verify audit overhead above budget: "
+                   << busy_audit << "s vs " << busy_off << "s off");
+
+  // --- paper-scale audited day: the 8+1 placement under audit mode, with
+  // the zero-findings assertion inside run_placement as the acceptance
+  // check that a full coupled day is deadlock-free and leak-free.
+  run_placement(8, 1, days, /*overlap=*/true, /*engine=*/true,
+                TraceLevel::kOff, json, nullptr, 0, /*audit=*/true);
 
   const double ref_busy = run_placement(4, 1, days, /*overlap=*/true,
                                         /*engine=*/false,

@@ -165,6 +165,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
                "n_atm=" << n_atm << " of " << world.size());
   const int n_ocean = world.size() - n_atm;
   const bool is_atm = world.rank() < n_atm;
+  world.set_verify(opts.verify);
   auto sub = world.split(is_atm ? 0 : 1, world.rank());
   FOAM_REQUIRE(sub != nullptr, "split failed");
   (void)n_ocean;
@@ -189,6 +190,14 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
   const auto total_steps = static_cast<std::int64_t>(
       std::llround(days * 86400.0 / cfg.atm.dt));
   const std::int64_t n_exchanges = total_steps / exchange_steps;
+  // Quiescence audit at every coupled-day boundary (all ranks hit the same
+  // exchanges, so the collective call lines up). No-op when verify is off.
+  const std::int64_t exchanges_per_day = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(86400.0 /
+                                                cfg.exchange_seconds)));
+  const auto day_boundary_audit = [&](std::int64_t ex) {
+    if ((ex + 1) % exchanges_per_day == 0) world.verify_quiescent();
+  };
 
   par::Stopwatch wall;
   rec.reset();
@@ -329,6 +338,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
         atm.reset_flux_accumulation();
       }
       rec.end_region();
+      day_boundary_audit(ex);
     }
     // Drain the reply still in flight after the last interval so the
     // ocean's sends are all consumed before the timeline gather.
@@ -368,13 +378,22 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
         world.send_vec(0, kTagForcing, frazil.vec());
       }
       rec.end_region();
+      day_boundary_audit(ex);
     }
   }
+
+  // Final drain audit: by run end every message ever sent must have been
+  // received and every request completed (collective; no-op when off).
+  world.verify_quiescent();
 
   ParallelRunResult result;
   result.wall_seconds = wall.seconds();
   result.simulated_seconds =
       static_cast<double>(n_exchanges) * cfg.exchange_seconds;
+  result.verify_findings =
+      world.verifier().enabled()
+          ? static_cast<std::int64_t>(world.verifier().finding_count())
+          : -1;
 
   // Gather the per-rank telemetry to every rank: flat timelines (Fig. 2),
   // hierarchical traces (kFull), and metric samples. Each stream is

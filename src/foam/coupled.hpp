@@ -35,6 +35,7 @@
 #include "coupler/coupler.hpp"
 #include "ocean/model.hpp"
 #include "par/timers.hpp"
+#include "par/verify/verify.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace foam {
@@ -144,6 +145,11 @@ struct ParallelRunResult {
     if (rank < 0 || rank >= static_cast<int>(traces.size())) return 0.0;
     return traces[rank].region_total(r);
   }
+
+  /// Total MPI-semantics findings across all ranks for the run, or -1 when
+  /// verification was off (ParallelRunOptions::verify). 0 proves the run
+  /// was deadlock-free, leak-free and wildcard-deterministic as observed.
+  std::int64_t verify_findings = -1;
 };
 
 /// Options for run_coupled_parallel; every rank of the world communicator
@@ -163,6 +169,11 @@ struct ParallelRunOptions {
   /// (off / regions-only / full hierarchical spans) and span ring capacity.
   /// The flat-view setting is overridden by capture_timelines.
   telemetry::TelemetryOptions telemetry;
+  /// MPI-semantics checking for the run (par/verify/verify.hpp): off by
+  /// default unless FOAM_PAR_VERIFY is set. The driver installs it via
+  /// Comm::set_verify and audits quiescence at the end of each coupled day
+  /// and at run end (Comm::verify_quiescent).
+  par::CommVerifyOptions verify = par::CommVerifyOptions::from_env();
 };
 
 /// Run the coupled model SPMD on \p world. Must be called by every rank of

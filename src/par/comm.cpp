@@ -20,9 +20,26 @@ constexpr int kSplitTag = kMaxUserTag + 2;  // communicator split bookkeeping
 /// Set when any rank throws; blocked receives abort instead of deadlocking.
 std::atomic<bool> g_abort{false};
 
-void check_abort() {
-  if (g_abort.load(std::memory_order_relaxed))
-    throw Error("parallel run aborted by failure on another rank");
+/// Thrown by ranks released because *another* rank failed. run() prefers
+/// rethrowing the root-cause exception over these sympathetic aborts.
+struct AbortError : Error {
+  using Error::Error;
+};
+
+/// The run's checker when it should observe events, else nullptr. One
+/// relaxed atomic load on the kOff fast path.
+verify::Verifier* active_verifier(detail::Context* ctx) {
+  verify::Verifier& v = ctx->verifier;
+  return v.enabled() && !v.suppressed() ? &v : nullptr;
+}
+
+void check_abort(detail::Context* ctx) {
+  if (g_abort.load(std::memory_order_relaxed)) {
+    // Stack unwinding on this rank now tears down comms and requests in
+    // arbitrary mid-operation states; none of that is evidence.
+    ctx->verifier.suppress();
+    throw AbortError("parallel run aborted by failure on another rank");
+  }
 }
 
 int local_of(const std::vector<int>& members, int g) {
@@ -43,11 +60,14 @@ bool matches(const detail::RequestState& rs, const detail::Message& m) {
 }
 
 /// Complete \p rs with \p msg. Runs on the posting rank's thread with the
-/// mailbox lock held.
-void deliver(detail::RequestState& rs, detail::Message& msg) {
+/// mailbox lock held. \p v (may be null) merges the message's vector clock
+/// into rank \p me_global's clock.
+void deliver(detail::RequestState& rs, detail::Message& msg,
+             verify::Verifier* v, int me_global) {
   if (telemetry::Telemetry* tel = telemetry::current())
     tel->comm().on_recv(msg.src_global, msg.tag > kMaxUserTag,
                         msg.payload.size());
+  if (v != nullptr) v->on_deliver(me_global, msg);
   if (rs.sink) {
     rs.sink(msg);
   } else {
@@ -70,7 +90,8 @@ void deliver(detail::RequestState& rs, detail::Message& msg) {
 /// Caller holds box.mutex; only the owning rank's thread ever calls this,
 /// so the pending list itself needs no lock.
 void progress(detail::Mailbox& box,
-              std::vector<std::shared_ptr<detail::RequestState>>& pend) {
+              std::vector<std::shared_ptr<detail::RequestState>>& pend,
+              verify::Verifier* v, int me_global) {
   for (auto pit = pend.begin(); pit != pend.end();) {
     detail::RequestState& rs = **pit;
     auto mit = std::find_if(
@@ -80,13 +101,119 @@ void progress(detail::Mailbox& box,
       ++pit;
       continue;
     }
-    deliver(rs, *mit);
+    // Wildcard-race check: if another queued message was also eligible for
+    // this wildcard receive, the match is an arbitration; the verifier
+    // flags it unless the vector clocks order the two sends.
+    if (v != nullptr && (rs.want_src_global == -1 || rs.tag == kAnyTag)) {
+      for (auto oit = box.queue.begin(); oit != box.queue.end(); ++oit) {
+        if (oit == mit || !matches(rs, *oit)) continue;
+        if (v->check_wildcard_pair(me_global, rs, *mit, *oit)) break;
+      }
+    }
+    deliver(rs, *mit, v, me_global);
     box.queue.erase(mit);
     pit = pend.erase(pit);
   }
 }
 
+/// RAII wait-for-graph registration around a blocking wait.
+class WaitGuard {
+ public:
+  WaitGuard(verify::Verifier* v, int me_global, const char* what,
+            std::vector<verify::WaitSpec> specs)
+      : v_(v), me_(me_global) {
+    if (v_ != nullptr) v_->enter_wait(me_, what, std::move(specs));
+  }
+  ~WaitGuard() {
+    if (v_ != nullptr) v_->leave_wait(me_);
+  }
+  WaitGuard(const WaitGuard&) = delete;
+  WaitGuard& operator=(const WaitGuard&) = delete;
+
+ private:
+  verify::Verifier* v_;
+  int me_;
+};
+
+verify::WaitSpec spec_of(const detail::RequestState& rs) {
+  return {rs.comm_id, rs.want_src_global, rs.tag, rs.members};
+}
+
 }  // namespace
+
+Request::~Request() {
+  // use_count == 2 means this handle plus the pending list: the user is
+  // dropping the only way to ever complete (or safely release the buffer
+  // of) a still-pending receive. Copies of the handle keep the count above
+  // 2 until the last one goes.
+  if (state_ != nullptr && !state_->done && state_->verifier != nullptr &&
+      state_.use_count() == 2)
+    state_->verifier->on_abandoned_request(*state_);
+}
+
+Comm::~Comm() {
+  if (ctx_ == nullptr) return;
+  verify::Verifier* v = active_verifier(ctx_);
+  if (v == nullptr) return;
+  // Teardown audit of this communicator's state on this rank. Never
+  // throws: findings recorded while unwinding or in scope exit must not
+  // terminate the process (strict escalation happened at detection time).
+  try {
+    const int me = members_[rank_];
+    detail::Mailbox& box = ctx_->boxes[me];
+    auto& pend = ctx_->pending[me];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    progress(box, pend, v, me);
+    v->audit(me, "communicator teardown", comm_id_, box.queue, pend);
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void Comm::set_verify(const CommVerifyOptions& opts) {
+  ctx_->verifier.configure(opts);
+  barrier();  // nobody proceeds until every rank observes the new mode
+}
+
+std::size_t Comm::verify_quiescent() {
+  verify::Verifier& v = ctx_->verifier;
+  if (!v.enabled()) return 0;
+  barrier();
+  // Sends are buffered (delivered at post), so after the barrier every
+  // message any rank will ever have sent before this point is already in
+  // its destination mailbox: whatever progress() cannot match now is a
+  // genuine leftover.
+  const int me = members_[rank_];
+  std::size_t fresh = 0;
+  {
+    detail::Mailbox& box = ctx_->boxes[me];
+    auto& pend = ctx_->pending[me];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    progress(box, pend, active_verifier(ctx_), me);
+    fresh = v.audit(me, "verify_quiescent", /*comm_id_filter=*/-1,
+                    box.queue, pend);
+  }
+  const auto total = allreduce_scalar<long long>(
+      static_cast<long long>(fresh), ReduceOp::kSum);
+  if (total > 0 && v.mode() == VerifyMode::kStrict)
+    throw Error("verify_quiescent: " + std::to_string(total) +
+                " finding(s) across the run (see the per-rank diagnostics)");
+  return static_cast<std::size_t>(total);
+}
+
+Comm::CollScope::CollScope(Comm& c, verify::CollKind kind, int root,
+                           std::uint64_t count, std::uint32_t elem, int op)
+    : comm(c), prev(c.active_coll_) {
+  desc.kind = static_cast<std::int32_t>(kind);
+  desc.root = root;
+  desc.count = count;
+  desc.elem = elem;
+  desc.op = op;
+  desc.seq = ++c.coll_seq_;  // counted even when off: toggle-consistent
+  desc.comm_id = c.comm_id_;
+  c.active_coll_ = &desc;
+}
+
+Comm::CollScope::~CollScope() { comm.active_coll_ = prev; }
 
 int Comm::local_rank_of_global(int g) const {
   return local_of(members_, g);
@@ -96,13 +223,20 @@ void Comm::send_internal(int dst, int tag, const void* data,
                          std::size_t bytes) {
   FOAM_REQUIRE(dst >= 0 && dst < size(), "send to rank " << dst << " of "
                                                          << size());
-  check_abort();
+  check_abort(ctx_);
   detail::Message msg;
   msg.comm_id = comm_id_;
   msg.src_global = members_[rank_];
   msg.tag = tag;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  if (verify::Verifier* v = active_verifier(ctx_)) {
+    if (active_coll_ != nullptr && tag > kMaxUserTag) {
+      msg.coll = *active_coll_;
+      msg.coll_hash = msg.coll.hash();
+    }
+    v->on_send(members_[rank_], msg);
+  }
   detail::Mailbox& box = ctx_->boxes[members_[dst]];
   std::size_t depth = 0;
   {
@@ -124,6 +258,8 @@ std::shared_ptr<detail::RequestState> Comm::make_recv_state(int src,
   rs->want_src_global = (src == kAnySource) ? -1 : members_[src];
   rs->tag = tag;
   rs->members = &members_;
+  rs->owner_global = members_[rank_];
+  rs->verifier = &ctx_->verifier;
   return rs;
 }
 
@@ -133,18 +269,24 @@ void Comm::post_recv_state(
   ctx_->pending[members_[rank_]].push_back(rs);
 }
 
-void Comm::wait_state(detail::RequestState& rs) {
-  detail::Mailbox& box = ctx_->boxes[members_[rank_]];
-  auto& pend = ctx_->pending[members_[rank_]];
+void Comm::wait_state(detail::RequestState& rs, const char* what) {
+  const int me = members_[rank_];
+  detail::Mailbox& box = ctx_->boxes[me];
+  auto& pend = ctx_->pending[me];
   telemetry::Telemetry* tel = telemetry::current();
   std::chrono::steady_clock::time_point t0;
   if (tel != nullptr) t0 = std::chrono::steady_clock::now();
+  verify::Verifier* v = rs.done ? nullptr : active_verifier(ctx_);
+  WaitGuard guard(v, me, what, v != nullptr
+                                   ? std::vector<verify::WaitSpec>{spec_of(rs)}
+                                   : std::vector<verify::WaitSpec>{});
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
-    check_abort();
+    check_abort(ctx_);
     if (tel != nullptr) tel->comm().on_mailbox_depth(box.queue.size());
-    progress(box, pend);
+    progress(box, pend, active_verifier(ctx_), me);
     if (rs.done) break;
+    if (v != nullptr) v->poll_deadlock(me);
     box.cv.wait_for(lock, std::chrono::milliseconds(50));
   }
   if (tel != nullptr) {
@@ -160,7 +302,13 @@ detail::Message Comm::recv_internal(int src, int tag) {
   detail::Message out;
   rs->sink = [&out](detail::Message& m) { out = std::move(m); };
   post_recv_state(rs);
-  wait_state(*rs);
+  wait_state(*rs, active_coll_ != nullptr
+                      ? verify::coll_kind_name(
+                            static_cast<verify::CollKind>(active_coll_->kind))
+                      : "recv");
+  if (active_coll_ != nullptr && out.tag > kMaxUserTag)
+    if (verify::Verifier* v = active_verifier(ctx_))
+      v->check_collective(members_[rank_], *active_coll_, out);
   return out;
 }
 
@@ -177,7 +325,7 @@ RecvStatus Comm::recv_bytes(int src, int tag, void* data,
   rs->buffer = data;
   rs->max_bytes = max_bytes;
   post_recv_state(rs);
-  wait_state(*rs);
+  wait_state(*rs, "recv");
   return rs->status;
 }
 
@@ -219,8 +367,8 @@ bool Comm::test(Request& r, RecvStatus* st) {
     detail::Mailbox& box = ctx_->boxes[members_[rank_]];
     auto& pend = ctx_->pending[members_[rank_]];
     std::lock_guard<std::mutex> lock(box.mutex);
-    check_abort();
-    progress(box, pend);
+    check_abort(ctx_);
+    progress(box, pend, active_verifier(ctx_), members_[rank_]);
   }
   if (!r.state_->done) return false;
   if (st) *st = r.state_->status;
@@ -236,16 +384,23 @@ int Comm::waitany(std::span<Request> rs, RecvStatus* st) {
   bool any = false;
   for (const Request& r : rs) any = any || r.valid();
   if (!any) return -1;
-  detail::Mailbox& box = ctx_->boxes[members_[rank_]];
-  auto& pend = ctx_->pending[members_[rank_]];
+  const int me = members_[rank_];
+  detail::Mailbox& box = ctx_->boxes[me];
+  auto& pend = ctx_->pending[me];
   telemetry::Telemetry* tel = telemetry::current();
   std::chrono::steady_clock::time_point t0;
   if (tel != nullptr) t0 = std::chrono::steady_clock::now();
+  verify::Verifier* v = active_verifier(ctx_);
+  std::vector<verify::WaitSpec> specs;
+  if (v != nullptr)
+    for (const Request& r : rs)
+      if (r.valid() && !r.state_->done) specs.push_back(spec_of(*r.state_));
+  WaitGuard guard(v, me, "waitany", std::move(specs));
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
-    check_abort();
+    check_abort(ctx_);
     if (tel != nullptr) tel->comm().on_mailbox_depth(box.queue.size());
-    progress(box, pend);
+    progress(box, pend, active_verifier(ctx_), me);
     for (std::size_t i = 0; i < rs.size(); ++i) {
       if (!rs[i].valid() || !rs[i].state_->done) continue;
       if (st) *st = rs[i].state_->status;
@@ -259,12 +414,14 @@ int Comm::waitany(std::span<Request> rs, RecvStatus* st) {
       }
       return static_cast<int>(i);
     }
+    if (v != nullptr) v->poll_deadlock(me);
     box.cv.wait_for(lock, std::chrono::milliseconds(50));
   }
 }
 
 void Comm::barrier() {
   if (size() == 1) return;
+  CollScope scope(*this, verify::CollKind::kBarrier, 0, 0, 0);
   const char token = 0;
   if (rank_ == 0) {
     // Receive from each rank specifically: per-source FIFO keeps successive
@@ -286,6 +443,7 @@ void Comm::barrier() {
 void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
   FOAM_REQUIRE(root >= 0 && root < size(), "root " << root);
   if (size() == 1) return;
+  CollScope scope(*this, verify::CollKind::kBcast, root, bytes, 1);
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r)
       if (r != root) send_internal(r, kCollTag, data, bytes);
@@ -302,6 +460,9 @@ void Comm::reduce_impl(const void* in, void* out, std::size_t elem_bytes,
                        std::size_t count, detail::CombineFn combine,
                        ReduceOp op, int root) {
   FOAM_REQUIRE(root >= 0 && root < size(), "root " << root);
+  CollScope scope(*this, verify::CollKind::kReduce, root, count,
+                  static_cast<std::uint32_t>(elem_bytes),
+                  static_cast<int>(op));
   const std::size_t bytes = elem_bytes * count;
   if (rank_ == root) {
     // in == out is allowed (in-place reduction over the caller's storage).
@@ -327,6 +488,8 @@ void Comm::reduce_impl(const void* in, void* out, std::size_t elem_bytes,
 
 void Comm::gather(const double* in, std::size_t count, double* out,
                   int root) {
+  CollScope scope(*this, verify::CollKind::kGather, root, count,
+                  sizeof(double));
   if (rank_ == root) {
     std::copy(in, in + count, out + static_cast<std::size_t>(root) * count);
     for (int r = 0; r < size(); ++r) {
@@ -345,6 +508,8 @@ void Comm::gather(const double* in, std::size_t count, double* out,
 void Comm::scatter(const double* in, std::size_t count, double* out,
                    int root) {
   FOAM_REQUIRE(root >= 0 && root < size(), "root " << root);
+  CollScope scope(*this, verify::CollKind::kScatter, root, count,
+                  sizeof(double));
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
       if (r == root) {
@@ -376,6 +541,15 @@ void Comm::gatherv(const std::vector<double>& in, std::vector<double>& out,
   FOAM_REQUIRE(static_cast<int>(in.size()) == counts[rank_],
                "gatherv local size " << in.size() << " vs declared "
                                      << counts[rank_]);
+  // The per-rank counts must agree across ranks; fold them into the
+  // signature's count field so a disagreement shows up as a mismatch.
+  std::uint64_t counts_hash = 1469598103934665603ULL;
+  for (const int c : counts) {
+    counts_hash ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(c));
+    counts_hash *= 1099511628211ULL;
+  }
+  CollScope scope(*this, verify::CollKind::kGatherv, root, counts_hash,
+                  sizeof(double));
   if (rank_ == root) {
     std::size_t total = 0;
     std::vector<std::size_t> offsets(size());
@@ -401,6 +575,8 @@ void Comm::gatherv(const std::vector<double>& in, std::vector<double>& out,
 
 void Comm::alltoall(const double* in, double* out,
                     std::size_t count_per_rank) {
+  CollScope scope(*this, verify::CollKind::kAlltoall, 0, count_per_rank,
+                  sizeof(double));
   const std::size_t c = count_per_rank;
   // Local block first, then exchange with every peer.
   std::copy(in + static_cast<std::size_t>(rank_) * c,
@@ -422,6 +598,9 @@ void Comm::alltoall(const double* in, double* out,
 }
 
 std::unique_ptr<Comm> Comm::split(int color, int key) {
+  // color/key legitimately differ per rank, so the signature carries only
+  // the entry itself (kind + sequence + communicator).
+  CollScope scope(*this, verify::CollKind::kSplit, 0, 0, 0);
   struct Entry {
     int color;
     int key;
@@ -501,6 +680,9 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
   FOAM_REQUIRE(nranks > 0, "nranks=" << nranks);
   g_abort.store(false, std::memory_order_relaxed);
   detail::Context ctx(nranks);
+  // Every run honors FOAM_PAR_VERIFY out of the box; drivers may override
+  // through Comm::set_verify.
+  ctx.verifier.configure(CommVerifyOptions::from_env());
   std::vector<int> world(nranks);
   for (int r = 0; r < nranks; ++r) world[r] = r;
 
@@ -513,6 +695,7 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
       try {
         fn(comm);
       } catch (...) {
+        ctx.verifier.suppress();
         errors[r] = std::current_exception();
         g_abort.store(true, std::memory_order_relaxed);
         for (auto& box : ctx.boxes) box.cv.notify_all();
@@ -523,8 +706,27 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
   const bool aborted = g_abort.load(std::memory_order_relaxed);
   g_abort.store(false, std::memory_order_relaxed);
   if (aborted) {
-    for (int r = 0; r < nranks; ++r)
-      if (errors[r]) std::rethrow_exception(errors[r]);
+    // Prefer the root cause: ranks released by another rank's failure
+    // throw AbortError, which only wins when no rank has anything better.
+    const auto is_sympathetic = [](const std::exception_ptr& e) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const AbortError&) {
+        return true;
+      } catch (...) {
+        return false;
+      }
+    };
+    std::exception_ptr chosen;
+    for (int r = 0; r < nranks; ++r) {
+      if (!errors[r]) continue;
+      if (!chosen) chosen = errors[r];
+      if (!is_sympathetic(errors[r])) {
+        chosen = errors[r];
+        break;
+      }
+    }
+    if (chosen) std::rethrow_exception(chosen);
   }
 }
 

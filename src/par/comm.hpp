@@ -38,6 +38,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -48,6 +49,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "par/verify/verify.hpp"
 
 namespace foam::par {
 
@@ -72,6 +74,15 @@ struct Message {
   int src_global = 0;
   int tag = 0;
   std::vector<std::byte> payload;
+  // --- verify piggyback (filled only when the verifier is enabled) ---
+  /// Sender's vector clock at send time (wildcard-race detection).
+  std::vector<std::uint32_t> vclock;
+  /// Global send serial (exactly-once audit reporting); 0 = unstamped.
+  std::uint64_t verify_seq = 0;
+  /// Collective-entry signature hash; 0 = not a checked collective round.
+  std::uint64_t coll_hash = 0;
+  /// Decoded signature behind coll_hash, for the mismatch diagnostic.
+  verify::CollDesc coll;
 };
 
 struct Mailbox {
@@ -95,16 +106,26 @@ struct RequestState {
   std::size_t max_bytes = 0;
   std::function<void(Message&)> sink;  ///< used by vector/internal receives
   RecvStatus status;                   ///< filled at completion
+  // --- verify bookkeeping ---
+  int owner_global = -1;               ///< global rank that posted this
+  bool verify_reported = false;        ///< audit already flagged this state
+  /// Run verifier, for ~Request abandonment detection. Valid only while the
+  /// run's Context is alive (requests must not outlive par::run, as with
+  /// MPI_Finalize).
+  verify::Verifier* verifier = nullptr;
 };
 
 struct Context {
-  explicit Context(int nranks) : boxes(nranks), pending(nranks) {}
+  explicit Context(int nranks)
+      : boxes(nranks), pending(nranks), verifier(nranks) {}
   std::vector<Mailbox> boxes;
   /// Pending nonblocking receives per global rank, in posting order.
   /// Touched only by the owning rank's thread.
   std::vector<std::vector<std::shared_ptr<RequestState>>> pending;
   std::mutex comm_id_mutex;
   int next_comm_id = 1;
+  /// Shared MPI-semantics checker (kOff by default: one branch per hook).
+  verify::Verifier verifier;
 };
 
 /// Element-wise combine for the typed reduction collectives.
@@ -138,6 +159,14 @@ using CombineFn = void (*)(void*, const void*, std::size_t, ReduceOp);
 class Request {
  public:
   Request() = default;
+  Request(const Request&) = default;
+  Request(Request&&) = default;
+  Request& operator=(const Request&) = default;
+  Request& operator=(Request&&) = default;
+  /// Flags dropping the last user handle of a still-pending receive to the
+  /// verifier (the irecv buffer can no longer be completed or safely
+  /// released); out of line so the hook sees the shared state.
+  ~Request();
   bool valid() const { return state_ != nullptr; }
 
  private:
@@ -151,8 +180,34 @@ class Request {
 /// Each rank owns one Comm object per communicator it belongs to.
 class Comm {
  public:
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+  /// Runs the teardown message audit when verification is on (unmatched
+  /// inbound messages and never-completed pending receives of this
+  /// communicator on this rank); never throws.
+  ~Comm();
+
   int rank() const { return rank_; }
   int size() const { return static_cast<int>(members_.size()); }
+
+  // --- semantics verification -------------------------------------------
+
+  /// Install verification options for the whole run (collective: every
+  /// rank of this communicator calls with identical values; returns after
+  /// a barrier, so the new mode is in force on every rank).
+  void set_verify(const CommVerifyOptions& opts);
+
+  /// Collective quiescence audit: barrier, then each rank checks that its
+  /// mailbox holds no unmatched user messages and that it has no pending
+  /// incomplete receives (with buffered sends, everything ever sent before
+  /// the barrier has already been delivered, so leftovers are real).
+  /// Returns the global number of new findings (allreduce). In strict mode
+  /// throws on every rank when that number is non-zero. No-op returning 0
+  /// when verification is off.
+  std::size_t verify_quiescent();
+
+  /// The run's shared checker (finding counts for drivers and tests).
+  const verify::Verifier& verifier() const { return ctx_->verifier; }
 
   // --- point-to-point ---------------------------------------------------
 
@@ -333,16 +388,38 @@ class Comm {
   /// Append to this rank's pending list (posting order = matching order).
   void post_recv_state(const std::shared_ptr<detail::RequestState>& rs);
   /// Block until \p rs completes (drives matching against the mailbox).
-  void wait_state(detail::RequestState& rs);
+  /// \p what labels the wait in deadlock diagnostics.
+  void wait_state(detail::RequestState& rs, const char* what = "wait");
 
   void reduce_impl(const void* in, void* out, std::size_t elem_bytes,
                    std::size_t count, detail::CombineFn combine, ReduceOp op,
                    int root);
 
+  /// RAII collective-entry scope: assigns the entry its per-communicator
+  /// sequence number and, while in scope, makes send_internal stamp the
+  /// collective's internal messages with the signature and recv_internal
+  /// check received signatures against it.
+  struct CollScope {
+    CollScope(Comm& comm, verify::CollKind kind, int root,
+              std::uint64_t count, std::uint32_t elem, int op = -1);
+    ~CollScope();
+    CollScope(const CollScope&) = delete;
+    CollScope& operator=(const CollScope&) = delete;
+
+    Comm& comm;
+    verify::CollDesc desc;
+    const verify::CollDesc* prev;
+  };
+
   detail::Context* ctx_ = nullptr;
   int comm_id_ = 0;
   std::vector<int> members_;  // global rank of each communicator rank
   int rank_ = 0;              // this rank within the communicator
+  /// Collective entries made through this communicator object (every rank
+  /// counts its own; the counts agree exactly when entry is consistent —
+  /// that agreement is what the collective check verifies).
+  std::uint64_t coll_seq_ = 0;
+  const verify::CollDesc* active_coll_ = nullptr;  // set by CollScope
 };
 
 /// Launch an SPMD computation with \p nranks ranks. Each rank runs \p fn on

@@ -1,0 +1,451 @@
+#include "par/verify/verify.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/logging.hpp"
+#include "par/comm.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace foam::par {
+
+const char* verify_mode_name(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::kOff:
+      return "off";
+    case VerifyMode::kAudit:
+      return "audit";
+    case VerifyMode::kStrict:
+      return "strict";
+  }
+  return "?";
+}
+
+CommVerifyOptions CommVerifyOptions::from_env() {
+  CommVerifyOptions o;
+  if (const char* mode = std::getenv("FOAM_PAR_VERIFY")) {
+    const std::string m(mode);
+    if (m == "audit") {
+      o.mode = VerifyMode::kAudit;
+    } else if (m == "strict") {
+      o.mode = VerifyMode::kStrict;
+    }
+  }
+  if (const char* t = std::getenv("FOAM_PAR_VERIFY_TIMEOUT")) {
+    char* end = nullptr;
+    const double v = std::strtod(t, &end);
+    if (end != t && v > 0.0) o.stall_timeout_seconds = v;
+  }
+  return o;
+}
+
+namespace verify {
+
+namespace {
+
+/// True iff clock a happens-before-or-equals clock b (component-wise <=).
+bool clock_leq(const std::vector<std::uint32_t>& a,
+               const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
+std::string tag_name(int tag) {
+  return tag == kAnyTag ? std::string("any") : std::to_string(tag);
+}
+
+std::string src_name(int src_global) {
+  return src_global < 0 ? std::string("any") : std::to_string(src_global);
+}
+
+}  // namespace
+
+const char* finding_kind_name(FindingKind k) {
+  switch (k) {
+    case FindingKind::kDeadlock:
+      return "deadlock";
+    case FindingKind::kUnmatchedSend:
+      return "unmatched-send";
+    case FindingKind::kPendingReceive:
+      return "pending-receive";
+    case FindingKind::kAbandonedRequest:
+      return "abandoned-request";
+    case FindingKind::kWildcardRace:
+      return "wildcard-race";
+    case FindingKind::kCollectiveMismatch:
+      return "collective-mismatch";
+  }
+  return "?";
+}
+
+const char* coll_kind_name(CollKind k) {
+  switch (k) {
+    case CollKind::kBarrier:
+      return "barrier";
+    case CollKind::kBcast:
+      return "bcast";
+    case CollKind::kReduce:
+      return "reduce";
+    case CollKind::kGather:
+      return "gather";
+    case CollKind::kScatter:
+      return "scatter";
+    case CollKind::kGatherv:
+      return "gatherv";
+    case CollKind::kAlltoall:
+      return "alltoall";
+    case CollKind::kSplit:
+      return "split";
+  }
+  return "?";
+}
+
+std::uint64_t CollDesc::hash() const {
+  // FNV-1a over the signature fields; never returns 0 (0 marks "absent").
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffU;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(kind));
+  mix(static_cast<std::uint64_t>(root));
+  mix(count);
+  mix(elem);
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(op)));
+  mix(seq);
+  mix(static_cast<std::uint64_t>(comm_id));
+  return h == 0 ? 1 : h;
+}
+
+std::string CollDesc::describe() const {
+  std::ostringstream os;
+  os << coll_kind_name(static_cast<CollKind>(kind)) << "(comm " << comm_id
+     << ", seq " << seq << ", root " << root << ", count " << count
+     << ", elem " << elem << "B";
+  if (op >= 0) {
+    static const char* const kOps[] = {"sum", "min", "max"};
+    os << ", op ";
+    if (op < 3)
+      os << kOps[op];
+    else
+      os << op;
+  }
+  os << ")";
+  return os.str();
+}
+
+Verifier::Verifier(int nranks)
+    : nranks_(nranks),
+      clocks_(static_cast<std::size_t>(nranks),
+              std::vector<std::uint32_t>(static_cast<std::size_t>(nranks),
+                                         0)),
+      waits_(static_cast<std::size_t>(nranks)) {}
+
+void Verifier::configure(const CommVerifyOptions& opts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  opts_ = opts;
+  mode_.store(static_cast<int>(opts.mode), std::memory_order_relaxed);
+}
+
+CommVerifyOptions Verifier::options() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return opts_;
+}
+
+void Verifier::on_send(int me_global, detail::Message& msg) {
+  auto& clock = clocks_[static_cast<std::size_t>(me_global)];
+  ++clock[static_cast<std::size_t>(me_global)];
+  msg.vclock = clock;
+  msg.verify_seq = 1 + send_seq_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Verifier::on_deliver(int me_global, const detail::Message& msg) {
+  auto& clock = clocks_[static_cast<std::size_t>(me_global)];
+  if (msg.vclock.size() == clock.size())
+    for (std::size_t i = 0; i < clock.size(); ++i)
+      clock[i] = std::max(clock[i], msg.vclock[i]);
+  ++clock[static_cast<std::size_t>(me_global)];
+}
+
+bool Verifier::check_wildcard_pair(int me_global,
+                                   const detail::RequestState& rs,
+                                   const detail::Message& matched,
+                                   const detail::Message& other) {
+  if (matched.vclock.empty() || other.vclock.empty()) return false;
+  // Ordered sends (one happens-before the other) make the match
+  // deterministic: posting-order matching always pairs them the same way.
+  if (clock_leq(matched.vclock, other.vclock) ||
+      clock_leq(other.vclock, matched.vclock))
+    return false;
+  std::ostringstream os;
+  os << "wildcard race on rank " << me_global << ": recv(comm "
+     << rs.comm_id << ", src " << src_name(rs.want_src_global) << ", tag "
+     << tag_name(rs.tag) << ") matched the message from rank "
+     << matched.src_global << " (tag " << matched.tag << ", "
+     << matched.payload.size() << " bytes) but the concurrent message from "
+     << "rank " << other.src_global << " (tag " << other.tag << ", "
+     << other.payload.size()
+     << " bytes) was also eligible; the outcome is timing-dependent";
+  record(FindingKind::kWildcardRace, me_global, os.str(),
+         /*allow_throw=*/true);
+  return true;
+}
+
+void Verifier::check_collective(int me_global, const CollDesc& expect,
+                                const detail::Message& msg) {
+  if (msg.coll_hash == 0) return;  // sender had verification off
+  if (msg.coll_hash == expect.hash()) return;
+  std::ostringstream os;
+  os << "collective mismatch: rank " << me_global << " entered "
+     << expect.describe() << " but rank " << msg.src_global << " entered "
+     << msg.coll.describe();
+  record(FindingKind::kCollectiveMismatch, me_global, os.str(),
+         /*allow_throw=*/true);
+}
+
+void Verifier::enter_wait(int me_global, const char* what,
+                          std::vector<WaitSpec> specs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RankWait& w = waits_[static_cast<std::size_t>(me_global)];
+  w.blocked = true;
+  w.what = what;
+  w.specs = std::move(specs);
+  w.since = std::chrono::steady_clock::now();
+}
+
+void Verifier::leave_wait(int me_global) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RankWait& w = waits_[static_cast<std::size_t>(me_global)];
+  w.blocked = false;
+  w.specs.clear();
+}
+
+std::vector<int> Verifier::deadlocked_set_locked(
+    double min_age_seconds) const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<bool> in_set(static_cast<std::size_t>(nranks_), false);
+  for (int r = 0; r < nranks_; ++r) {
+    const RankWait& w = waits_[static_cast<std::size_t>(r)];
+    in_set[static_cast<std::size_t>(r)] =
+        w.blocked &&
+        std::chrono::duration<double>(now - w.since).count() >=
+            min_age_seconds;
+  }
+  // Remove any rank that could be released by a rank outside the set
+  // (a running rank, or one already removed) until the set is stable.
+  // What remains is closed: every possible releaser is itself stuck.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int r = 0; r < nranks_; ++r) {
+      if (!in_set[static_cast<std::size_t>(r)]) continue;
+      bool releasable = false;
+      for (const WaitSpec& s : waits_[static_cast<std::size_t>(r)].specs) {
+        if (s.want_src_global >= 0) {
+          if (!in_set[static_cast<std::size_t>(s.want_src_global)])
+            releasable = true;
+        } else if (s.members != nullptr) {
+          for (const int g : *s.members)
+            if (g != r && !in_set[static_cast<std::size_t>(g)])
+              releasable = true;
+        } else {
+          releasable = true;  // unknown candidates: assume releasable
+        }
+        if (releasable) break;
+      }
+      if (releasable) {
+        in_set[static_cast<std::size_t>(r)] = false;
+        changed = true;
+      }
+    }
+  }
+  std::vector<int> out;
+  for (int r = 0; r < nranks_; ++r)
+    if (in_set[static_cast<std::size_t>(r)]) out.push_back(r);
+  return out;
+}
+
+void Verifier::poll_deadlock(int me_global) {
+  double timeout = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const RankWait& w = waits_[static_cast<std::size_t>(me_global)];
+    if (!w.blocked) return;
+    timeout = opts_.stall_timeout_seconds;
+    const double age = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - w.since)
+                           .count();
+    if (age < timeout) return;
+  }
+  // A blocked rank re-runs its matching engine every 50 ms, so a rank that
+  // has been blocked longer than kMinAge with a matching message in its
+  // mailbox is impossible — requiring that age for every member rules out
+  // the in-flight-message race without a second probe pass.
+  constexpr double kMinAge = 0.25;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<int> dead = deadlocked_set_locked(kMinAge);
+  if (dead.empty()) return;
+  if (deadlock_reported_) return;
+  deadlock_reported_ = true;
+  // Walk specific-source edges inside the set for a readable cycle, then
+  // dump every member's pending (comm, src, tag) set.
+  std::ostringstream os;
+  os << "deadlock detected: ";
+  {
+    std::vector<int> path;
+    std::vector<bool> seen(static_cast<std::size_t>(nranks_), false);
+    int cur = dead.front();
+    while (!seen[static_cast<std::size_t>(cur)]) {
+      seen[static_cast<std::size_t>(cur)] = true;
+      path.push_back(cur);
+      int next = -1;
+      for (const WaitSpec& s :
+           waits_[static_cast<std::size_t>(cur)].specs) {
+        const int cand = s.want_src_global;
+        if (cand >= 0 &&
+            std::find(dead.begin(), dead.end(), cand) != dead.end()) {
+          next = cand;
+          break;
+        }
+      }
+      if (next < 0) break;
+      cur = next;
+    }
+    os << "cycle";
+    for (const int r : path) os << " rank " << r << " ->";
+    os << " rank " << cur << ";";
+  }
+  for (const int r : dead) {
+    const RankWait& w = waits_[static_cast<std::size_t>(r)];
+    os << " rank " << r << " blocked in " << w.what << " for "
+       << std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        w.since)
+              .count()
+       << "s on {";
+    bool first = true;
+    for (const WaitSpec& s : w.specs) {
+      if (!first) os << ", ";
+      first = false;
+      os << "(comm " << s.comm_id << ", src " << src_name(s.want_src_global)
+         << ", tag " << tag_name(s.tag) << ")";
+    }
+    os << "};";
+  }
+  os << " aborting the run";
+  // A proven deadlock is fatal in audit mode too: every member is stuck
+  // forever, so the only useful outcome is the diagnostic plus an abort.
+  record_locked(FindingKind::kDeadlock, me_global, os.str(),
+                /*allow_throw=*/false);
+  // The abort unwinds every rank through half-finished operations; stop
+  // recording so that teardown noise doesn't bury the real diagnostic.
+  suppressed_.store(true, std::memory_order_relaxed);
+  throw Error(os.str());
+}
+
+std::size_t Verifier::audit(
+    int me_global, const char* where, int comm_id_filter,
+    const std::deque<detail::Message>& queue,
+    const std::vector<std::shared_ptr<detail::RequestState>>& pending) {
+  if (!enabled() || suppressed()) return 0;
+  std::size_t fresh = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const detail::Message& m : queue) {
+    // Runtime-internal traffic (collective rounds of a collective another
+    // rank has already entered, e.g. the allreduce that follows a quiescent
+    // audit) is never an orphaned user send; inconsistencies there are the
+    // collective checker's job.
+    if (m.tag > kMaxUserTag) continue;
+    if (comm_id_filter >= 0 && m.comm_id != comm_id_filter) continue;
+    if (m.verify_seq != 0 && !reported_msgs_.insert(m.verify_seq).second)
+      continue;
+    std::ostringstream os;
+    os << "unmatched send: message from rank " << m.src_global << " (comm "
+       << m.comm_id << ", tag " << m.tag << ", " << m.payload.size()
+       << " bytes) was never received by rank " << me_global
+       << " (detected at " << where << ")";
+    record_locked(FindingKind::kUnmatchedSend, me_global, os.str(),
+                  /*allow_throw=*/false);
+    ++fresh;
+  }
+  for (const auto& rs : pending) {
+    if (rs == nullptr || rs->done || rs->verify_reported) continue;
+    if (comm_id_filter >= 0 && rs->comm_id != comm_id_filter) continue;
+    rs->verify_reported = true;
+    std::ostringstream os;
+    os << "pending receive never completed: rank " << me_global
+       << " posted recv(comm " << rs->comm_id << ", src "
+       << src_name(rs->want_src_global) << ", tag " << tag_name(rs->tag)
+       << ") and no matching message ever arrived (detected at " << where
+       << ")";
+    record_locked(FindingKind::kPendingReceive, me_global, os.str(),
+                  /*allow_throw=*/false);
+    ++fresh;
+  }
+  return fresh;
+}
+
+void Verifier::on_abandoned_request(detail::RequestState& rs) {
+  if (!enabled() || suppressed()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rs.verify_reported) return;
+  rs.verify_reported = true;
+  std::ostringstream os;
+  os << "abandoned request: rank " << rs.owner_global
+     << " dropped the last handle of a pending recv(comm " << rs.comm_id
+     << ", src " << src_name(rs.want_src_global) << ", tag "
+     << tag_name(rs.tag)
+     << "); its buffer was released before completion";
+  record_locked(FindingKind::kAbandonedRequest, rs.owner_global, os.str(),
+                /*allow_throw=*/false);
+}
+
+void Verifier::record(FindingKind kind, int rank, const std::string& detail,
+                      bool allow_throw) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record_locked(kind, rank, detail, allow_throw);
+}
+
+void Verifier::record_locked(FindingKind kind, int rank,
+                             const std::string& detail, bool allow_throw) {
+  if (suppressed()) return;
+  findings_.push_back(Finding{kind, rank, detail});
+  ++kind_counts_[static_cast<int>(kind)];
+  if (opts_.log_findings)
+    FOAM_LOG_WARN << "par-verify [" << finding_kind_name(kind) << "] "
+                  << detail;
+  if (telemetry::Telemetry* tel = telemetry::current()) {
+    tel->metrics().counter("verify.findings").add();
+    tel->metrics()
+        .counter(std::string("verify.finding.") + finding_kind_name(kind))
+        .add();
+    tel->tracer().instant(
+        (std::string("verify:") + finding_kind_name(kind)).c_str());
+  }
+  if (allow_throw && mode() == VerifyMode::kStrict) {
+    suppressed_.store(true, std::memory_order_relaxed);
+    throw Error("par-verify [strict]: " + detail);
+  }
+}
+
+std::vector<Finding> Verifier::findings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return findings_;
+}
+
+std::size_t Verifier::finding_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return findings_.size();
+}
+
+std::size_t Verifier::finding_count(FindingKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return kind_counts_[static_cast<int>(kind)];
+}
+
+}  // namespace verify
+}  // namespace foam::par

@@ -56,10 +56,17 @@ std::string chrome_trace_json(const std::vector<RankTrace>& ranks) {
                                : std::string("?"));
       out += R"(, "cat": )";
       append_quoted(out, par::region_name(s.region));
-      out += R"(, "ph": "X", "ts": )";
-      append_num(out, s.t0 * 1e6);
-      out += R"(, "dur": )";
-      append_num(out, (s.t1 - s.t0) * 1e6);
+      if (s.t1 == s.t0) {
+        // Zero-duration spans are point events (Tracer::instant); Chrome's
+        // "i" phase renders them as thread-scoped markers.
+        out += R"(, "ph": "i", "s": "t", "ts": )";
+        append_num(out, s.t0 * 1e6);
+      } else {
+        out += R"(, "ph": "X", "ts": )";
+        append_num(out, s.t0 * 1e6);
+        out += R"(, "dur": )";
+        append_num(out, (s.t1 - s.t0) * 1e6);
+      }
       out += R"(, "pid": 0, "tid": )";
       out += std::to_string(rank);
       out += '}';

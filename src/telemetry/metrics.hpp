@@ -70,7 +70,9 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double max() const { return max_; }
-  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
   const std::array<std::uint64_t, kBuckets>& buckets() const {
     return buckets_;
   }

@@ -222,6 +222,13 @@ void Tracer::begin_span(const char* name) {
 
 void Tracer::end_span() { finish_top(/*expect_region=*/false); }
 
+void Tracer::instant(const char* name) {
+  if (level_ == TraceLevel::kOff) return;
+  const double t = now();
+  push_completed({intern(name), current_region(),
+                  static_cast<std::int32_t>(stack_.size()), t, t});
+}
+
 void Tracer::finish_top(bool expect_region) {
   if (stack_.empty()) return;
   FOAM_ASSERT(stack_.back().is_region == expect_region,

@@ -124,6 +124,11 @@ class Tracer {
   void begin_span(const char* name);
   void end_span();
 
+  /// Record a zero-duration marker (Chrome trace instant event) at the
+  /// current time. Markers flag rare point events — verify findings, abort
+  /// propagation — so they record at every level except kOff.
+  void instant(const char* name);
+
   /// Region class of the innermost open region span (kOther outside any).
   par::Region current_region() const;
   /// Open (unfinished) spans, region and named.

@@ -88,8 +88,9 @@ TEST_P(SurfaceTypeSweep, FluxesPhysicalForEverySurface) {
   EXPECT_GT(f.taux, 0.0);
   EXPECT_LT(f.tauy, 0.0);
   // Ice surfaces sublimate (latent heat of sublimation > vaporization).
-  if (is_ice && f.evaporation > 0.0)
+  if (is_ice && f.evaporation > 0.0) {
     EXPECT_NEAR(f.latent / f.evaporation, c::latent_sub, 1.0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -339,8 +339,9 @@ TEST(Comm, ScatterGatherRoundTrip) {
     comm.scatter(all.data(), 2, mine, 0);
     std::vector<double> back(6, -1.0);
     comm.gather(mine, 2, back.data(), 0);
-    if (comm.rank() == 0)
+    if (comm.rank() == 0) {
       for (int n = 0; n < 6; ++n) EXPECT_DOUBLE_EQ(back[n], n * n);
+    }
   });
 }
 

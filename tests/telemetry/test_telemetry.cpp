@@ -106,7 +106,12 @@ TEST(Tracer, RingBufferDropsOldestAndCounts) {
   o.max_spans = 4;  // clamped up to the minimum of 16
   Tracer tr(o);
   for (int i = 0; i < 20; ++i) {
-    tr.begin_span(("s" + std::to_string(i)).c_str());
+    // Built with += rather than "s" + to_string(i): the rvalue operator+
+    // overload trips a GCC 12 libstdc++ -Wrestrict false positive (PR
+    // 105329) that -Werror would turn fatal.
+    std::string name = "s";
+    name += std::to_string(i);
+    tr.begin_span(name.c_str());
     tr.end_span();
   }
   const auto spans = tr.spans();
