@@ -80,6 +80,39 @@ int main(int argc, char** argv) {
                   ocean_busy <= atm_busy * 1.25 ? "yes" : "no", 100.0 * eff);
     }
   }
+  // Checkpoint overhead A/B: the 8+1 placement with and without a daily
+  // checkpoint. The delta is the full cost of crash-safety — serializing
+  // every rank's state, the fsync'd shard writes, the completion barrier
+  // and the manifest — amortized over the simulated span.
+  std::printf("\n--- checkpoint overhead (8 atm + 1 ocean, overlap) ---\n");
+  {
+    const std::string prefix = "/tmp/bench_ckpt_scaling";
+    double wall_plain = 0.0, wall_ckpt = 0.0;
+    for (const bool ckpt : {false, true}) {
+      par::run(9, [&](par::Comm& comm) {
+        ParallelRunOptions opts;
+        opts.n_atm = 8;
+        opts.overlap = true;
+        if (ckpt) {
+          opts.checkpoint.path_prefix = prefix;
+          opts.checkpoint.every_days = 1.0;
+        }
+        const auto res = run_coupled_parallel(comm, opts, cfg, days);
+        if (comm.rank() == 0) (ckpt ? wall_ckpt : wall_plain) = res.wall_seconds;
+      });
+    }
+    const double overhead =
+        wall_plain > 0.0 ? 100.0 * (wall_ckpt - wall_plain) / wall_plain : 0.0;
+    const std::vector<std::pair<std::string, std::string>> jcfg = {
+        {"atm_ranks", "8"}, {"ocean_ranks", "1"}, {"exchange", "overlap"}};
+    json.add("wall_seconds_no_ckpt", wall_plain, "s", jcfg);
+    json.add("wall_seconds_daily_ckpt", wall_ckpt, "s", jcfg);
+    json.add("ckpt_overhead_pct", overhead, "%", jcfg);
+    std::printf("no checkpoint: %8.2fs   daily checkpoint: %8.2fs   "
+                "overhead: %+.1f%%\n",
+                wall_plain, wall_ckpt, overhead);
+  }
+
   std::printf("\npaper shape: near-linear atmosphere scaling while the\n"
               "atmosphere dominates; the single ocean rank stops keeping up\n"
               "once enough atmosphere ranks shrink the per-rank atm time\n"

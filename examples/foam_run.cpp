@@ -12,11 +12,22 @@
 //   run.history_path = co2x2_history.foam
 //
 // Restart by pointing run.restart_path at a checkpoint produced by a
-// previous run (one is written next to the history as <history>.restart).
+// previous run (one is written next to the history as <history>.restart),
+// or turn on periodic crash-safe checkpoints and resume from the newest:
+//
+//   run.checkpoint_prefix = co2x2_ckpt
+//   run.checkpoint_every_days = 5
+//   run.checkpoint_resume = true     # no-op flag edit between launches
+//
+// Checkpoints land as <prefix>.day<D>.foam with <prefix>.latest.foam
+// atomically tracking the newest complete one.
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 #include "base/history.hpp"
+#include "foam/checkpoint.hpp"
 #include "foam/run_config.hpp"
 #include "par/timers.hpp"
 
@@ -34,20 +45,43 @@ int main(int argc, char** argv) {
                 plan.model.ocean.nx, plan.model.ocean.ny,
                 plan.model.ocean.nz);
     CoupledFoam model(plan.model);
-    if (!plan.restart_path.empty()) {
+    double done = 0.0;
+    if (plan.checkpoint.resume) {
+      const std::int64_t day = ckpt_latest_day(plan.checkpoint.path_prefix);
+      model.restore(ckpt_serial_path(plan.checkpoint.path_prefix, day));
+      done = static_cast<double>(model.now().seconds()) / 86400.0;
+      std::printf("resumed from checkpoint day %lld at %s\n",
+                  static_cast<long long>(day),
+                  model.now().to_string().c_str());
+    } else if (!plan.restart_path.empty()) {
       model.restore(plan.restart_path);
       std::printf("restored from %s at %s\n", plan.restart_path.c_str(),
                   model.now().to_string().c_str());
     }
     par::Stopwatch wall;
     const double report_every = std::max(1.0, plan.days / 10.0);
-    for (double d = 0.0; d < plan.days; d += report_every) {
-      model.run_days(std::min(report_every, plan.days - d));
+    const std::int64_t ckpt_every =
+        plan.checkpoint.enabled()
+            ? std::max<std::int64_t>(
+                  1, std::llround(plan.checkpoint.every_days))
+            : 0;
+    while (done < plan.days - 1e-9) {
+      model.run_days(std::min(report_every, plan.days - done));
+      done = static_cast<double>(model.now().seconds()) / 86400.0;
       const auto diag = model.ocean_model().diagnostics();
       std::printf("  %s | SST %.2f C | atm T %.1f K | precip %.2f mm/day\n",
                   model.now().to_string().c_str(), diag.mean_sst,
                   model.atmosphere().mean_t_sfc_level(),
                   model.atmosphere().mean_precip() * 86400.0);
+      // Checkpoint whenever the run lands on a whole day that matches the
+      // cadence; the latest pointer only advances after a clean close().
+      const std::int64_t day = std::llround(done);
+      if (ckpt_every > 0 && std::abs(done - static_cast<double>(day)) < 1e-6 &&
+          day > 0 && day % ckpt_every == 0) {
+        model.checkpoint(ckpt_serial_path(plan.checkpoint.path_prefix, day));
+        ckpt_write_latest(plan.checkpoint.path_prefix, day);
+        std::printf("  checkpoint: day %lld\n", static_cast<long long>(day));
+      }
     }
     std::printf("completed at %.0fx real time\n",
                 plan.days * 86400.0 / wall.seconds());
@@ -56,6 +90,7 @@ int main(int argc, char** argv) {
       hist.write("sst", model.sst());
       hist.write("ice_fraction", model.coupling().ice_fraction_o());
       hist.write("atm_temperature", model.atmosphere().temperature());
+      hist.close();  // surface write failures instead of logging them
       model.checkpoint(plan.history_path + ".restart");
       std::printf("history: %s (+ .restart checkpoint)\n",
                   plan.history_path.c_str());

@@ -81,6 +81,11 @@ class AtmosphereModel {
   /// Set the surface boundary condition (full-size fields; only owned rows
   /// are read).
   void set_surface(const SurfaceFields& sfc);
+  /// The currently installed surface boundary condition. The parallel
+  /// driver checkpoints this directly: with overlapped coupling the
+  /// installed surface lags the newest delivered SST by one exchange, so it
+  /// cannot be rebuilt from the ocean state alone.
+  const SurfaceFields& surface() const { return sfc_; }
 
   /// One 30-minute step at model time \p now. Collective.
   void step(const ModelTime& now);

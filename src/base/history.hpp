@@ -1,16 +1,25 @@
 #pragma once
 
 /// \file history.hpp
-/// Simple self-describing binary history format for model output.
+/// Self-describing, crash-safe binary history format for model output and
+/// checkpoints.
 ///
 /// A history file is a sequence of records:
 ///   magic "FOAMHIST"  (file header, once)
 ///   [record]*  where record = name-length, name bytes, ndims, dims[ndims],
-///              then nx*ny*... float64 values, x fastest.
+///              then nx*ny*... float64 values, x fastest (a record may be
+///              zero-length: ndims >= 1 with a 0 dim, or a 0-d scalar)
+///   footer     marker, record count, FNV-1a hash of every record byte.
 ///
-/// The paper produced "large output files"; this format is the stand-in for
-/// the model's history tapes and is what the Vis5D-style browsing example
-/// reads back.
+/// Crash safety: the writer streams into `<path>.tmp` and only on a clean
+/// close() — footer written, fflush + fsync succeeded, fclose checked —
+/// renames the file onto `<path>`. A crash mid-write therefore never leaves
+/// a partial file at the final path, and the reader refuses any file whose
+/// footer is missing or disagrees with the records actually read, so
+/// silent truncation (power loss after a rename of a corrupt file, manual
+/// copy gone wrong, garbage appended) is detected instead of loading
+/// partial state. This is what makes the format usable for restart
+/// checkpoints, not just history tapes.
 
 #include <cstdint>
 #include <string>
@@ -30,15 +39,31 @@ class HistoryWriter {
   void write(const std::string& name, const Field2Dd& field);
   void write(const std::string& name, const Field3Dd& field);
   void write_scalar(const std::string& name, double value);
+  /// A zero-length series is legal and round-trips as dims {0}.
   void write_series(const std::string& name, const std::vector<double>& v);
 
-  /// Flush and close; called by the destructor if not called explicitly.
+  /// Finish the file: write the footer, fflush + fsync, close, and
+  /// atomically rename `<path>.tmp` onto `<path>`. Throws foam::Error if
+  /// any step fails (ENOSPC and friends must not produce a checkpoint that
+  /// reports success). The destructor calls the same sequence but logs and
+  /// continues on failure — never call close() from an unwinding path.
   void close();
+
+  /// Payload bytes written so far (records only, excluding file framing).
+  std::uint64_t bytes_written() const { return bytes_written_; }
 
  private:
   void write_record(const std::string& name, const std::vector<int>& dims,
                     const double* data, std::size_t count);
+  void put(const void* data, std::size_t bytes);
+  /// Shared body of close(); returns false instead of throwing.
+  bool close_impl(std::string* error);
+
   void* file_ = nullptr;  // FILE*
+  std::string path_;      // final path; the stream writes to path_ + ".tmp"
+  std::uint64_t n_records_ = 0;
+  std::uint64_t hash_ = 14695981039346656037ULL;  // FNV-1a over record bytes
+  std::uint64_t bytes_written_ = 0;
 };
 
 /// One record read back from a history file.

@@ -1,0 +1,94 @@
+#include "foam/checkpoint.hpp"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "foam/coupled.hpp"
+
+namespace foam {
+
+namespace {
+
+constexpr const char* kFingerprintRecord = "foam.fingerprint";
+
+/// Name/value view of everything that must agree between the writing and
+/// the restoring configuration for a bitwise restart to be meaningful.
+std::array<std::pair<const char*, double>, 12> fingerprint_entries(
+    const FoamConfig& cfg) {
+  return {{{"atm.nlon", static_cast<double>(cfg.atm.nlon)},
+           {"atm.nlat", static_cast<double>(cfg.atm.nlat)},
+           {"atm.mmax", static_cast<double>(cfg.atm.mmax)},
+           {"atm.nlev", static_cast<double>(cfg.atm.nlev)},
+           {"atm.ndyn", static_cast<double>(cfg.atm.ndyn)},
+           {"atm.dt", cfg.atm.dt},
+           {"ocean.nx", static_cast<double>(cfg.ocean.nx)},
+           {"ocean.ny", static_cast<double>(cfg.ocean.ny)},
+           {"ocean.nz", static_cast<double>(cfg.ocean.nz)},
+           {"ocean.dt_mom", cfg.ocean.dt_mom},
+           {"exchange_seconds", cfg.exchange_seconds},
+           {"ocean_accel", cfg.ocean_accel}}};
+}
+
+}  // namespace
+
+std::string ckpt_serial_path(const std::string& prefix, std::int64_t day) {
+  return prefix + ".day" + std::to_string(day) + ".foam";
+}
+
+std::string ckpt_shard_path(const std::string& prefix, std::int64_t day,
+                            int rank) {
+  return prefix + ".day" + std::to_string(day) + ".rank" +
+         std::to_string(rank) + ".foam";
+}
+
+std::string ckpt_manifest_path(const std::string& prefix, std::int64_t day) {
+  return prefix + ".day" + std::to_string(day) + ".manifest.foam";
+}
+
+std::string ckpt_latest_path(const std::string& prefix) {
+  return prefix + ".latest.foam";
+}
+
+std::int64_t ckpt_latest_day(const std::string& prefix) {
+  const HistoryReader in(ckpt_latest_path(prefix));
+  return static_cast<std::int64_t>(in.find("ckpt.latest_day").data[0]);
+}
+
+void ckpt_write_latest(const std::string& prefix, std::int64_t day) {
+  HistoryWriter out(ckpt_latest_path(prefix));
+  out.write_scalar("ckpt.latest_day", static_cast<double>(day));
+  out.close();
+}
+
+void write_config_fingerprint(HistoryWriter& out, const FoamConfig& cfg) {
+  std::vector<double> values;
+  for (const auto& [name, value] : fingerprint_entries(cfg))
+    values.push_back(value);
+  out.write_series(kFingerprintRecord, values);
+}
+
+void check_config_fingerprint(const HistoryReader& in, const FoamConfig& cfg,
+                              const std::string& what) {
+  FOAM_REQUIRE(in.has(kFingerprintRecord),
+               what << " carries no config fingerprint — not a FOAM "
+                       "checkpoint (or one from a pre-fingerprint version); "
+                       "refusing to load state of unknown provenance");
+  const auto& rec = in.find(kFingerprintRecord);
+  const auto want = fingerprint_entries(cfg);
+  FOAM_REQUIRE(rec.data.size() == want.size(),
+               what << ": fingerprint has " << rec.data.size()
+                    << " entries, this build expects " << want.size());
+  std::ostringstream diff;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (rec.data[i] == want[i].second) continue;
+    diff << "\n  " << want[i].first << ": checkpoint " << rec.data[i]
+         << " vs config " << want[i].second;
+  }
+  FOAM_REQUIRE(diff.str().empty(),
+               what << " was written under a different configuration:"
+                    << diff.str());
+}
+
+}  // namespace foam

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Shared checkpoint machinery for both coupled drivers: file naming, the
+/// resume-from-latest pointer, and the config fingerprint that keeps a
+/// restart from silently loading state produced under a different model
+/// configuration.
+///
+/// On-disk layout (all files are crash-safe HistoryWriter files):
+///   serial driver    <prefix>.day<D>.foam
+///   parallel driver  <prefix>.day<D>.rank<R>.foam     one shard per rank
+///                    <prefix>.day<D>.manifest.foam    written by world
+///                        rank 0 after a barrier, so its existence proves
+///                        the complete shard set landed
+///   both             <prefix>.latest.foam             atomically rewritten
+///                        pointer to the newest complete checkpoint day
+///
+/// A reader that starts from the latest pointer therefore never sees a
+/// half-written checkpoint: shards rename into place individually, the
+/// manifest only after every shard, the pointer only after the manifest.
+
+#include <cstdint>
+#include <string>
+
+#include "base/history.hpp"
+
+namespace foam {
+
+struct FoamConfig;
+
+std::string ckpt_serial_path(const std::string& prefix, std::int64_t day);
+std::string ckpt_shard_path(const std::string& prefix, std::int64_t day,
+                            int rank);
+std::string ckpt_manifest_path(const std::string& prefix, std::int64_t day);
+std::string ckpt_latest_path(const std::string& prefix);
+
+/// Day stored in the latest-pointer file; throws foam::Error when the
+/// pointer is missing or corrupt.
+std::int64_t ckpt_latest_day(const std::string& prefix);
+
+/// Atomically (re)write the latest pointer to \p day.
+void ckpt_write_latest(const std::string& prefix, std::int64_t day);
+
+/// Stamp the configuration fingerprint (grid dimensions, time steps,
+/// exchange interval, ocean acceleration) into a checkpoint.
+void write_config_fingerprint(HistoryWriter& out, const FoamConfig& cfg);
+
+/// Verify a checkpoint's fingerprint against \p cfg; throws foam::Error
+/// with a per-entry diff (expected vs stored) on mismatch, and a pointed
+/// message when the record is absent (pre-fingerprint or foreign file).
+/// \p what names the file in diagnostics.
+void check_config_fingerprint(const HistoryReader& in, const FoamConfig& cfg,
+                              const std::string& what);
+
+}  // namespace foam

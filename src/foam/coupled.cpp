@@ -5,6 +5,7 @@
 #include "base/constants.hpp"
 #include "base/logging.hpp"
 #include "data/earth.hpp"
+#include "foam/checkpoint.hpp"
 
 namespace foam {
 
@@ -89,15 +90,20 @@ void CoupledFoam::run_days(double days) {
 
 void CoupledFoam::checkpoint(const std::string& path) const {
   HistoryWriter out(path);
+  write_config_fingerprint(out, cfg_);
   out.write_scalar("foam.now_seconds", static_cast<double>(now_.seconds()));
   out.write_scalar("foam.atm_steps", static_cast<double>(atm_steps_));
   atm_->save_state(out, "foam.atm");
   ocean_->save_state(out, "foam.ocean");
   coupler_->save_state(out, "foam.coupler");
+  // Explicit close: an ENOSPC/flush failure must throw here, not vanish in
+  // the destructor, or the caller believes it holds a restart point.
+  out.close();
 }
 
 void CoupledFoam::restore(const std::string& path) {
   HistoryReader in(path);
+  check_config_fingerprint(in, cfg_, "'" + path + "'");
   now_ = ModelTime(static_cast<std::int64_t>(
       in.find("foam.now_seconds").data[0]));
   atm_steps_ =
@@ -128,6 +134,51 @@ void recv_field(par::Comm& comm, int src, Field2Dd& f) {
   comm.recv_vec(src, kTagForcing, buf);
   FOAM_REQUIRE(buf.size() == f.size(), "field size mismatch in exchange");
   std::copy(buf.begin(), buf.end(), f.vec().begin());
+}
+
+/// Checkpoint the installed surface boundary condition verbatim. With
+/// overlapped coupling the surface lags the newest delivered SST by one
+/// exchange, so rebuilding it from the ocean state at restore time would
+/// shift the lag — saving the installed fields keeps the resume bitwise.
+void write_surface(HistoryWriter& out, const atm::SurfaceFields& sfc) {
+  out.write("foam.sfc.tsurf", sfc.tsurf);
+  out.write("foam.sfc.albedo", sfc.albedo);
+  out.write("foam.sfc.roughness", sfc.roughness);
+  out.write("foam.sfc.wetness", sfc.wetness);
+  const auto as_series = [&](const std::string& name,
+                             const Field2D<int>& f) {
+    std::vector<double> buf(f.size());
+    for (std::size_t n = 0; n < f.size(); ++n)
+      buf[n] = static_cast<double>(f.vec()[n]);
+    out.write_series(name, buf);
+  };
+  as_series("foam.sfc.is_ocean", sfc.is_ocean);
+  as_series("foam.sfc.is_ice", sfc.is_ice);
+}
+
+atm::SurfaceFields read_surface(const HistoryReader& in, int nlon,
+                                int nlat) {
+  atm::SurfaceFields sfc(nlon, nlat);
+  const auto load2 = [&](const std::string& name, Field2Dd& f) {
+    const auto& rec = in.find(name);
+    FOAM_REQUIRE(rec.data.size() == f.size(),
+                 "checkpoint size mismatch in " << name);
+    std::copy(rec.data.begin(), rec.data.end(), f.vec().begin());
+  };
+  load2("foam.sfc.tsurf", sfc.tsurf);
+  load2("foam.sfc.albedo", sfc.albedo);
+  load2("foam.sfc.roughness", sfc.roughness);
+  load2("foam.sfc.wetness", sfc.wetness);
+  const auto load_int = [&](const std::string& name, Field2D<int>& f) {
+    const auto& rec = in.find(name);
+    FOAM_REQUIRE(rec.data.size() == f.size(),
+                 "checkpoint size mismatch in " << name);
+    for (std::size_t n = 0; n < f.size(); ++n)
+      f.vec()[n] = static_cast<int>(rec.data[n]);
+  };
+  load_int("foam.sfc.is_ocean", sfc.is_ocean);
+  load_int("foam.sfc.is_ice", sfc.is_ice);
+  return sfc;
 }
 
 /// Allgather variable-length per-rank double streams (timelines, traces,
@@ -168,7 +219,6 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
   world.set_verify(opts.verify);
   auto sub = world.split(is_atm ? 0 : 1, world.rank());
   FOAM_REQUIRE(sub != nullptr, "split failed");
-  (void)n_ocean;
 
   numerics::MercatorGrid ogrid(cfg.ocean.nx, cfg.ocean.ny,
                                ocean::OceanConfig::kStandardLatMax);
@@ -199,6 +249,88 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
     if ((ex + 1) % exchanges_per_day == 0) world.verify_quiescent();
   };
 
+  // --- checkpoint/restart + fault injection ------------------------------
+  const CheckpointOptions& ckpt = opts.checkpoint;
+  const std::int64_t ckpt_every =
+      ckpt.enabled()
+          ? std::max<std::int64_t>(1, std::llround(ckpt.every_days))
+          : 0;
+  par::FaultPlan fault = opts.fault;
+
+  // Resume-from-latest: all ranks agree on the day through the pointer
+  // file, validate the manifest against this run's shape, then each rank
+  // loads its own shard below (after its models are constructed).
+  const bool resuming = ckpt.enabled() && ckpt.resume;
+  std::int64_t start_day = 0;
+  if (resuming) {
+    start_day = ckpt_latest_day(ckpt.path_prefix);
+    const std::string mpath =
+        ckpt_manifest_path(ckpt.path_prefix, start_day);
+    const HistoryReader manifest(mpath);
+    check_config_fingerprint(manifest, cfg, "'" + mpath + "'");
+    const auto stamp = [&](const char* name) {
+      return static_cast<std::int64_t>(manifest.find(name).data[0]);
+    };
+    FOAM_REQUIRE(stamp("ckpt.world_size") == world.size() &&
+                     stamp("ckpt.n_atm") == n_atm,
+                 "'" << mpath << "' was written by a " << stamp("ckpt.n_atm")
+                     << "+" << stamp("ckpt.n_ocean")
+                     << "-rank run; this run is " << n_atm << "+"
+                     << n_ocean);
+    FOAM_REQUIRE(
+        (stamp("ckpt.overlap") != 0) == opts.overlap,
+        "'" << mpath << "' was written with overlap "
+            << (stamp("ckpt.overlap") != 0 ? "on" : "off")
+            << "; resuming in the other mode would not reproduce the "
+               "uninterrupted run");
+    FOAM_REQUIRE(start_day * exchanges_per_day < n_exchanges,
+                 "latest checkpoint (day " << start_day
+                                           << ") is at or past the end of a "
+                                           << days << "-day run");
+  }
+  const std::int64_t start_ex = start_day * exchanges_per_day;
+
+  // Day-boundary resilience hook, same order on every rank: the fault
+  // drill first (a rank killed at day D leaves the previous checkpoint as
+  // the latest restart point), then the checkpoint — per-rank crash-safe
+  // shards, a barrier proving the set is complete, and only then the
+  // manifest and the atomic latest-pointer update on world rank 0.
+  const auto day_resilience =
+      [&](std::int64_t ex,
+          const std::function<void(HistoryWriter&)>& write_shard) {
+        if ((ex + 1) % exchanges_per_day != 0) return;
+        const std::int64_t day = (ex + 1) / exchanges_per_day;
+        par::maybe_inject_fault(world, fault, static_cast<double>(day));
+        if (ckpt_every == 0 || day % ckpt_every != 0) return;
+        {
+          FOAM_TRACE_SCOPE("ckpt.write");
+          HistoryWriter out(
+              ckpt_shard_path(ckpt.path_prefix, day, world.rank()));
+          out.write_scalar("ckpt.day", static_cast<double>(day));
+          write_config_fingerprint(out, cfg);
+          write_shard(out);
+          out.close();
+          tel.metrics().counter("ckpt.writes").add();
+          tel.metrics().counter("ckpt.bytes").add(out.bytes_written());
+        }
+        world.barrier();
+        if (world.rank() == 0) {
+          FOAM_TRACE_SCOPE("ckpt.manifest");
+          HistoryWriter m(ckpt_manifest_path(ckpt.path_prefix, day));
+          write_config_fingerprint(m, cfg);
+          m.write_scalar("ckpt.day", static_cast<double>(day));
+          m.write_scalar("ckpt.world_size",
+                         static_cast<double>(world.size()));
+          m.write_scalar("ckpt.n_atm", static_cast<double>(n_atm));
+          m.write_scalar("ckpt.n_ocean", static_cast<double>(n_ocean));
+          m.write_scalar("ckpt.overlap", opts.overlap ? 1.0 : 0.0);
+          m.close();
+          ckpt_write_latest(ckpt.path_prefix, day);
+          tel.metrics().counter("ckpt.manifests").add();
+          rec.instant("ckpt.complete");
+        }
+      };
+
   par::Stopwatch wall;
   rec.reset();
 
@@ -220,7 +352,31 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       coupler = std::make_unique<coupler::Coupler>(atm.grid(), ogrid, omask);
     }
     atm.init_default();
-    {
+    if (resuming) {
+      // Each rank restores exactly the memory it checkpointed (decomposed
+      // state and the installed, possibly lagged, surface), so no surface
+      // broadcast is needed — or wanted: the resume must not reorder any
+      // communication relative to the uninterrupted run's remainder.
+      FOAM_TRACE_SCOPE("ckpt.restore");
+      const std::string spath =
+          ckpt_shard_path(ckpt.path_prefix, start_day, world.rank());
+      const HistoryReader in(spath);
+      check_config_fingerprint(in, cfg, "'" + spath + "'");
+      atm.load_state(in, "foam.atm");
+      atm.set_surface(read_surface(in, cfg.atm.nlon, cfg.atm.nlat));
+      if (world.rank() == 0) {
+        coupler->load_state(in, "foam.coupler");
+        const auto load2 = [&](const std::string& name, Field2Dd& f) {
+          const auto& rec2 = in.find(name);
+          FOAM_REQUIRE(rec2.data.size() == f.size(),
+                       "checkpoint size mismatch in " << name);
+          std::copy(rec2.data.begin(), rec2.data.end(), f.vec().begin());
+        };
+        load2("foam.sst_o", sst_o);
+        load2("foam.frazil_o", frazil_o);
+      }
+      tel.metrics().counter("ckpt.resumes").add();
+    } else {
       // Initial surface, broadcast to all atmosphere ranks.
       atm::SurfaceFields sfc(cfg.atm.nlon, cfg.atm.nlat);
       if (world.rank() == 0) sfc = coupler->make_atm_surface(sst_o);
@@ -259,8 +415,25 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       reply_pending = false;
     };
 
-    ModelTime now;
-    for (std::int64_t ex = 0; ex < n_exchanges; ++ex) {
+    // Checkpoint shard for an atmosphere rank. Draining the in-flight
+    // overlap reply first is value-neutral: wait_reply only copies the
+    // already-sent buffers into sst_o/frazil_o, so a checkpointing run
+    // stays bitwise identical to a non-checkpointing one — and the resumed
+    // run starts with the reply applied and nothing in flight.
+    const auto write_shard = [&](HistoryWriter& out) {
+      if (world.rank() == 0) wait_reply();
+      atm.save_state(out, "foam.atm");
+      write_surface(out, atm.surface());
+      if (world.rank() == 0) {
+        coupler->save_state(out, "foam.coupler");
+        out.write("foam.sst_o", sst_o);
+        out.write("foam.frazil_o", frazil_o);
+      }
+    };
+
+    ModelTime now(start_ex * exchange_steps *
+                  static_cast<std::int64_t>(cfg.atm.dt));
+    for (std::int64_t ex = start_ex; ex < n_exchanges; ++ex) {
       for (std::int64_t s = 0; s < exchange_steps; ++s) {
         rec.begin_region(par::Region::kAtmosphere);
         atm.step(now);
@@ -339,6 +512,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       }
       rec.end_region();
       day_boundary_audit(ex);
+      day_resilience(ex, write_shard);
     }
     // Drain the reply still in flight after the last interval so the
     // ocean's sends are all consumed before the timeline gather.
@@ -347,9 +521,23 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
     // Ocean ranks.
     ocean::OceanModel ocn(cfg.ocean, ogrid, bathy, sub.get());
     ocn.init_climatology();
+    if (resuming) {
+      FOAM_TRACE_SCOPE("ckpt.restore");
+      const std::string spath =
+          ckpt_shard_path(ckpt.path_prefix, start_day, world.rank());
+      const HistoryReader in(spath);
+      check_config_fingerprint(in, cfg, "'" + spath + "'");
+      ocn.load_state(in, "foam.ocean");
+      tel.metrics().counter("ckpt.resumes").add();
+    }
+    // A shard holds this rank's full-size arrays (owned rows valid), so a
+    // restore reproduces the rank's exact memory, decomposition included.
+    const auto write_shard = [&](HistoryWriter& out) {
+      ocn.save_state(out, "foam.ocean");
+    };
     Field2Dd taux(ogrid.nlon(), ogrid.nlat(), 0.0), tauy(taux), qnet(taux),
         fw(taux), icef(taux);
-    for (std::int64_t ex = 0; ex < n_exchanges; ++ex) {
+    for (std::int64_t ex = start_ex; ex < n_exchanges; ++ex) {
       rec.begin_region(par::Region::kCommWait);
       if (sub->rank() == 0 && world.rank() == n_atm) {
         FOAM_TRACE_SCOPE("exchange.forcing_recv");
@@ -379,6 +567,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       }
       rec.end_region();
       day_boundary_audit(ex);
+      day_resilience(ex, write_shard);
     }
   }
 
@@ -389,7 +578,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
   ParallelRunResult result;
   result.wall_seconds = wall.seconds();
   result.simulated_seconds =
-      static_cast<double>(n_exchanges) * cfg.exchange_seconds;
+      static_cast<double>(n_exchanges - start_ex) * cfg.exchange_seconds;
   result.verify_findings =
       world.verifier().enabled()
           ? static_cast<std::int64_t>(world.verifier().finding_count())

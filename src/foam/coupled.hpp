@@ -34,6 +34,7 @@
 #include "base/calendar.hpp"
 #include "coupler/coupler.hpp"
 #include "ocean/model.hpp"
+#include "par/fault.hpp"
 #include "par/timers.hpp"
 #include "par/verify/verify.hpp"
 #include "telemetry/telemetry.hpp"
@@ -152,6 +153,24 @@ struct ParallelRunResult {
   std::int64_t verify_findings = -1;
 };
 
+/// Checkpoint policy for the parallel driver (see foam/checkpoint.hpp for
+/// the on-disk layout). Checkpoints are taken at simulated-day boundaries:
+/// every rank writes its own crash-safe shard, then world rank 0 writes the
+/// manifest and atomically advances the `<prefix>.latest.foam` pointer. A
+/// resumed run is bitwise identical to the uninterrupted one, in both
+/// overlap modes.
+struct CheckpointOptions {
+  /// Path prefix for checkpoint files; empty disables checkpointing.
+  std::string path_prefix;
+  /// Cadence in simulated days (rounded to whole days, minimum 1).
+  double every_days = 1.0;
+  /// Resume from the checkpoint named by `<prefix>.latest.foam` before
+  /// stepping (the prefix must have at least one complete checkpoint).
+  bool resume = false;
+
+  bool enabled() const { return !path_prefix.empty(); }
+};
+
 /// Options for run_coupled_parallel; every rank of the world communicator
 /// must pass the same values.
 struct ParallelRunOptions {
@@ -174,6 +193,12 @@ struct ParallelRunOptions {
   /// Comm::set_verify and audits quiescence at the end of each coupled day
   /// and at run end (Comm::verify_quiescent).
   par::CommVerifyOptions verify = par::CommVerifyOptions::from_env();
+  /// Checkpoint/restart policy; disabled unless a path prefix is set.
+  CheckpointOptions checkpoint;
+  /// Fault injection for resilience drills: kill or stall one rank at a
+  /// chosen simulated-day boundary. Disarmed by default unless FOAM_FAULT
+  /// is set (par/fault.hpp).
+  par::FaultPlan fault = par::FaultPlan::from_env();
 };
 
 /// Run the coupled model SPMD on \p world. Must be called by every rank of

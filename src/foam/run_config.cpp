@@ -21,6 +21,8 @@ const std::set<std::string>& known_keys() {
       "ocean.ri_exponent", "coupling.exchange_seconds",
       "coupling.ocean_accel", "run.days",
       "run.history_path",  "run.restart_path",
+      "run.checkpoint_prefix", "run.checkpoint_every_days",
+      "run.checkpoint_resume",
   };
   return keys;
 }
@@ -78,6 +80,14 @@ RunPlan run_plan_from(const Config& cfg) {
   FOAM_REQUIRE(plan.days > 0.0, "run.days must be positive");
   plan.history_path = cfg.get_string("run.history_path", "");
   plan.restart_path = cfg.get_string("run.restart_path", "");
+  plan.checkpoint.path_prefix = cfg.get_string("run.checkpoint_prefix", "");
+  plan.checkpoint.every_days =
+      cfg.get_double("run.checkpoint_every_days", 1.0);
+  plan.checkpoint.resume = cfg.get_bool("run.checkpoint_resume", false);
+  FOAM_REQUIRE(plan.checkpoint.every_days > 0.0,
+               "run.checkpoint_every_days must be positive");
+  FOAM_REQUIRE(!plan.checkpoint.resume || plan.checkpoint.enabled(),
+               "run.checkpoint_resume requires run.checkpoint_prefix");
   return plan;
 }
 

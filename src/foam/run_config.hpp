@@ -17,6 +17,8 @@
 ///   ocean.ri_exponent (3)
 ///   coupling.exchange_seconds (21600) coupling.ocean_accel (1)
 ///   run.days run.history_path run.restart_path
+///   run.checkpoint_prefix ("" = off) run.checkpoint_every_days (1)
+///   run.checkpoint_resume (false)
 
 #include <string>
 
@@ -35,6 +37,11 @@ struct RunPlan {
   double days = 1.0;
   std::string history_path;  ///< empty = no history output
   std::string restart_path;  ///< empty = cold start
+  /// Periodic checkpointing + resume-from-latest (run.checkpoint_* keys);
+  /// the serial driver writes `<prefix>.day<D>.foam` crash-safe files and
+  /// maintains the same `<prefix>.latest.foam` pointer as the parallel
+  /// shards, so "resume from the newest complete checkpoint" is one flag.
+  CheckpointOptions checkpoint;
 };
 
 RunPlan run_plan_from(const Config& cfg);

@@ -200,6 +200,25 @@ std::size_t Comm::verify_quiescent() {
   return static_cast<std::size_t>(total);
 }
 
+void Comm::stall(double max_seconds, const char* what) {
+  const int me = members_[rank_];
+  verify::Verifier* v = active_verifier(ctx_);
+  // Empty spec list: the deadlock detector treats this rank as blocked in a
+  // wait nothing can release, so it anchors a definitely-deadlocked set as
+  // soon as the stall outlives the detector's timeout.
+  WaitGuard guard(v, me, what, {});
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    check_abort(ctx_);
+    if (v != nullptr) v->poll_deadlock(me);
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (waited >= max_seconds) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
 Comm::CollScope::CollScope(Comm& c, verify::CollKind kind, int root,
                            std::uint64_t count, std::uint32_t elem, int op)
     : comm(c), prev(c.active_coll_) {

@@ -209,6 +209,15 @@ class Comm {
   /// The run's shared checker (finding counts for drivers and tests).
   const verify::Verifier& verifier() const { return ctx_->verifier; }
 
+  /// Park this rank in a wait that can never complete, for up to
+  /// \p max_seconds (fault injection: a wedged node). The wait registers in
+  /// the deadlock detector's wait-for table with no releasable specs, so
+  /// once the stall outlives the detector's timeout the run aborts with a
+  /// diagnostic naming this rank. Wakes early (and throws the sympathetic
+  /// AbortError) when another rank aborts the run; simply returns after
+  /// \p max_seconds when nothing noticed (verification off).
+  void stall(double max_seconds, const char* what = "injected stall");
+
   // --- point-to-point ---------------------------------------------------
 
   /// Buffered send of raw bytes.

@@ -1,0 +1,96 @@
+#include "par/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "base/logging.hpp"
+#include "par/comm.hpp"
+
+namespace foam::par {
+
+namespace {
+
+double parse_number(const std::string& key, const std::string& text) {
+  std::size_t end = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &end);
+  } catch (const std::exception&) {
+    end = 0;
+  }
+  FOAM_REQUIRE(end == text.size() && !text.empty(),
+               "fault spec: bad value '" << text << "' for '" << key << "'");
+  return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  const std::size_t colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  if (head == "kill") {
+    plan.action = Action::kKill;
+  } else if (head == "stall") {
+    plan.action = Action::kStall;
+  } else {
+    FOAM_REQUIRE(false, "fault spec '"
+                            << spec
+                            << "': expected 'kill:...' or 'stall:...'");
+  }
+  std::istringstream rest(colon == std::string::npos ? ""
+                                                     : spec.substr(colon + 1));
+  std::string field;
+  while (std::getline(rest, field, ',')) {
+    const std::size_t eq = field.find('=');
+    FOAM_REQUIRE(eq != std::string::npos,
+                 "fault spec: expected key=value, got '" << field << "'");
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    if (key == "rank") {
+      plan.rank = static_cast<int>(parse_number(key, val));
+    } else if (key == "day") {
+      plan.at_day = parse_number(key, val);
+    } else if (key == "seconds") {
+      plan.stall_seconds = parse_number(key, val);
+    } else {
+      FOAM_REQUIRE(false, "fault spec: unknown key '" << key << "'");
+    }
+  }
+  FOAM_REQUIRE(plan.rank >= 0, "fault spec '" << spec << "': missing rank=");
+  FOAM_REQUIRE(plan.at_day >= 0.0, "fault spec '" << spec
+                                                  << "': missing day=");
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* env = std::getenv("FOAM_FAULT");
+  if (env == nullptr || *env == '\0') return {};
+  try {
+    return parse(env);
+  } catch (const Error& e) {
+    FOAM_LOG_ERROR << "ignoring FOAM_FAULT: " << e.what();
+    return {};
+  }
+}
+
+void maybe_inject_fault(Comm& world, FaultPlan& plan, double day) {
+  if (!plan.due(world.rank(), day)) return;
+  const FaultPlan fired = plan;
+  plan = {};  // one-shot: never re-fire on a later boundary
+  if (fired.action == FaultPlan::Action::kKill) {
+    FOAM_LOG_ERROR << "fault injection: killing rank " << fired.rank
+                   << " at simulated day " << day;
+    std::ostringstream msg;
+    msg << "fault injection: rank " << fired.rank
+        << " killed at simulated day " << day;
+    throw Error(msg.str());
+  }
+  FOAM_LOG_ERROR << "fault injection: stalling rank " << fired.rank
+                 << " at simulated day " << day << " for up to "
+                 << fired.stall_seconds << "s";
+  world.stall(fired.stall_seconds, "fault.stall (injected)");
+}
+
+}  // namespace foam::par

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection for resilience drills.
+///
+/// A FaultPlan names one rank and one simulated day; at that day boundary
+/// the chosen rank either dies (throws, which aborts the whole run with a
+/// diagnostic naming the rank — the analogue of a node loss) or stalls
+/// (blocks in a wait that can never complete, so the PR-4 deadlock detector
+/// times out and reports it). Drivers arm a plan through their options or
+/// the FOAM_FAULT environment variable:
+///
+///   FOAM_FAULT="kill:rank=3,day=2"
+///   FOAM_FAULT="stall:rank=1,day=2,seconds=30"
+///
+/// and call maybe_inject_fault(world, plan, day) at each simulated-day
+/// boundary. Plans are one-shot: firing disarms them.
+
+#include <string>
+
+namespace foam::par {
+
+class Comm;
+
+struct FaultPlan {
+  enum class Action { kNone, kKill, kStall };
+
+  Action action = Action::kNone;
+  int rank = -1;          ///< world rank that fails
+  double at_day = -1.0;   ///< simulated-day boundary at which it fails
+  double stall_seconds = 600.0;  ///< how long a kStall rank stays wedged
+
+  bool armed() const {
+    return action != Action::kNone && rank >= 0 && at_day >= 0.0;
+  }
+
+  /// True when the fault should fire: \p world_rank is the planned rank and
+  /// the run has reached simulated day \p day (boundaries are compared with
+  /// a tolerance so cadence arithmetic in doubles cannot skip the trigger).
+  bool due(int world_rank, double day) const {
+    return armed() && world_rank == rank && day + 1e-9 >= at_day;
+  }
+
+  /// Parse a "kill:rank=R,day=D" / "stall:rank=R,day=D,seconds=S" spec.
+  /// Throws foam::Error on malformed input.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Plan from $FOAM_FAULT, or a disarmed plan when unset. A malformed
+  /// value logs an error and disarms (an env typo must not crash a run
+  /// that never asked for faults).
+  static FaultPlan from_env();
+};
+
+/// Fire \p plan on this rank if it is due at simulated day \p day, then
+/// disarm it (one-shot). kKill throws foam::Error with a diagnostic naming
+/// the rank and day; par::run releases the other ranks and rethrows it as
+/// the root cause. kStall parks this rank in an unreleasable wait for up to
+/// stall_seconds (the deadlock detector on the other ranks reports it and
+/// aborts the run), then returns if the run somehow survived.
+void maybe_inject_fault(Comm& world, FaultPlan& plan, double day);
+
+}  // namespace foam::par

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <vector>
 
 #include "telemetry/chrome_trace.hpp"
 
@@ -287,6 +289,18 @@ TEST(FoamConfigValidate, DriversRejectBadConfigs) {
 namespace foam {
 namespace {
 
+std::vector<char> read_file_bytes(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<char> bytes;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return bytes;
+}
+
 TEST(Checkpoint, RestartContinuesBitwise) {
   const std::string path = testing::TempDir() + "/foam_restart.foam";
   FoamConfig cfg = FoamConfig::testing();
@@ -316,6 +330,16 @@ TEST(Checkpoint, RestartContinuesBitwise) {
   const auto& tb = b.atmosphere().temperature();
   for (std::size_t n = 0; n < ta.size(); ++n)
     ASSERT_EQ(ta.data()[n], tb.data()[n]) << "atm state diverged at " << n;
+
+  // The strongest form: re-checkpointing both runs must give files that
+  // are equal byte for byte — every record of every component, not just
+  // the fields sampled above.
+  const std::string pa = testing::TempDir() + "/foam_restart_a.foam";
+  const std::string pb = testing::TempDir() + "/foam_restart_b.foam";
+  a.checkpoint(pa);
+  b.checkpoint(pb);
+  EXPECT_EQ(read_file_bytes(pa), read_file_bytes(pb))
+      << "checkpoints of the original and the restored run differ";
 }
 
 TEST(Checkpoint, RestoreRejectsWrongFile) {
@@ -327,6 +351,54 @@ TEST(Checkpoint, RestoreRejectsWrongFile) {
   FoamConfig cfg = FoamConfig::testing();
   CoupledFoam m(cfg);
   EXPECT_THROW(m.restore(path), Error);
+}
+
+TEST(Checkpoint, RestoreRejectsMismatchedConfigWithDiff) {
+  const std::string path = testing::TempDir() + "/foam_fpr.foam";
+  FoamConfig cfg = FoamConfig::testing();
+  CoupledFoam m(cfg);
+  m.checkpoint(path);
+
+  // Same field sizes, different coupling parameters: before the config
+  // fingerprint this loaded silently and continued with the wrong physics.
+  FoamConfig other = cfg;
+  other.exchange_seconds = cfg.exchange_seconds / 2.0;
+  other.ocean_accel = 4.0;
+  CoupledFoam w(other);
+  try {
+    w.restore(path);
+    FAIL() << "restore accepted a checkpoint from a different config";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("exchange_seconds"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ocean_accel"), std::string::npos) << msg;
+  }
+}
+
+TEST(Checkpoint, TruncatedCheckpointRejected) {
+  const std::string path = testing::TempDir() + "/foam_trunc_ckpt.foam";
+  FoamConfig cfg = FoamConfig::testing();
+  CoupledFoam m(cfg);
+  m.checkpoint(path);
+
+  // Chop the footer and tail off, as a crash mid-copy would: the loader
+  // must refuse rather than restore partial state.
+  std::vector<char> bytes = read_file_bytes(path);
+  bytes.resize(bytes.size() - 64);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  CoupledFoam w(cfg);
+  EXPECT_THROW(w.restore(path), Error);
+
+  // Garbage appended after an intact footer is corruption too.
+  m.checkpoint(path);
+  f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("trailing garbage", f);
+  std::fclose(f);
+  EXPECT_THROW(w.restore(path), Error);
 }
 
 }  // namespace

@@ -1,0 +1,266 @@
+// Distributed checkpoint/restart and fault-injection drills for the
+// parallel coupled driver.
+//
+// The contract under test: a run resumed from the latest checkpoint is
+// bitwise identical to the uninterrupted run (both overlap modes), shards
+// are crash-safe, a killed rank produces a clean abort diagnostic naming
+// it, and a stalled rank trips the PR-4 deadlock detector.
+//
+// The small cases (2+1 ranks, 2 simulated days of the testing config) run
+// in the regular suite; the paper-shaped acceptance drill (8+1 ranks,
+// 4 days, kill at day 3) is gated behind FOAM_RESTART_ACCEPTANCE=1 and
+// exercised by the restart-resilience CI job.
+
+#include "foam/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "foam/coupled.hpp"
+#include "par/fault.hpp"
+
+namespace foam {
+namespace {
+
+std::vector<char> read_file_bytes(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<char> bytes;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return bytes;
+}
+
+/// Driver options with everything explicit: no env-driven fault plans and
+/// no timeline capture (the tests compare state, not telemetry).
+ParallelRunOptions mk_opts(int n_atm, bool overlap,
+                           const std::string& prefix, double every_days,
+                           bool resume) {
+  ParallelRunOptions o;
+  o.n_atm = n_atm;
+  o.overlap = overlap;
+  o.capture_timelines = false;
+  o.verify = {};
+  o.fault = {};
+  o.checkpoint.path_prefix = prefix;
+  o.checkpoint.every_days = every_days;
+  o.checkpoint.resume = resume;
+  return o;
+}
+
+TEST(FaultPlan, ParsesSpecs) {
+  const par::FaultPlan kill = par::FaultPlan::parse("kill:rank=3,day=2");
+  EXPECT_EQ(kill.action, par::FaultPlan::Action::kKill);
+  EXPECT_EQ(kill.rank, 3);
+  EXPECT_DOUBLE_EQ(kill.at_day, 2.0);
+  EXPECT_TRUE(kill.armed());
+  EXPECT_TRUE(kill.due(3, 2.0));
+  EXPECT_FALSE(kill.due(2, 2.0));
+  EXPECT_FALSE(kill.due(3, 1.0));
+
+  const par::FaultPlan stall =
+      par::FaultPlan::parse("stall:rank=1,day=2,seconds=30");
+  EXPECT_EQ(stall.action, par::FaultPlan::Action::kStall);
+  EXPECT_EQ(stall.rank, 1);
+  EXPECT_DOUBLE_EQ(stall.at_day, 2.0);
+  EXPECT_DOUBLE_EQ(stall.stall_seconds, 30.0);
+
+  EXPECT_THROW(par::FaultPlan::parse("explode:rank=1,day=1"), Error);
+  EXPECT_THROW(par::FaultPlan::parse("kill:rank=1"), Error);       // no day
+  EXPECT_THROW(par::FaultPlan::parse("kill:day=1"), Error);        // no rank
+  EXPECT_THROW(par::FaultPlan::parse("kill:rank=x,day=1"), Error);
+  EXPECT_THROW(par::FaultPlan::parse("kill:rank=1,day=1,x=2"), Error);
+  EXPECT_FALSE(par::FaultPlan{}.armed());
+}
+
+/// Uninterrupted vs checkpoint-and-resume, compared through the strongest
+/// observable: the final-day shard files must be equal byte for byte on
+/// every rank.
+void resume_bitwise_case(bool overlap) {
+  const FoamConfig cfg = FoamConfig::testing();
+  const std::string tag = overlap ? "ov" : "bl";
+  const std::string pa = testing::TempDir() + "/rsA_" + tag;
+  const std::string pb = testing::TempDir() + "/rsB_" + tag;
+  const int nranks = 3, n_atm = 2;
+
+  // Reference: 2 uninterrupted days, checkpoint every day.
+  par::run(nranks, [&](par::Comm& world) {
+    run_coupled_parallel(world, mk_opts(n_atm, overlap, pa, 1.0, false),
+                         cfg, 2.0);
+  });
+  // Interrupted twin: 1 day, then resume-from-latest for the full span.
+  par::run(nranks, [&](par::Comm& world) {
+    run_coupled_parallel(world, mk_opts(n_atm, overlap, pb, 1.0, false),
+                         cfg, 1.0);
+  });
+  ASSERT_EQ(ckpt_latest_day(pb), 1);
+  par::run(nranks, [&](par::Comm& world) {
+    run_coupled_parallel(world, mk_opts(n_atm, overlap, pb, 1.0, true),
+                         cfg, 2.0);
+  });
+  ASSERT_EQ(ckpt_latest_day(pb), 2);
+  for (int r = 0; r < nranks; ++r)
+    EXPECT_EQ(read_file_bytes(ckpt_shard_path(pa, 2, r)),
+              read_file_bytes(ckpt_shard_path(pb, 2, r)))
+        << "day-2 state of rank " << r << " diverged after resume ("
+        << (overlap ? "overlap" : "blocking") << " exchange)";
+}
+
+TEST(Restart, ResumeBitwiseBlockingExchange) { resume_bitwise_case(false); }
+
+TEST(Restart, ResumeBitwiseOverlapExchange) { resume_bitwise_case(true); }
+
+TEST(Restart, KillAbortsWithDiagnosticAndResumeMatchesFaultFreeRun) {
+  const FoamConfig cfg = FoamConfig::testing();
+  const std::string pa = testing::TempDir() + "/klA";
+  const std::string pb = testing::TempDir() + "/klB";
+  const int nranks = 3, n_atm = 2;
+
+  // Fault-free reference.
+  par::run(nranks, [&](par::Comm& world) {
+    run_coupled_parallel(world, mk_opts(n_atm, true, pa, 1.0, false), cfg,
+                         2.0);
+  });
+
+  // Kill world rank 2 (the ocean rank) at day 2: the run must abort with a
+  // diagnostic naming the rank, leaving day 1 as the latest checkpoint.
+  try {
+    par::run(nranks, [&](par::Comm& world) {
+      ParallelRunOptions o = mk_opts(n_atm, true, pb, 1.0, false);
+      o.fault = par::FaultPlan::parse("kill:rank=2,day=2");
+      run_coupled_parallel(world, o, cfg, 2.0);
+    });
+    FAIL() << "injected kill did not abort the run";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fault injection"), std::string::npos) << msg;
+  }
+  ASSERT_EQ(ckpt_latest_day(pb), 1);
+
+  // Relaunch from the latest checkpoint, with the MPI-semantics checker
+  // auditing the resumed run; it must finish clean and land bitwise on the
+  // fault-free reference.
+  std::int64_t findings = -1;
+  par::run(nranks, [&](par::Comm& world) {
+    ParallelRunOptions o = mk_opts(n_atm, true, pb, 1.0, true);
+    o.verify.mode = par::VerifyMode::kAudit;
+    const auto res = run_coupled_parallel(world, o, cfg, 2.0);
+    if (world.rank() == 0) findings = res.verify_findings;
+  });
+  EXPECT_EQ(findings, 0);
+  for (int r = 0; r < nranks; ++r)
+    EXPECT_EQ(read_file_bytes(ckpt_shard_path(pa, 2, r)),
+              read_file_bytes(ckpt_shard_path(pb, 2, r)))
+        << "resumed run diverged from the fault-free run on rank " << r;
+}
+
+TEST(Restart, StallTripsDeadlockDetector) {
+  const FoamConfig cfg = FoamConfig::testing();
+  const int nranks = 3;
+  try {
+    par::run(nranks, [&](par::Comm& world) {
+      ParallelRunOptions o = mk_opts(2, false, "", 1.0, false);
+      o.verify.mode = par::VerifyMode::kAudit;
+      o.verify.stall_timeout_seconds = 0.4;
+      o.fault = par::FaultPlan::parse("stall:rank=1,day=1,seconds=30");
+      run_coupled_parallel(world, o, cfg, 1.0);
+    });
+    FAIL() << "stalled rank did not trip the deadlock detector";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock detected"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fault.stall"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Restart, ResumeRejectsMismatchedRunShape) {
+  const FoamConfig cfg = FoamConfig::testing();
+  const std::string pf = testing::TempDir() + "/shape";
+  const int nranks = 3;
+  par::run(nranks, [&](par::Comm& world) {
+    run_coupled_parallel(world, mk_opts(2, false, pf, 1.0, false), cfg,
+                         1.0);
+  });
+  try {
+    par::run(nranks, [&](par::Comm& world) {
+      run_coupled_parallel(world, mk_opts(1, false, pf, 1.0, true), cfg,
+                           2.0);
+    });
+    FAIL() << "resume accepted a checkpoint from a different placement";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("-rank run"), std::string::npos)
+        << e.what();
+  }
+  // Overlap-mode mismatch is rejected too (the lag bookkeeping differs).
+  try {
+    par::run(nranks, [&](par::Comm& world) {
+      run_coupled_parallel(world, mk_opts(2, true, pf, 1.0, true), cfg,
+                           2.0);
+    });
+    FAIL() << "resume accepted a checkpoint from the other overlap mode";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("overlap"), std::string::npos)
+        << e.what();
+  }
+}
+
+/// Paper-shaped acceptance drill (ISSUE 5): 8 atmosphere ranks + 1 ocean
+/// rank, 4 simulated days, checkpoint cadence 2 days, rank kill at day 3,
+/// resume-from-latest lands bitwise on the fault-free run — in both
+/// exchange modes. ~10x the cost of the small cases, so gated for CI.
+TEST(RestartAcceptance, EightPlusOneKillAtDayThreeResumesBitwise) {
+  if (std::getenv("FOAM_RESTART_ACCEPTANCE") == nullptr)
+    GTEST_SKIP() << "set FOAM_RESTART_ACCEPTANCE=1 to run the 8+1 drill";
+  const FoamConfig cfg = FoamConfig::testing();
+  const int nranks = 9, n_atm = 8;
+  for (const bool overlap : {false, true}) {
+    const std::string tag = overlap ? "ov" : "bl";
+    const std::string pa = testing::TempDir() + "/accA_" + tag;
+    const std::string pb = testing::TempDir() + "/accB_" + tag;
+
+    par::run(nranks, [&](par::Comm& world) {
+      run_coupled_parallel(world, mk_opts(n_atm, overlap, pa, 2.0, false),
+                           cfg, 4.0);
+    });
+    try {
+      par::run(nranks, [&](par::Comm& world) {
+        ParallelRunOptions o = mk_opts(n_atm, overlap, pb, 2.0, false);
+        o.fault = par::FaultPlan::parse("kill:rank=3,day=3");
+        run_coupled_parallel(world, o, cfg, 4.0);
+      });
+      FAIL() << "injected kill did not abort the run";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("rank 3"), std::string::npos) << msg;
+    }
+    ASSERT_EQ(ckpt_latest_day(pb), 2) << "kill at day 3 must leave day 2";
+
+    std::int64_t findings = -1;
+    par::run(nranks, [&](par::Comm& world) {
+      ParallelRunOptions o = mk_opts(n_atm, overlap, pb, 2.0, true);
+      o.verify.mode = par::VerifyMode::kAudit;
+      const auto res = run_coupled_parallel(world, o, cfg, 4.0);
+      if (world.rank() == 0) findings = res.verify_findings;
+    });
+    EXPECT_EQ(findings, 0);
+    for (int r = 0; r < nranks; ++r)
+      EXPECT_EQ(read_file_bytes(ckpt_shard_path(pa, 4, r)),
+                read_file_bytes(ckpt_shard_path(pb, 4, r)))
+          << "acceptance drill diverged on rank " << r << " (" << tag
+          << ")";
+  }
+}
+
+}  // namespace
+}  // namespace foam
