@@ -2,69 +2,52 @@
 
 /// \file bench_json.hpp
 /// Machine-readable bench output: each bench accumulates (metric, value,
-/// unit, config) rows and writes them to BENCH_<name>.json in the working
+/// unit, params) rows and writes them to BENCH_<name>.json in the working
 /// directory, so CI can archive results next to the human-readable stdout.
+///
+/// Parameters are typed (string / double / integer / bool) and emitted as
+/// the matching native JSON type, so downstream tooling can filter on
+/// `config.atm_ranks == 8` without string-parsing. Common parameters set
+/// once with set_common (notably "rank_layout" — every FOAM bench stamps
+/// the rank layout of each row, "serial" for single-process benches) are
+/// merged into every row's config; row-local keys win.
 ///
 /// No dependencies beyond the standard library; the emitted document is
 ///   { "bench": "<name>", "results": [
 ///       { "metric": "...", "value": <num>, "unit": "...",
-///         "config": { "key": "value", ... } }, ... ] }
+///         "config": { "key": <value>, ... } }, ... ] }
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 namespace foam::bench {
 
-class BenchJson {
+/// One typed bench parameter, encoded as the matching native JSON type.
+class BenchParam {
  public:
-  /// \p name becomes the BENCH_<name>.json filename.
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchParam(const char* s) : v_(std::string(s)) {}
+  BenchParam(std::string s) : v_(std::move(s)) {}
+  BenchParam(double d) : v_(d) {}
+  BenchParam(int i) : v_(static_cast<std::int64_t>(i)) {}
+  BenchParam(std::int64_t i) : v_(i) {}
+  BenchParam(bool b) : v_(b) {}
 
-  /// Destructor writes the file (explicit write() earlier also works).
-  ~BenchJson() { write(); }
-
-  BenchJson(const BenchJson&) = delete;
-  BenchJson& operator=(const BenchJson&) = delete;
-
-  void add(const std::string& metric, double value, const std::string& unit,
-           const std::vector<std::pair<std::string, std::string>>& config =
-               {}) {
-    rows_.push_back(Row{metric, value, unit, config});
-  }
-
-  /// Write BENCH_<name>.json; idempotent (later calls rewrite the file
-  /// with any rows added since).
-  void write() {
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return;  // benches must not fail on an RO directory
-    std::fprintf(f, "{\n  \"bench\": %s,\n  \"results\": [",
-                 quoted(name_).c_str());
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const Row& r = rows_[i];
-      std::fprintf(f, "%s\n    { \"metric\": %s, \"value\": %.17g, "
-                      "\"unit\": %s, \"config\": {",
-                   i == 0 ? "" : ",", quoted(r.metric).c_str(), r.value,
-                   quoted(r.unit).c_str());
-      for (std::size_t c = 0; c < r.config.size(); ++c)
-        std::fprintf(f, "%s %s: %s", c == 0 ? "" : ",",
-                     quoted(r.config[c].first).c_str(),
-                     quoted(r.config[c].second).c_str());
-      std::fprintf(f, " } }");
+  /// JSON encoding of the value (strings quoted and escaped).
+  std::string json() const {
+    if (const auto* s = std::get_if<std::string>(&v_)) return quoted(*s);
+    if (const auto* d = std::get_if<double>(&v_)) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", *d);
+      return buf;
     }
-    std::fprintf(f, "\n  ]\n}\n");
-    std::fclose(f);
+    if (const auto* i = std::get_if<std::int64_t>(&v_))
+      return std::to_string(*i);
+    return std::get<bool>(v_) ? "true" : "false";
   }
-
- private:
-  struct Row {
-    std::string metric;
-    double value;
-    std::string unit;
-    std::vector<std::pair<std::string, std::string>> config;
-  };
 
   static std::string quoted(const std::string& s) {
     std::string out = "\"";
@@ -82,7 +65,80 @@ class BenchJson {
     return out;
   }
 
+ private:
+  std::variant<std::string, double, std::int64_t, bool> v_;
+};
+
+/// Ordered (name, value) parameter list attached to a result row.
+using BenchParams = std::vector<std::pair<std::string, BenchParam>>;
+
+class BenchJson {
+ public:
+  /// \p name becomes the BENCH_<name>.json filename.
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// Destructor writes the file (explicit write() earlier also works).
+  ~BenchJson() { write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Set a parameter merged into every row's config (row keys shadow it).
+  void set_common(const std::string& key, BenchParam value) {
+    for (auto& kv : common_)
+      if (kv.first == key) {
+        kv.second = std::move(value);
+        return;
+      }
+    common_.emplace_back(key, std::move(value));
+  }
+
+  void add(const std::string& metric, double value, const std::string& unit,
+           BenchParams config = {}) {
+    rows_.push_back(Row{metric, value, unit, std::move(config)});
+  }
+
+  /// Write BENCH_<name>.json; idempotent (later calls rewrite the file
+  /// with any rows added since).
+  void write() {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;  // benches must not fail on an RO directory
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"results\": [",
+                 BenchParam::quoted(name_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "%s\n    { \"metric\": %s, \"value\": %.17g, "
+                      "\"unit\": %s, \"config\": {",
+                   i == 0 ? "" : ",", BenchParam::quoted(r.metric).c_str(),
+                   r.value, BenchParam::quoted(r.unit).c_str());
+      std::size_t n = 0;
+      for (const auto& [key, value] : r.config)
+        std::fprintf(f, "%s %s: %s", n++ == 0 ? "" : ",",
+                     BenchParam::quoted(key).c_str(), value.json().c_str());
+      for (const auto& [key, value] : common_) {
+        bool shadowed = false;
+        for (const auto& kv : r.config) shadowed = shadowed || kv.first == key;
+        if (shadowed) continue;
+        std::fprintf(f, "%s %s: %s", n++ == 0 ? "" : ",",
+                     BenchParam::quoted(key).c_str(), value.json().c_str());
+      }
+      std::fprintf(f, " } }");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    double value;
+    std::string unit;
+    BenchParams config;
+  };
+
   std::string name_;
+  BenchParams common_;
   std::vector<Row> rows_;
 };
 

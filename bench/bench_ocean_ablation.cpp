@@ -71,7 +71,10 @@ int main(int argc, char** argv) {
   for (auto& row : rows) {
     OceanModel m(row.cfg, grid, bathy);
     m.init_climatology();
-    m.set_wind_stress(taux, tauy);
+    ocean::OceanForcing wind;
+    wind.wind_x = &taux;
+    wind.wind_y = &tauy;
+    m.set_forcing(wind);
     par::Stopwatch sw;
     m.run_days(days);
     row.wall_per_day = sw.seconds() / days;

@@ -38,7 +38,10 @@ Result run_serial(const OceanConfig& cfg, const numerics::MercatorGrid& grid,
   for (int j = 0; j < cfg.ny; ++j)
     for (int i = 0; i < cfg.nx; ++i)
       taux(i, j) = ocean::analytic_zonal_stress(grid.lat(j));
-  m.set_wind_stress(taux, tauy);
+  ocean::OceanForcing wind;
+  wind.wind_x = &taux;
+  wind.wind_y = &tauy;
+  m.set_forcing(wind);
   par::Stopwatch sw;
   m.run_days(days);
   return {days, sw.seconds(), m.work_points()};
@@ -70,7 +73,10 @@ int main(int argc, char** argv) {
       for (int j = 0; j < 128; ++j)
         for (int i = 0; i < 128; ++i)
           taux(i, j) = ocean::analytic_zonal_stress(grid.lat(j));
-      m.set_wind_stress(taux, tauy);
+      ocean::OceanForcing wind;
+      wind.wind_x = &taux;
+      wind.wind_y = &tauy;
+      m.set_forcing(wind);
       par::Stopwatch sw;
       m.run_days(days);
       if (comm.rank() == 0) {

@@ -180,7 +180,7 @@ void run_case(const Case& c, foam::bench::BenchJson& out,
         "ns\n",
         c.name, sh.mode, ns_an, flops / ns_an, ns_sy, flops / ns_sy, batch,
         ns_ban, ns_bsy);
-    const std::vector<std::pair<std::string, std::string>> base = {
+    const foam::bench::BenchParams base = {
         {"resolution", c.name}, {"impl", sh.mode}};
     auto with_shape = [&](const char* shape) {
       auto cfg = base;
@@ -216,6 +216,7 @@ void run_case(const Case& c, foam::bench::BenchJson& out,
 int main() {
   std::printf("=== spectral transform kernels: reference vs engine ===\n");
   foam::bench::BenchJson out("spectral_kernels");
+  out.set_common("rank_layout", "serial");
   double r15_speedup = 0.0;
   double worst_agreement = 0.0;
   for (const Case& c : {Case{"R15", 48, 40, 15}, Case{"R31", 96, 80, 31}})

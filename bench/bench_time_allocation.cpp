@@ -145,14 +145,15 @@ double run_placement(int n_atm, int n_ocean, double days, bool overlap,
     wait_out = res.region_seconds(0, par::Region::kCommWait);
     atm_share_out = rank0_total > 0.0 ? atm_busy / rank0_total : 0.0;
   });
-  std::vector<std::pair<std::string, std::string>> jcfg = {
-      {"atm_ranks", std::to_string(n_atm)},
-      {"ocean_ranks", std::to_string(n_ocean)},
+  bench::BenchParams jcfg = {
+      {"atm_ranks", n_atm},
+      {"ocean_ranks", n_ocean},
+      {"rank_layout", RankLayout::rows(n_atm, n_ocean).describe()},
       {"exchange", overlap ? "overlap" : "blocking"},
       {"spectral", engine ? "engine" : "reference"},
       {"telemetry", telemetry::trace_level_name(level)},
       {"verify", audit ? "audit" : "off"}};
-  if (rep > 0) jcfg.push_back({"rep", std::to_string(rep)});
+  if (rep > 0) jcfg.push_back({"rep", rep});
   json.add("atm_busy_seconds", atm_busy_out, "s", jcfg);
   json.add("atm_busy_share", atm_share_out, "fraction", jcfg);
   json.add("ocean_busy_seconds", ocean_busy_out, "s", jcfg);
@@ -221,8 +222,7 @@ void export_and_check_trace(const ParallelRunResult& res, int n_atm,
   // atmosphere rank and the lead ocean rank, skipping the per-peer rows.
   for (const int r : {0, n_atm}) {
     if (r >= static_cast<int>(res.metrics.size())) continue;
-    const std::vector<std::pair<std::string, std::string>> mcfg = {
-        {"rank", std::to_string(r)}};
+    const bench::BenchParams mcfg = {{"rank", r}};
     for (const auto& [name, value] : res.metrics[r])
       if (name.find(".peer") == std::string::npos)
         json.add(name, value, "", mcfg);
@@ -282,7 +282,7 @@ int main() {
               "%.2fs vs %.2fs busy (%+.2f%%)\n",
               busy_regions, busy_off, 100.0 * overhead);
   json.add("telemetry_regions_overhead", overhead, "fraction",
-           {{"atm_ranks", "4"}, {"ocean_ranks", "1"}});
+           {{"atm_ranks", 4}, {"ocean_ranks", 1}});
   FOAM_REQUIRE(busy_regions <= busy_off * 1.02 + 0.2,
                "regions-only telemetry overhead above budget: "
                    << busy_regions << "s vs " << busy_off << "s off");
@@ -307,7 +307,7 @@ int main() {
               "%.2fs vs %.2fs busy (%+.2f%%)\n",
               busy_audit, busy_off, 100.0 * audit_overhead);
   json.add("verify_audit_overhead", audit_overhead, "fraction",
-           {{"atm_ranks", "4"}, {"ocean_ranks", "1"}});
+           {{"atm_ranks", 4}, {"ocean_ranks", 1}});
   FOAM_REQUIRE(busy_audit <= busy_off * 1.05 + 0.2,
                "par-verify audit overhead above budget: "
                    << busy_audit << "s vs " << busy_off << "s off");
@@ -326,7 +326,7 @@ int main() {
                 "atm busy %.2fs engine vs %.2fs reference (%.2fx)\n",
                 busy_regions, ref_busy, ref_busy / busy_regions);
     json.add("atm_busy_engine_speedup", ref_busy / busy_regions, "x",
-             {{"atm_ranks", "4"}, {"ocean_ranks", "1"},
+             {{"atm_ranks", 4}, {"ocean_ranks", 1},
               {"exchange", "overlap"}});
   }
 

@@ -34,14 +34,20 @@ int main(int argc, char** argv) {
     for (int j = 0; j < 128; ++j)
       for (int i = 0; i < 128; ++i)
         taux(i, j) = ocean::analytic_zonal_stress(grid.lat(j));
-    model.set_wind_stress(taux, tauy);
+    ocean::OceanForcing wind;
+    wind.wind_x = &taux;
+    wind.wind_y = &tauy;
+    model.set_forcing(wind);
 
     par::Stopwatch wall;
     for (double d = 0.0; d < days; d += 5.0) {
       // Monthly-ish restoring toward the SST climatology.
-      model.set_heat_flux(ocean::restoring_heat_flux(
+      const Field2Dd qnet = ocean::restoring_heat_flux(
           grid, model.gather(model.sst()),
-          static_cast<int>(d / 30.0) % 12));
+          static_cast<int>(d / 30.0) % 12);
+      ocean::OceanForcing restoring;
+      restoring.heat = &qnet;
+      model.set_forcing(restoring);
       model.run_days(std::min(5.0, days - d));
       const auto diag = model.diagnostics();
       if (comm.rank() == 0)

@@ -12,6 +12,7 @@ namespace foam {
 namespace {
 
 constexpr const char* kFingerprintRecord = "foam.fingerprint";
+constexpr const char* kLayoutRecord = "foam.rank_layout";
 
 /// Name/value view of everything that must agree between the writing and
 /// the restoring configuration for a bitwise restart to be meaningful.
@@ -89,6 +90,32 @@ void check_config_fingerprint(const HistoryReader& in, const FoamConfig& cfg,
   FOAM_REQUIRE(diff.str().empty(),
                what << " was written under a different configuration:"
                     << diff.str());
+}
+
+void write_layout_record(HistoryWriter& out, const RankLayout& layout) {
+  out.write_series(kLayoutRecord,
+                   std::vector<double>{
+                       static_cast<double>(layout.atm_ranks),
+                       static_cast<double>(layout.ocean_px),
+                       static_cast<double>(layout.ocean_py)});
+}
+
+void check_layout_record(const HistoryReader& in, const RankLayout& layout,
+                         const std::string& what) {
+  FOAM_REQUIRE(in.has(kLayoutRecord),
+               what << " carries no rank-layout record — it predates the "
+                       "2-D ocean decomposition; refusing to restore a "
+                       "shard whose decomposition cannot be checked");
+  const auto& rec = in.find(kLayoutRecord);
+  FOAM_REQUIRE(rec.data.size() == 3,
+               what << ": malformed rank-layout record ("
+                    << rec.data.size() << " entries)");
+  const RankLayout stored = RankLayout::grid(static_cast<int>(rec.data[0]),
+                                             static_cast<int>(rec.data[1]),
+                                             static_cast<int>(rec.data[2]));
+  FOAM_REQUIRE(stored == layout,
+               what << " was written by a " << stored.describe()
+                    << "-rank run; this run is " << layout.describe());
 }
 
 }  // namespace foam

@@ -27,6 +27,7 @@
 namespace foam {
 
 struct FoamConfig;
+struct RankLayout;
 
 std::string ckpt_serial_path(const std::string& prefix, std::int64_t day);
 std::string ckpt_shard_path(const std::string& prefix, std::int64_t day,
@@ -51,5 +52,17 @@ void write_config_fingerprint(HistoryWriter& out, const FoamConfig& cfg);
 /// \p what names the file in diagnostics.
 void check_config_fingerprint(const HistoryReader& in, const FoamConfig& cfg,
                               const std::string& what);
+
+/// Stamp the run's rank layout (atmosphere ranks + ocean rank grid) into a
+/// parallel-driver shard. A shard holds one rank's decomposed memory, so
+/// restoring it under a different layout would scatter state across the
+/// wrong ranks — the layout is part of the shard's identity.
+void write_layout_record(HistoryWriter& out, const RankLayout& layout);
+
+/// Verify a shard's rank-layout record against this run's \p layout;
+/// throws foam::Error on mismatch or when the record is absent. \p what
+/// names the file in diagnostics.
+void check_layout_record(const HistoryReader& in, const RankLayout& layout,
+                         const std::string& what);
 
 }  // namespace foam

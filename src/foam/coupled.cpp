@@ -1,6 +1,7 @@
 #include "foam/coupled.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "base/constants.hpp"
 #include "base/logging.hpp"
@@ -28,6 +29,34 @@ void FoamConfig::validate() const {
                                     << ") must be a whole multiple of the "
                                        "atmosphere step ("
                                     << atm.dt << ")");
+}
+
+void RankLayout::validate(int world_size,
+                          const ocean::OceanConfig& ocean) const {
+  FOAM_REQUIRE(atm_ranks >= 1,
+               "rank layout needs at least one atmosphere rank, got "
+               "atm_ranks=" << atm_ranks);
+  FOAM_REQUIRE(ocean_px >= 1 && ocean_py >= 1,
+               "rank layout " << describe() << " leaves the ocean without "
+                              "ranks (the atmosphere takes " << atm_ranks
+                              << " of the " << world_size
+                              << "-rank world); the coupled driver needs at "
+                                 "least one ocean rank");
+  FOAM_REQUIRE(this->world_size() == world_size,
+               "rank layout " << describe() << " needs "
+                              << this->world_size()
+                              << " ranks but the world has " << world_size);
+  FOAM_REQUIRE(ocean_px <= ocean.nx && ocean_py <= ocean.ny,
+               "rank layout " << describe() << ": ocean rank grid "
+                              << ocean_px << "x" << ocean_py
+                              << " does not fit the " << ocean.nx << "x"
+                              << ocean.ny << " ocean grid");
+}
+
+std::string RankLayout::describe() const {
+  std::ostringstream s;
+  s << atm_ranks << "+" << ocean_px << "x" << ocean_py;
+  return s.str();
 }
 
 CoupledFoam::CoupledFoam(const FoamConfig& cfg)
@@ -61,10 +90,13 @@ void CoupledFoam::exchange() {
   const Field2Dd frazil = ocean_->drain_frazil();
   const auto forcing = coupler_->make_ocean_forcing(mean, sst, frazil,
                                                     cfg_.exchange_seconds);
-  ocean_->set_wind_stress(forcing.taux, forcing.tauy);
-  ocean_->set_heat_flux(forcing.qnet);
-  ocean_->set_freshwater_flux(forcing.fw);
-  ocean_->set_ice_fraction(coupler_->ice_fraction_o());
+  ocean::OceanForcing of;
+  of.wind_x = &forcing.taux;
+  of.wind_y = &forcing.tauy;
+  of.heat = &forcing.qnet;
+  of.freshwater = &forcing.fw;
+  of.ice = &coupler_->ice_fraction_o();
+  ocean_->set_forcing(of);
   const double ocean_seconds = cfg_.exchange_seconds * cfg_.ocean_accel;
   ocean_->run_days(ocean_seconds / 86400.0);
 
@@ -211,10 +243,17 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
                                        const ParallelRunOptions& opts,
                                        const FoamConfig& cfg, double days) {
   cfg.validate();
-  const int n_atm = opts.n_atm;
-  FOAM_REQUIRE(n_atm >= 1 && n_atm < world.size(),
-               "n_atm=" << n_atm << " of " << world.size());
-  const int n_ocean = world.size() - n_atm;
+  // Resolve the rank layout: explicit 2-D layout if given, otherwise the
+  // legacy "first n_atm ranks are atmosphere, the rest one ocean row block
+  // each" convention. Validation catches the classic footgun of n_atm
+  // covering the whole world (0 ocean ranks) with a pointed message.
+  const RankLayout layout =
+      opts.layout.has_value()
+          ? *opts.layout
+          : RankLayout::rows(opts.n_atm, world.size() - opts.n_atm);
+  layout.validate(world.size(), cfg.ocean);
+  const int n_atm = layout.atm_ranks;
+  const int n_ocean = layout.ocean_ranks();
   const bool is_atm = world.rank() < n_atm;
   world.set_verify(opts.verify);
   auto sub = world.split(is_atm ? 0 : 1, world.rank());
@@ -269,14 +308,19 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
     const HistoryReader manifest(mpath);
     check_config_fingerprint(manifest, cfg, "'" + mpath + "'");
     const auto stamp = [&](const char* name) {
-      return static_cast<std::int64_t>(manifest.find(name).data[0]);
+      return static_cast<int>(manifest.find(name).data[0]);
     };
+    // Manifests written before the 2-D ocean decomposition stamped only
+    // the atm/ocean split; treat those as 1 x n_ocean row layouts.
+    RankLayout stored =
+        RankLayout::rows(stamp("ckpt.n_atm"), stamp("ckpt.n_ocean"));
+    if (manifest.has("ckpt.ocean_px"))
+      stored = RankLayout::grid(stamp("ckpt.n_atm"), stamp("ckpt.ocean_px"),
+                                stamp("ckpt.ocean_py"));
     FOAM_REQUIRE(stamp("ckpt.world_size") == world.size() &&
-                     stamp("ckpt.n_atm") == n_atm,
-                 "'" << mpath << "' was written by a " << stamp("ckpt.n_atm")
-                     << "+" << stamp("ckpt.n_ocean")
-                     << "-rank run; this run is " << n_atm << "+"
-                     << n_ocean);
+                     stored == layout,
+                 "'" << mpath << "' was written by a " << stored.describe()
+                     << "-rank run; this run is " << layout.describe());
     FOAM_REQUIRE(
         (stamp("ckpt.overlap") != 0) == opts.overlap,
         "'" << mpath << "' was written with overlap "
@@ -308,6 +352,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
               ckpt_shard_path(ckpt.path_prefix, day, world.rank()));
           out.write_scalar("ckpt.day", static_cast<double>(day));
           write_config_fingerprint(out, cfg);
+          write_layout_record(out, layout);
           write_shard(out);
           out.close();
           tel.metrics().counter("ckpt.writes").add();
@@ -323,6 +368,10 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
                          static_cast<double>(world.size()));
           m.write_scalar("ckpt.n_atm", static_cast<double>(n_atm));
           m.write_scalar("ckpt.n_ocean", static_cast<double>(n_ocean));
+          m.write_scalar("ckpt.ocean_px",
+                         static_cast<double>(layout.ocean_px));
+          m.write_scalar("ckpt.ocean_py",
+                         static_cast<double>(layout.ocean_py));
           m.write_scalar("ckpt.overlap", opts.overlap ? 1.0 : 0.0);
           m.close();
           ckpt_write_latest(ckpt.path_prefix, day);
@@ -333,6 +382,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
 
   par::Stopwatch wall;
   rec.reset();
+  Field2Dd final_sst;  // last gathered SST, filled on the ocean ranks
 
   if (is_atm) {
     atm::AtmosphereModel atm(cfg.atm, sub.get());
@@ -362,6 +412,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
           ckpt_shard_path(ckpt.path_prefix, start_day, world.rank());
       const HistoryReader in(spath);
       check_config_fingerprint(in, cfg, "'" + spath + "'");
+      check_layout_record(in, layout, "'" + spath + "'");
       atm.load_state(in, "foam.atm");
       atm.set_surface(read_surface(in, cfg.atm.nlon, cfg.atm.nlat));
       if (world.rank() == 0) {
@@ -433,13 +484,16 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
 
     ModelTime now(start_ex * exchange_steps *
                   static_cast<std::int64_t>(cfg.atm.dt));
+    double atm_cpu = 0.0;
     for (std::int64_t ex = start_ex; ex < n_exchanges; ++ex) {
+      const double cpu0 = par::thread_cpu_now();
       for (std::int64_t s = 0; s < exchange_steps; ++s) {
         rec.begin_region(par::Region::kAtmosphere);
         atm.step(now);
         now.advance(static_cast<std::int64_t>(cfg.atm.dt));
         rec.end_region();
       }
+      atm_cpu += par::thread_cpu_now() - cpu0;
       // --- exchange: gather fluxes, compute forcing, talk to the ocean ---
       rec.begin_region(par::Region::kCoupler);
       const int steps = std::max(1, atm.accumulated_steps());
@@ -517,9 +571,12 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
     // Drain the reply still in flight after the last interval so the
     // ocean's sends are all consumed before the timeline gather.
     if (world.rank() == 0) wait_reply();
+    tel.metrics().gauge("driver.atm_cpu_seconds").set(atm_cpu);
   } else {
-    // Ocean ranks.
-    ocean::OceanModel ocn(cfg.ocean, ogrid, bathy, sub.get());
+    // Ocean ranks: the ocean sub-communicator decomposes over the layout's
+    // px * py rank grid (px = 1 is the historic row decomposition).
+    ocean::OceanModel ocn(cfg.ocean, ogrid, bathy, sub.get(),
+                          layout.ocean_px);
     ocn.init_climatology();
     if (resuming) {
       FOAM_TRACE_SCOPE("ckpt.restore");
@@ -527,6 +584,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
           ckpt_shard_path(ckpt.path_prefix, start_day, world.rank());
       const HistoryReader in(spath);
       check_config_fingerprint(in, cfg, "'" + spath + "'");
+      check_layout_record(in, layout, "'" + spath + "'");
       ocn.load_state(in, "foam.ocean");
       tel.metrics().counter("ckpt.resumes").add();
     }
@@ -537,6 +595,13 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
     };
     Field2Dd taux(ogrid.nlon(), ogrid.nlat(), 0.0), tauy(taux), qnet(taux),
         fw(taux), icef(taux);
+    ocean::OceanForcing forcing;
+    forcing.wind_x = &taux;
+    forcing.wind_y = &tauy;
+    forcing.heat = &qnet;
+    forcing.freshwater = &fw;
+    forcing.ice = &icef;
+    double ocean_cpu = 0.0;
     for (std::int64_t ex = start_ex; ex < n_exchanges; ++ex) {
       rec.begin_region(par::Region::kCommWait);
       if (sub->rank() == 0 && world.rank() == n_atm) {
@@ -554,21 +619,22 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
         sub->bcast_bytes(f->data(), f->size() * sizeof(double), 0);
       rec.end_region();
       rec.begin_region(par::Region::kOcean);
-      ocn.set_wind_stress(taux, tauy);
-      ocn.set_heat_flux(qnet);
-      ocn.set_freshwater_flux(fw);
-      ocn.set_ice_fraction(icef);
+      const double cpu0 = par::thread_cpu_now();
+      ocn.set_forcing(forcing);
       ocn.run_days(cfg.exchange_seconds * cfg.ocean_accel / 86400.0);
-      const Field2Dd sst = ocn.gather(ocn.sst());
+      Field2Dd sst = ocn.gather(ocn.sst());
       const Field2Dd frazil = ocn.gather(ocn.drain_frazil());
       if (world.rank() == n_atm) {
         world.send_vec(0, kTagForcing, sst.vec());
         world.send_vec(0, kTagForcing, frazil.vec());
       }
+      ocean_cpu += par::thread_cpu_now() - cpu0;
       rec.end_region();
+      if (ex + 1 == n_exchanges) final_sst = std::move(sst);
       day_boundary_audit(ex);
       day_resilience(ex, write_shard);
     }
+    tel.metrics().gauge("driver.ocean_cpu_seconds").set(ocean_cpu);
   }
 
   // Final drain audit: by run end every message ever sent must have been
@@ -583,6 +649,7 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       world.verifier().enabled()
           ? static_cast<std::int64_t>(world.verifier().finding_count())
           : -1;
+  result.final_sst = std::move(final_sst);
 
   // Gather the per-rank telemetry to every rank: flat timelines (Fig. 2),
   // hierarchical traces (kFull), and metric samples. Each stream is

@@ -26,6 +26,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include <string>
@@ -151,6 +152,11 @@ struct ParallelRunResult {
   /// verification was off (ParallelRunOptions::verify). 0 proves the run
   /// was deadlock-free, leak-free and wildcard-deterministic as observed.
   std::int64_t verify_findings = -1;
+
+  /// The run's final gathered ocean SST (full grid), filled on the ocean
+  /// ranks only (empty elsewhere). The same field for every rank layout of
+  /// a given config — the decomposition-independence observable.
+  Field2Dd final_sst;
 };
 
 /// Checkpoint policy for the parallel driver (see foam/checkpoint.hpp for
@@ -171,11 +177,48 @@ struct CheckpointOptions {
   bool enabled() const { return !path_prefix.empty(); }
 };
 
+/// Explicit placement of a coupled run's ranks: the first atm_ranks world
+/// ranks host the atmosphere + coupler, the remaining ocean_px * ocean_py
+/// ranks host the ocean decomposed over a px * py Cartesian rank grid
+/// (par::Decomp2D, x-major). Replaces the old positional "n_atm, rest is
+/// one ocean row block each" convention, which could not express 2-D ocean
+/// layouts and silently had no valid spelling for "0 ocean ranks".
+struct RankLayout {
+  int atm_ranks = 1;
+  int ocean_px = 1;
+  int ocean_py = 1;
+
+  int ocean_ranks() const { return ocean_px * ocean_py; }
+  int world_size() const { return atm_ranks + ocean_ranks(); }
+
+  /// The historic layout: ocean split into latitude-row blocks only.
+  static RankLayout rows(int atm, int ocean_rows) {
+    return RankLayout{atm, 1, ocean_rows};
+  }
+  static RankLayout grid(int atm, int px, int py) {
+    return RankLayout{atm, px, py};
+  }
+
+  /// Throws foam::Error unless the layout is internally consistent, covers
+  /// \p world_size exactly and fits the ocean grid (px <= nx, py <= ny).
+  void validate(int world_size, const ocean::OceanConfig& ocean) const;
+
+  /// Compact human-readable form, e.g. "8+2x4".
+  std::string describe() const;
+
+  bool operator==(const RankLayout&) const = default;
+};
+
 /// Options for run_coupled_parallel; every rank of the world communicator
 /// must pass the same values.
 struct ParallelRunOptions {
-  /// The first n_atm ranks host the atmosphere + coupler, the remaining
-  /// ranks the ocean (paper §5: e.g. 17 nodes = 16 atmosphere + 1 ocean).
+  /// Explicit rank layout (atmosphere ranks + 2-D ocean rank grid). When
+  /// unset the driver derives RankLayout::rows(n_atm, world - n_atm) from
+  /// the legacy n_atm field below.
+  std::optional<RankLayout> layout;
+  /// Legacy spelling: the first n_atm ranks host the atmosphere + coupler,
+  /// the remaining ranks the ocean as one row block each (paper §5: e.g.
+  /// 17 nodes = 16 atmosphere + 1 ocean). Ignored when layout is set.
   int n_atm = 1;
   /// Overlap the flux exchange with atmosphere computation (see the file
   /// comment): nonblocking forcing send + SST-reply receive, reply applied

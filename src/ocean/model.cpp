@@ -1,7 +1,9 @@
 #include "ocean/model.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <span>
 
 #include "base/constants.hpp"
 #include "data/earth.hpp"
@@ -21,11 +23,27 @@ using constants::sea_ice_freeze_c;
 namespace {
 constexpr int kTagSouth = 100;  // halo row travelling southward
 constexpr int kTagNorth = 101;  // halo row travelling northward
+constexpr int kTagWest = 102;   // halo column travelling westward
+constexpr int kTagEast = 103;   // halo column travelling eastward
+
+par::Decomp2D make_ocean_decomp(const OceanConfig& cfg, par::Comm* comm,
+                                int px) {
+  FOAM_REQUIRE(px >= 1, "ocean decomposition px=" << px);
+  if (comm == nullptr) {
+    FOAM_REQUIRE(px == 1, "serial ocean cannot use px=" << px);
+    return par::Decomp2D(cfg.nx, cfg.ny, 1, 1);
+  }
+  FOAM_REQUIRE(comm->size() % px == 0,
+               "ocean rank count " << comm->size()
+                                   << " not divisible by px=" << px);
+  return par::Decomp2D(cfg.nx, cfg.ny, px, comm->size() / px);
+}
+
 }  // namespace
 
 OceanModel::OceanModel(const OceanConfig& cfg,
                        const numerics::MercatorGrid& grid,
-                       const Field2Dd& bathymetry, par::Comm* comm)
+                       const Field2Dd& bathymetry, par::Comm* comm, int px)
     : cfg_(cfg),
       grid_(grid),
       comm_(comm),
@@ -34,6 +52,7 @@ OceanModel::OceanModel(const OceanConfig& cfg,
       mask2d_(cfg.nx, cfg.ny, 0),
       depth_(cfg.nx, cfg.ny, 0.0),
       filter_(grid, cfg.filter_lat),
+      decomp_(make_ocean_decomp(cfg, comm, px)),
       up_(cfg.nx, cfg.ny, cfg.nz, 0.0),
       vp_(cfg.nx, cfg.ny, cfg.nz, 0.0),
       up_prev_(cfg.nx, cfg.ny, cfg.nz, 0.0),
@@ -86,15 +105,30 @@ OceanModel::OceanModel(const OceanConfig& cfg,
       depth_(i, j) = h;
     }
   }
-  if (comm_ != nullptr) {
-    const par::Range r =
-        par::block_range(cfg_.ny, comm_->size(), comm_->rank());
-    j0_ = r.lo;
-    j1_ = r.hi;
+  const int rank = comm_ != nullptr ? comm_->rank() : 0;
+  pi_ = decomp_.pi_of(rank);
+  pj_ = decomp_.pj_of(rank);
+  const par::Range yr = decomp_.y_range(pj_);
+  const par::Range xr = decomp_.x_range(pi_);
+  j0_ = yr.lo;
+  j1_ = yr.hi;
+  i0_ = xr.lo;
+  i1_ = xr.hi;
+  // Columns visited by extended-range loops. With px == 1 every column is
+  // owned and the list is 0..nx-1, reproducing the row-decomposed loops
+  // bitwise; otherwise the wrapped halo column on each side joins in.
+  if (decomp_.px() > 1) {
+    xext_.push_back((i0_ - 1 + cfg_.nx) % cfg_.nx);
+    for (int i = i0_; i < i1_; ++i) xext_.push_back(i);
+    xext_.push_back(i1_ % cfg_.nx);
   } else {
-    j0_ = 0;
-    j1_ = cfg_.ny;
+    for (int i = 0; i < cfg_.nx; ++i) xext_.push_back(i);
   }
+  // The polar filter needs whole zonal rows: build a communicator over the
+  // ranks sharing this process row (collective over comm_, so every rank
+  // takes this branch or none do).
+  if (comm_ != nullptr && decomp_.px() > 1)
+    row_comm_ = comm_->split(pj_, pi_);
   // External gravity-wave CFL sanity check.
   const double c_ext =
       std::sqrt(gravity * cfg_.total_depth / cfg_.slow_factor);
@@ -149,8 +183,14 @@ void OceanModel::init_thermal_wind() {
   // shock. The Coriolis parameter is floored at its 5-degree value; the
   // equatorial strip starts slightly unbalanced but bounded.
   const int save_lo = j0_, save_hi = j1_;
+  const int save_ilo = i0_, save_ihi = i1_;
+  std::vector<int> save_xext;
+  save_xext.swap(xext_);
   j0_ = 0;
-  j1_ = cfg_.ny;  // initialization is rank-replicated over all rows
+  j1_ = cfg_.ny;  // initialization is rank-replicated over the full domain
+  i0_ = 0;
+  i1_ = cfg_.nx;
+  for (int i = 0; i < cfg_.nx; ++i) xext_.push_back(i);
   density();
   baroclinic_pressure();
   pressure_forces();
@@ -170,93 +210,188 @@ void OceanModel::init_thermal_wind() {
   enforce_zero_depth_mean();
   j0_ = save_lo;
   j1_ = save_hi;
+  i0_ = save_ilo;
+  i1_ = save_ihi;
+  xext_.swap(save_xext);
 }
 
+void OceanModel::set_forcing(const OceanForcing& f) {
+  // Validate every supplied field before copying any: a malformed bundle
+  // must not leave the model half-updated.
+  FOAM_REQUIRE((f.wind_x == nullptr) == (f.wind_y == nullptr),
+               "wind stress components must be supplied together");
+  auto check = [&](const Field2Dd* p, const char* what) {
+    if (p != nullptr)
+      FOAM_REQUIRE(p->nx() == cfg_.nx && p->ny() == cfg_.ny,
+                   what << " shape " << p->nx() << "x" << p->ny() << " vs "
+                        << cfg_.nx << "x" << cfg_.ny);
+  };
+  check(f.wind_x, "wind_x");
+  check(f.wind_y, "wind_y");
+  check(f.heat, "heat");
+  check(f.freshwater, "freshwater");
+  check(f.ice, "ice");
+  if (f.wind_x != nullptr) taux_ = *f.wind_x;
+  if (f.wind_y != nullptr) tauy_ = *f.wind_y;
+  if (f.heat != nullptr) qnet_ = *f.heat;
+  if (f.freshwater != nullptr) fw_ = *f.freshwater;
+  if (f.ice != nullptr) ice_ = *f.ice;
+}
+
+// Deprecated per-field shims: each forwards to the atomic bundle setter.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 void OceanModel::set_wind_stress(const Field2Dd& taux, const Field2Dd& tauy) {
-  FOAM_REQUIRE(taux.nx() == cfg_.nx && taux.ny() == cfg_.ny &&
-                   tauy.same_shape(taux),
-               "wind stress shape");
-  taux_ = taux;
-  tauy_ = tauy;
+  OceanForcing f;
+  f.wind_x = &taux;
+  f.wind_y = &tauy;
+  set_forcing(f);
 }
 
 void OceanModel::set_heat_flux(const Field2Dd& qnet) {
-  FOAM_REQUIRE(qnet.nx() == cfg_.nx && qnet.ny() == cfg_.ny, "qnet shape");
-  qnet_ = qnet;
+  OceanForcing f;
+  f.heat = &qnet;
+  set_forcing(f);
 }
 
 void OceanModel::set_freshwater_flux(const Field2Dd& fw) {
-  FOAM_REQUIRE(fw.nx() == cfg_.nx && fw.ny() == cfg_.ny, "fw shape");
-  fw_ = fw;
+  OceanForcing f;
+  f.freshwater = &fw;
+  set_forcing(f);
 }
 
 void OceanModel::set_ice_fraction(const Field2Dd& ice) {
-  FOAM_REQUIRE(ice.nx() == cfg_.nx && ice.ny() == cfg_.ny, "ice shape");
-  ice_ = ice;
+  OceanForcing f;
+  f.ice = &ice;
+  set_forcing(f);
 }
+#pragma GCC diagnostic pop
+
+// Two-phase halo exchange: rows first (open walls, owned columns), then
+// periodic columns over the *extended* row range. Because x-neighbours
+// share a process row (identical j-range), their extended ranges line up,
+// and the column phase forwards values received in the row phase — so the
+// four corner cells of the halo ring arrive consistent without dedicated
+// diagonal messages. All transfers use nonblocking isend/irecv with a
+// waitall barrier between the phases.
+namespace {
+
+/// Runs one exchange phase: posts the irecvs, packs and posts the isends,
+/// waits, then unpacks. lo/hi are the two neighbour ranks (-1 = absent);
+/// tag_to_lo/tag_to_hi name the tags of the messages travelling toward
+/// them. pack/unpack copy `count` doubles for one side (side 0 = lo-ward
+/// boundary, side 1 = hi-ward boundary).
+template <typename Pack, typename Unpack>
+void exchange_phase(par::Comm& comm, int lo, int hi, int tag_to_lo,
+                    int tag_to_hi, std::size_t count, Pack&& pack,
+                    Unpack&& unpack) {
+  std::vector<double> send_lo, send_hi, recv_lo, recv_hi;
+  std::array<par::Request, 4> reqs;
+  std::size_t nreq = 0;
+  if (lo >= 0) reqs[nreq++] = comm.irecv_vec(lo, tag_to_hi, recv_lo);
+  if (hi >= 0) reqs[nreq++] = comm.irecv_vec(hi, tag_to_lo, recv_hi);
+  if (lo >= 0) {
+    send_lo.resize(count);
+    pack(0, send_lo);
+    reqs[nreq++] = comm.isend_vec(lo, tag_to_lo, send_lo);
+  }
+  if (hi >= 0) {
+    send_hi.resize(count);
+    pack(1, send_hi);
+    reqs[nreq++] = comm.isend_vec(hi, tag_to_hi, send_hi);
+  }
+  comm.waitall(std::span<par::Request>(reqs.data(), nreq));
+  if (lo >= 0) unpack(0, recv_lo);
+  if (hi >= 0) unpack(1, recv_hi);
+}
+
+}  // namespace
 
 void OceanModel::exchange_halo(Field2Dd& f) {
   if (comm_ == nullptr || comm_->size() == 1) return;
-  const int r = comm_->rank();
+  const int rank = comm_->rank();
   const int nx = cfg_.nx;
-  std::vector<double> row(nx);
-  if (r > 0) {
-    for (int i = 0; i < nx; ++i) row[i] = f(i, j0_);
-    comm_->send_vec(r - 1, kTagSouth, row);
-  }
-  if (r < comm_->size() - 1) {
-    for (int i = 0; i < nx; ++i) row[i] = f(i, j1_ - 1);
-    comm_->send_vec(r + 1, kTagNorth, row);
-  }
-  if (r < comm_->size() - 1) {
-    comm_->recv_vec(r + 1, kTagSouth, row);
-    for (int i = 0; i < nx; ++i) f(i, j1_) = row[i];
-  }
-  if (r > 0) {
-    comm_->recv_vec(r - 1, kTagNorth, row);
-    for (int i = 0; i < nx; ++i) f(i, j0_ - 1) = row[i];
-  }
+  // Phase 1: rows, over owned columns.
+  exchange_phase(
+      *comm_, decomp_.south_of(rank), decomp_.north_of(rank), kTagSouth,
+      kTagNorth, static_cast<std::size_t>(i1_ - i0_),
+      [&](int side, std::vector<double>& buf) {
+        const int j = side == 0 ? j0_ : j1_ - 1;
+        for (int i = i0_; i < i1_; ++i) buf[i - i0_] = f(i, j);
+      },
+      [&](int side, const std::vector<double>& buf) {
+        const int j = side == 0 ? j0_ - 1 : j1_;
+        for (int i = i0_; i < i1_; ++i) f(i, j) = buf[i - i0_];
+      });
+  if (decomp_.px() == 1) return;
+  // Phase 2: periodic columns, over the extended row range (the halo rows
+  // just received are forwarded, making the corners consistent).
+  const int jlo = std::max(0, j0_ - 1);
+  const int jhi = std::min(cfg_.ny, j1_ + 1);
+  const int iw = (i0_ - 1 + nx) % nx;
+  const int ie = i1_ % nx;
+  exchange_phase(
+      *comm_, decomp_.west_of(rank), decomp_.east_of(rank), kTagWest,
+      kTagEast, static_cast<std::size_t>(jhi - jlo),
+      [&](int side, std::vector<double>& buf) {
+        const int i = side == 0 ? i0_ : i1_ - 1;
+        for (int j = jlo; j < jhi; ++j) buf[j - jlo] = f(i, j);
+      },
+      [&](int side, const std::vector<double>& buf) {
+        const int i = side == 0 ? iw : ie;
+        for (int j = jlo; j < jhi; ++j) f(i, j) = buf[j - jlo];
+      });
 }
 
 void OceanModel::exchange_halo(Field3Dd& f) {
   if (comm_ == nullptr || comm_->size() == 1) return;
-  const int r = comm_->rank();
+  const int rank = comm_->rank();
   const int nx = cfg_.nx;
   const int nz = cfg_.nz;
-  std::vector<double> row(static_cast<std::size_t>(nx) * nz);
-  auto pack = [&](int j) {
-    for (int k = 0; k < nz; ++k)
-      for (int i = 0; i < nx; ++i)
-        row[static_cast<std::size_t>(k) * nx + i] = f(i, j, k);
-  };
-  auto unpack = [&](int j) {
-    for (int k = 0; k < nz; ++k)
-      for (int i = 0; i < nx; ++i)
-        f(i, j, k) = row[static_cast<std::size_t>(k) * nx + i];
-  };
-  if (r > 0) {
-    pack(j0_);
-    comm_->send_vec(r - 1, kTagSouth, row);
-  }
-  if (r < comm_->size() - 1) {
-    pack(j1_ - 1);
-    comm_->send_vec(r + 1, kTagNorth, row);
-  }
-  if (r < comm_->size() - 1) {
-    comm_->recv_vec(r + 1, kTagSouth, row);
-    unpack(j1_);
-  }
-  if (r > 0) {
-    comm_->recv_vec(r - 1, kTagNorth, row);
-    unpack(j0_ - 1);
-  }
+  const std::size_t xcnt = static_cast<std::size_t>(i1_ - i0_);
+  exchange_phase(
+      *comm_, decomp_.south_of(rank), decomp_.north_of(rank), kTagSouth,
+      kTagNorth, xcnt * nz,
+      [&](int side, std::vector<double>& buf) {
+        const int j = side == 0 ? j0_ : j1_ - 1;
+        for (int k = 0; k < nz; ++k)
+          for (int i = i0_; i < i1_; ++i)
+            buf[static_cast<std::size_t>(k) * xcnt + (i - i0_)] = f(i, j, k);
+      },
+      [&](int side, const std::vector<double>& buf) {
+        const int j = side == 0 ? j0_ - 1 : j1_;
+        for (int k = 0; k < nz; ++k)
+          for (int i = i0_; i < i1_; ++i)
+            f(i, j, k) = buf[static_cast<std::size_t>(k) * xcnt + (i - i0_)];
+      });
+  if (decomp_.px() == 1) return;
+  const int jlo = std::max(0, j0_ - 1);
+  const int jhi = std::min(cfg_.ny, j1_ + 1);
+  const std::size_t ycnt = static_cast<std::size_t>(jhi - jlo);
+  const int iw = (i0_ - 1 + nx) % nx;
+  const int ie = i1_ % nx;
+  exchange_phase(
+      *comm_, decomp_.west_of(rank), decomp_.east_of(rank), kTagWest,
+      kTagEast, ycnt * nz,
+      [&](int side, std::vector<double>& buf) {
+        const int i = side == 0 ? i0_ : i1_ - 1;
+        for (int k = 0; k < nz; ++k)
+          for (int j = jlo; j < jhi; ++j)
+            buf[static_cast<std::size_t>(k) * ycnt + (j - jlo)] = f(i, j, k);
+      },
+      [&](int side, const std::vector<double>& buf) {
+        const int i = side == 0 ? iw : ie;
+        for (int k = 0; k < nz; ++k)
+          for (int j = jlo; j < jhi; ++j)
+            f(i, j, k) = buf[static_cast<std::size_t>(k) * ycnt + (j - jlo)];
+      });
 }
 
 void OceanModel::density() {
   const int lo = std::max(0, j0_ - 1);
   const int hi = std::min(cfg_.ny, j1_ + 1);
   for (int j = lo; j < hi; ++j)
-    for (int i = 0; i < cfg_.nx; ++i)
+    for (const int i : xext_)
       for (int k = 0; k < levels_(i, j); ++k)
         rho_(i, j, k) =
             cfg_.rho0 * (1.0 - cfg_.alpha_t * (t_(i, j, k) - cfg_.t_ref) +
@@ -267,7 +402,7 @@ void OceanModel::baroclinic_pressure() {
   const int lo = std::max(0, j0_ - 1);
   const int hi = std::min(cfg_.ny, j1_ + 1);
   for (int j = lo; j < hi; ++j) {
-    for (int i = 0; i < cfg_.nx; ++i) {
+    for (const int i : xext_) {
       const int lev = levels_(i, j);
       double p = 0.0;
       double rho_above = 0.0;
@@ -291,7 +426,7 @@ void OceanModel::pressure_forces() {
   for (int j = j0_; j < j1_; ++j) {
     const double inv2dx = 1.0 / (2.0 * dx(j));
     const double inv2dy = 1.0 / (2.0 * dy(j));
-    for (int i = 0; i < nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       const int lev = levels_(i, j);
       double sx = 0.0, sy = 0.0, h = 0.0;
       for (int k = 0; k < lev; ++k) {
@@ -328,7 +463,7 @@ void OceanModel::implicit_vertical(Field3Dd& f, const Field3Dd& coeff,
                                    double dt) {
   std::vector<double> la(cfg_.nz), lb(cfg_.nz), lc(cfg_.nz), ld(cfg_.nz);
   for (int j = j0_; j < j1_; ++j) {
-    for (int i = 0; i < cfg_.nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       const int lev = levels_(i, j);
       if (lev < 2) continue;
       la.assign(lev, 0.0);
@@ -381,13 +516,14 @@ void OceanModel::internal_momentum_step() {
       const int lo = std::max(0, j0_ - 1);
       const int hi = std::min(cfg_.ny, j1_ + 1);
       for (int j = lo; j < hi; ++j)
-        for (int i = 0; i < nx; ++i) lvl(i, j) = vel_prev(i, j, k);
+        for (const int i : xext_) lvl(i, j) = vel_prev(i, j, k);
       // No-slip Laplacian: a land neighbour contributes zero velocity so
-      // boundary currents feel sidewall friction.
-      for (int j = lo; j < hi; ++j) {
+      // boundary currents feel sidewall friction. Computed on the owned
+      // box; the halo ring arrives by exchange below.
+      for (int j = j0_; j < j1_; ++j) {
         const double ix2 = 1.0 / (dx(j) * dx(j));
         const double iy2 = 1.0 / (dy(j) * dy(j));
-        for (int i = 0; i < nx; ++i) {
+        for (int i = i0_; i < i1_; ++i) {
           if (kmask(i, j) == 0) {
             lap1(i, j) = 0.0;
             continue;
@@ -413,7 +549,7 @@ void OceanModel::internal_momentum_step() {
         // monotone on the shrinking polar cells.
         const double cap4 = 0.0025 * d * d * d * d / dt;
         const double a4 = std::min(cfg_.visc4, cap4);
-        for (int i = 0; i < nx; ++i)
+        for (int i = i0_; i < i1_; ++i)
           if (wet(i, j, k))
             tend(i, j, k) += cfg_.visc_h * lap1(i, j) - a4 * lap2(i, j);
       }
@@ -423,12 +559,11 @@ void OceanModel::internal_momentum_step() {
   // Divergence damping from the previous level.
   if (cfg_.div_damp > 0.0) {
     for (int k = 0; k < cfg_.nz; ++k) {
-      const int lo = std::max(0, j0_ - 1);
-      const int hi = std::min(cfg_.ny, j1_ + 1);
-      for (int j = lo; j < hi; ++j) {
+      // Computed on the owned box; the halo ring arrives by exchange.
+      for (int j = j0_; j < j1_; ++j) {
         const double invdx = 1.0 / dx(j);
         const double invdy = 1.0 / dy(j);
-        for (int i = 0; i < nx; ++i) {
+        for (int i = i0_; i < i1_; ++i) {
           if (!wet(i, j, k)) {
             divf(i, j) = 0.0;
             continue;
@@ -460,7 +595,7 @@ void OceanModel::internal_momentum_step() {
         const double inv2dy = 1.0 / (2.0 * dy(j));
         const double cap = 0.05 * dx(j) * dx(j) / dt;
         const double cdd = std::min(cfg_.div_damp, cap);
-        for (int i = 0; i < nx; ++i) {
+        for (int i = i0_; i < i1_; ++i) {
           if (!wet(i, j, k)) continue;
           const int ie = (i + 1) % nx;
           const int iw = (i + nx - 1) % nx;
@@ -485,7 +620,7 @@ void OceanModel::internal_momentum_step() {
   Field3Dd v_new(vp_prev_);
   for (int j = j0_; j < j1_; ++j) {
     const double f = 2.0 * earth_omega * std::sin(grid_.lat(j));
-    for (int i = 0; i < nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       const int lev = levels_(i, j);
       if (lev == 0) continue;
       const double ice_scale =
@@ -517,7 +652,7 @@ void OceanModel::internal_momentum_step() {
   // Wall-normal damping, deep/bottom drag and the hard safety clamp.
   const double keep = cfg_.wall_normal_retain;
   for (int j = j0_; j < j1_; ++j) {
-    for (int i = 0; i < nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       const int lev = levels_(i, j);
       if (lev == 0) continue;
       if (keep < 1.0) {
@@ -557,7 +692,7 @@ void OceanModel::internal_momentum_step() {
   // Robert-Asselin filter on the centre level, then rotate time levels.
   const double eps = cfg_.asselin;
   for (int j = j0_; j < j1_; ++j) {
-    for (int i = 0; i < nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       for (int k = 0; k < levels_(i, j); ++k) {
         up_prev_(i, j, k) =
             up_(i, j, k) +
@@ -588,7 +723,7 @@ void OceanModel::internal_momentum_step() {
 
   double wet_cells = 0.0;
   for (int j = j0_; j < j1_; ++j)
-    for (int i = 0; i < nx; ++i) wet_cells += levels_(i, j);
+    for (int i = i0_; i < i1_; ++i) wet_cells += levels_(i, j);
   work_points_ += 4.0 * wet_cells;
 }
 
@@ -599,7 +734,7 @@ void OceanModel::enforce_zero_depth_mean() {
   // up_prev_ would be re-injected by the next leapfrog update and pump ub
   // without bound.
   for (int j = j0_; j < j1_; ++j) {
-    for (int i = 0; i < cfg_.nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       const int lev = levels_(i, j);
       if (lev == 0) continue;
       double su = 0.0, sv = 0.0, spu = 0.0, spv = 0.0;
@@ -629,7 +764,7 @@ void OceanModel::index_biharmonic_filter(Field2Dd& f, double eps) {
   const int nx = cfg_.nx;
   auto index_laplacian = [&](const Field2Dd& src, Field2Dd& dst) {
     for (int j = j0_; j < j1_; ++j) {
-      for (int i = 0; i < nx; ++i) {
+      for (int i = i0_; i < i1_; ++i) {
         if (mask2d_(i, j) == 0) {
           dst(i, j) = 0.0;
           continue;
@@ -651,7 +786,7 @@ void OceanModel::index_biharmonic_filter(Field2Dd& f, double eps) {
   index_laplacian(lap, lap2);
   const double scale = eps / 64.0;
   for (int j = j0_; j < j1_; ++j)
-    for (int i = 0; i < nx; ++i)
+    for (int i = i0_; i < i1_; ++i)
       if (mask2d_(i, j) != 0) f(i, j) -= scale * lap2(i, j);
   exchange_halo(f);
 }
@@ -659,7 +794,6 @@ void OceanModel::index_biharmonic_filter(Field2Dd& f, double eps) {
 void OceanModel::barotropic_subcycle() {
   const int nsub = cfg_.split_barotropic ? cfg_.nsub_baro : 1;
   const double dtb = cfg_.dt_mom / nsub;
-  const int nx = cfg_.nx;
   for (int sub = 0; sub < nsub; ++sub) {
     // Momentum: symmetric Coriolis rotation around the forcing update.
     for (int j = j0_; j < j1_; ++j) {
@@ -668,7 +802,7 @@ void OceanModel::barotropic_subcycle() {
       const double sn = std::sin(0.5 * f * dtb);
       const double inv2dx = 1.0 / (2.0 * dx(j));
       const double inv2dy = 1.0 / (2.0 * dy(j));
-      for (int i = 0; i < nx; ++i) {
+      for (int i = i0_; i < i1_; ++i) {
         if (mask2d_(i, j) == 0) continue;
         // Ghost-mirror closure at walls for the surface PG.
         const bool we = mask2d_.wrap_x(i + 1, j) != 0;
@@ -711,7 +845,7 @@ void OceanModel::barotropic_subcycle() {
     if (cfg_.wall_normal_retain < 1.0) {
       const double keep = cfg_.wall_normal_retain;
       for (int j = j0_; j < j1_; ++j) {
-        for (int i = 0; i < nx; ++i) {
+        for (int i = i0_; i < i1_; ++i) {
           if (mask2d_(i, j) == 0) continue;
           if (mask2d_.wrap_x(i + 1, j) == 0 || mask2d_.wrap_x(i - 1, j) == 0)
             ub_(i, j) *= keep;
@@ -733,7 +867,7 @@ void OceanModel::barotropic_subcycle() {
     for (int j = j0_; j < j1_; ++j) {
       const double invdx = 1.0 / dx(j);
       const double invdy = 1.0 / dy(j);
-      for (int i = 0; i < nx; ++i) {
+      for (int i = i0_; i < i1_; ++i) {
         if (mask2d_(i, j) == 0) continue;
         auto flux_x = [&](int ia, int ib) {
           if (mask2d_.wrap_x(ia, j) == 0 || mask2d_.wrap_x(ib, j) == 0)
@@ -763,7 +897,7 @@ void OceanModel::barotropic_subcycle() {
       index_biharmonic_filter(eta_, 0.5 * cfg_.baro_filter_eps);
     double cells = 0.0;
     for (int j = j0_; j < j1_; ++j)
-      for (int i = 0; i < nx; ++i) cells += mask2d_(i, j);
+      for (int i = i0_; i < i1_; ++i) cells += mask2d_(i, j);
     work_points_ += 2.0 * cells;
   }
 }
@@ -773,7 +907,7 @@ void OceanModel::vertical_mixing_coefficients() {
   // steeper exponent of Peters, Gregg & Toole that improved the model's
   // west-equatorial-Pacific cold bias (paper §4.2).
   for (int j = j0_; j < j1_; ++j) {
-    for (int i = 0; i < cfg_.nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       const int lev = levels_(i, j);
       for (int k = 1; k < lev; ++k) {
         const double dzi = 0.5 * (vgrid_.dz(k - 1) + vgrid_.dz(k));
@@ -801,7 +935,7 @@ void OceanModel::convective_adjustment() {
     Field3Dd& tt = (lvl == 0) ? t_ : t_prev_;
     Field3Dd& ss = (lvl == 0) ? s_ : s_prev_;
     for (int j = j0_; j < j1_; ++j) {
-      for (int i = 0; i < cfg_.nx; ++i) {
+      for (int i = i0_; i < i1_; ++i) {
         const int lev = levels_(i, j);
         if (lev < 2) continue;
         for (int pass = 0; pass < lev; ++pass) {
@@ -837,7 +971,7 @@ void OceanModel::diagnose_w() {
   for (int j = j0_; j < j1_; ++j) {
     const double invdx = 1.0 / dx(j);
     const double invdy = 1.0 / dy(j);
-    for (int i = 0; i < nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       const int lev = levels_(i, j);
       double w = 0.0;
       for (int k = lev - 1; k >= 0; --k) {
@@ -881,7 +1015,7 @@ void OceanModel::tracer_step() {
     for (int j = j0_; j < j1_; ++j) {
       const double invdx = 1.0 / dx(j);
       const double invdy = 1.0 / dy(j);
-      for (int i = 0; i < nx; ++i) {
+      for (int i = i0_; i < i1_; ++i) {
         const int lev = levels_(i, j);
         for (int k = 0; k < lev; ++k) {
           const int ie = (i + 1) % nx;
@@ -956,7 +1090,7 @@ void OceanModel::tracer_step() {
   // the deficit becomes frazil-ice heat the coupler turns into ice growth.
   const double dz0 = vgrid_.dz(0);
   for (int j = j0_; j < j1_; ++j) {
-    for (int i = 0; i < nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       if (mask2d_(i, j) == 0) continue;
       if (t_(i, j, 0) < sea_ice_freeze_c) {
         const double deficit = (sea_ice_freeze_c - t_(i, j, 0)) * cfg_.rho0 *
@@ -982,7 +1116,7 @@ void OceanModel::tracer_step() {
 
   double wet_cells = 0.0;
   for (int j = j0_; j < j1_; ++j)
-    for (int i = 0; i < nx; ++i) wet_cells += levels_(i, j);
+    for (int i = i0_; i < i1_; ++i) wet_cells += levels_(i, j);
   work_points_ += 6.0 * wet_cells;
 }
 
@@ -1015,42 +1149,165 @@ void OceanModel::apply_polar_filter_row(double* row, int j,
     if (rowmask[i] != 0) row[i] = vals[i];
 }
 
+std::vector<double> OceanModel::row_gather_full(
+    const std::vector<double>& mine, int nslots) const {
+  // One gatherv + bcast for the whole batch: the filter is called inside
+  // every barotropic substep, so per-row messages would dominate.
+  std::vector<int> counts(row_comm_->size());
+  for (int r = 0; r < row_comm_->size(); ++r)
+    counts[r] = decomp_.x_range(r).count() * nslots;  // row-comm rank == pi
+  std::vector<double> all;
+  row_comm_->gatherv(mine, all, counts, 0);
+  row_comm_->bcast_vec(all, 0);
+  std::vector<double> full(static_cast<std::size_t>(nslots) * cfg_.nx);
+  std::size_t off = 0;
+  for (int r = 0; r < row_comm_->size(); ++r) {
+    const par::Range xr = decomp_.x_range(r);
+    for (int slot = 0; slot < nslots; ++slot)
+      for (int i = xr.lo; i < xr.hi; ++i)
+        full[static_cast<std::size_t>(slot) * cfg_.nx + i] = all[off++];
+  }
+  return full;
+}
+
+void OceanModel::filter_rows_distributed(
+    std::vector<double>& full, int nslots,
+    const std::function<int(int)>& j_of,
+    const std::function<void(int, int*)>& fill_mask) {
+  const int P = row_comm_->size();
+  const int rr = row_comm_->rank();
+  // Round-robin slot ownership balances the filter work across the
+  // process row — this is the whole point of decomposing in x: the polar
+  // ranks' filter load, which caps the row decomposition's scaling,
+  // divides by px instead of being repeated on every rank.
+  std::vector<int> rowmask(cfg_.nx);
+  for (int s = rr; s < nslots; s += P) {
+    fill_mask(s, rowmask.data());
+    apply_polar_filter_row(full.data() + static_cast<std::size_t>(s) * cfg_.nx,
+                           j_of(s), rowmask.data());
+  }
+  // Re-share the filtered rows (one gatherv + bcast for the batch): rank
+  // r's contribution is its slots r, r+P, ... in increasing slot order.
+  std::vector<int> counts(P);
+  for (int r = 0; r < P; ++r)
+    counts[r] = cfg_.nx * ((nslots - r + P - 1) / P);
+  std::vector<double> contrib;
+  contrib.reserve(static_cast<std::size_t>(counts[rr]));
+  for (int s = rr; s < nslots; s += P)
+    contrib.insert(contrib.end(),
+                   full.begin() + static_cast<std::ptrdiff_t>(s) * cfg_.nx,
+                   full.begin() + static_cast<std::ptrdiff_t>(s + 1) * cfg_.nx);
+  std::vector<double> all;
+  row_comm_->gatherv(contrib, all, counts, 0);
+  row_comm_->bcast_vec(all, 0);
+  std::size_t off = 0;
+  for (int r = 0; r < P; ++r)
+    for (int s = r; s < nslots; s += P, off += cfg_.nx)
+      std::copy(all.begin() + static_cast<std::ptrdiff_t>(off),
+                all.begin() + static_cast<std::ptrdiff_t>(off + cfg_.nx),
+                full.begin() + static_cast<std::ptrdiff_t>(s) * cfg_.nx);
+}
+
 void OceanModel::apply_polar_filter_2d(Field2Dd& f) {
   const double cos_crit = std::cos(cfg_.filter_lat * deg2rad);
+  std::vector<int> rows;
+  for (int j = j0_; j < j1_; ++j)
+    if (grid_.cos_lat(j) < cos_crit) rows.push_back(j);
+  // Ranks sharing a process row share the j-range, so this early return
+  // (and the collective gather below) stays aligned across the row comm.
+  if (rows.empty()) return;
   std::vector<double> row(cfg_.nx);
   std::vector<int> rowmask(cfg_.nx);
-  for (int j = j0_; j < j1_; ++j) {
-    if (grid_.cos_lat(j) >= cos_crit) continue;
-    for (int i = 0; i < cfg_.nx; ++i) {
-      row[i] = f(i, j);
-      rowmask[i] = mask2d_(i, j);
+  if (row_comm_ == nullptr) {  // full rows are local (px == 1 or serial)
+    for (const int j : rows) {
+      for (int i = 0; i < cfg_.nx; ++i) {
+        row[i] = f(i, j);
+        rowmask[i] = mask2d_(i, j);
+      }
+      apply_polar_filter_row(row.data(), j, rowmask.data());
+      for (int i = 0; i < cfg_.nx; ++i)
+        if (rowmask[i] != 0) f(i, j) = row[i];
     }
-    apply_polar_filter_row(row.data(), j, rowmask.data());
-    for (int i = 0; i < cfg_.nx; ++i)
-      if (rowmask[i] != 0) f(i, j) = row[i];
+    return;
+  }
+  // 2-D path: gather the owned segments of every polar row across the
+  // process row, filter the reconstructed rows cooperatively (each rank a
+  // balanced share), write back only the owned segment.
+  const int xcnt = i1_ - i0_;
+  std::vector<double> mine(rows.size() * static_cast<std::size_t>(xcnt));
+  for (std::size_t s = 0; s < rows.size(); ++s)
+    for (int i = i0_; i < i1_; ++i)
+      mine[s * xcnt + (i - i0_)] = f(i, rows[s]);
+  std::vector<double> full =
+      row_gather_full(mine, static_cast<int>(rows.size()));
+  filter_rows_distributed(
+      full, static_cast<int>(rows.size()),
+      [&](int s) { return rows[static_cast<std::size_t>(s)]; },
+      [&](int s, int* m) {
+        const int j = rows[static_cast<std::size_t>(s)];
+        for (int i = 0; i < cfg_.nx; ++i) m[i] = mask2d_(i, j);
+      });
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    const int j = rows[s];
+    for (int i = i0_; i < i1_; ++i)
+      if (mask2d_(i, j) != 0) f(i, j) = full[s * cfg_.nx + i];
   }
 }
 
 void OceanModel::apply_polar_filter_3d(Field3Dd& f) {
   const double cos_crit = std::cos(cfg_.filter_lat * deg2rad);
-  bool needed = false;
-  for (int j = j0_; j < j1_ && !needed; ++j)
-    needed = grid_.cos_lat(j) < cos_crit;
-  if (!needed) return;  // no polar rows owned by this rank
+  std::vector<int> rows;
+  for (int j = j0_; j < j1_; ++j)
+    if (grid_.cos_lat(j) < cos_crit) rows.push_back(j);
+  if (rows.empty()) return;  // no polar rows owned by this process row
   std::vector<double> row(cfg_.nx);
   std::vector<int> rowmask(cfg_.nx);
-  for (int k = 0; k < cfg_.nz; ++k) {
-    for (int j = j0_; j < j1_; ++j) {
-      if (grid_.cos_lat(j) >= cos_crit) continue;
-      // Per-level wet mask: columns dry at this depth are treated as land
-      // so their placeholder values never contaminate wet cells.
-      for (int i = 0; i < cfg_.nx; ++i) {
-        row[i] = f(i, j, k);
-        rowmask[i] = wet(i, j, k) ? 1 : 0;
+  if (row_comm_ == nullptr) {  // full rows are local (px == 1 or serial)
+    for (int k = 0; k < cfg_.nz; ++k) {
+      for (const int j : rows) {
+        // Per-level wet mask: columns dry at this depth are treated as land
+        // so their placeholder values never contaminate wet cells.
+        for (int i = 0; i < cfg_.nx; ++i) {
+          row[i] = f(i, j, k);
+          rowmask[i] = wet(i, j, k) ? 1 : 0;
+        }
+        apply_polar_filter_row(row.data(), j, rowmask.data());
+        for (int i = 0; i < cfg_.nx; ++i)
+          if (rowmask[i] != 0) f(i, j, k) = row[i];
       }
-      apply_polar_filter_row(row.data(), j, rowmask.data());
-      for (int i = 0; i < cfg_.nx; ++i)
-        if (rowmask[i] != 0) f(i, j, k) = row[i];
+    }
+    return;
+  }
+  // 2-D path: one batched gather for all (level, polar-row) slots.
+  const int xcnt = i1_ - i0_;
+  const std::size_t nslots =
+      rows.size() * static_cast<std::size_t>(cfg_.nz);
+  std::vector<double> mine(nslots * static_cast<std::size_t>(xcnt));
+  std::size_t s = 0;
+  for (int k = 0; k < cfg_.nz; ++k) {
+    for (const int j : rows) {
+      for (int i = i0_; i < i1_; ++i)
+        mine[s * xcnt + (i - i0_)] = f(i, j, k);
+      ++s;
+    }
+  }
+  std::vector<double> full = row_gather_full(mine, static_cast<int>(nslots));
+  // Slot order matches the pack above: level-major, owned polar rows inner.
+  const int nrows = static_cast<int>(rows.size());
+  filter_rows_distributed(
+      full, static_cast<int>(nslots),
+      [&](int slot) { return rows[static_cast<std::size_t>(slot % nrows)]; },
+      [&](int slot, int* m) {
+        const int j = rows[static_cast<std::size_t>(slot % nrows)];
+        const int k = slot / nrows;
+        for (int i = 0; i < cfg_.nx; ++i) m[i] = wet(i, j, k) ? 1 : 0;
+      });
+  s = 0;
+  for (int k = 0; k < cfg_.nz; ++k) {
+    for (const int j : rows) {
+      for (int i = i0_; i < i1_; ++i)
+        if (wet(i, j, k)) f(i, j, k) = full[s * cfg_.nx + i];
+      ++s;
     }
   }
 }
@@ -1086,7 +1343,7 @@ Field2Dd OceanModel::drain_frazil() {
 Field2Dd OceanModel::sst() const {
   Field2Dd out(cfg_.nx, cfg_.ny, 0.0);
   for (int j = j0_; j < j1_; ++j)
-    for (int i = 0; i < cfg_.nx; ++i)
+    for (int i = i0_; i < i1_; ++i)
       out(i, j) = mask2d_(i, j) != 0 ? t_(i, j, 0) : 0.0;
   return out;
 }
@@ -1095,20 +1352,27 @@ Field2Dd OceanModel::gather(const Field2Dd& f) const {
   FOAM_TRACE_SCOPE("ocean.gather");
   Field2Dd out(f);
   if (comm_ == nullptr || comm_->size() == 1) return out;
-  const auto counts_rows = par::block_counts(cfg_.ny, comm_->size());
+  // Every rank contributes its owned box, packed row-major; blocks are
+  // concatenated in rank order, so reassembly walks each rank's box.
   std::vector<int> counts(comm_->size());
   for (int r = 0; r < comm_->size(); ++r)
-    counts[r] = counts_rows[r] * cfg_.nx;
-  std::vector<double> mine(static_cast<std::size_t>(j1_ - j0_) * cfg_.nx);
+    counts[r] =
+        decomp_.x_range_of_rank(r).count() * decomp_.y_range_of_rank(r).count();
+  std::vector<double> mine(
+      static_cast<std::size_t>(j1_ - j0_) * (i1_ - i0_));
+  std::size_t off = 0;
   for (int j = j0_; j < j1_; ++j)
-    for (int i = 0; i < cfg_.nx; ++i)
-      mine[static_cast<std::size_t>(j - j0_) * cfg_.nx + i] = f(i, j);
+    for (int i = i0_; i < i1_; ++i) mine[off++] = f(i, j);
   std::vector<double> all;
   comm_->gatherv(mine, all, counts, 0);
   comm_->bcast_vec(all, 0);
-  for (int j = 0; j < cfg_.ny; ++j)
-    for (int i = 0; i < cfg_.nx; ++i)
-      out(i, j) = all[static_cast<std::size_t>(j) * cfg_.nx + i];
+  off = 0;
+  for (int r = 0; r < comm_->size(); ++r) {
+    const par::Range xr = decomp_.x_range_of_rank(r);
+    const par::Range yr = decomp_.y_range_of_rank(r);
+    for (int j = yr.lo; j < yr.hi; ++j)
+      for (int i = xr.lo; i < xr.hi; ++i) out(i, j) = all[off++];
+  }
   return out;
 }
 
@@ -1117,7 +1381,7 @@ OceanDiagnostics OceanModel::diagnostics() const {
   double max_speed = 0.0, max_eta = 0.0, sum_t_vol = 0.0;
   for (int j = j0_; j < j1_; ++j) {
     const double area = grid_.cell_area(j);
-    for (int i = 0; i < cfg_.nx; ++i) {
+    for (int i = i0_; i < i1_; ++i) {
       const int lev = levels_(i, j);
       if (lev == 0) continue;
       sum_sst_a += t_(i, j, 0) * area;

@@ -22,13 +22,20 @@
 ///    processes, with centered advection so the internal-wave coupling
 ///    between momentum and buoyancy stays neutral.
 ///
-/// Parallelization: latitude rows are distributed in balanced blocks over
-/// the ranks of an optional communicator; each rank computes its rows and
-/// keeps one halo row per neighbour current through explicit message
-/// passing, exactly the structure of the Wisconsin parallel ocean model.
-/// With comm == nullptr the model runs serially.
+/// Parallelization: the domain is distributed in balanced contiguous boxes
+/// over a px * py Cartesian rank grid (par::Decomp2D; px = 1 reproduces the
+/// historic latitude-row decomposition rank-for-rank). Each rank computes
+/// its box and keeps a one-cell halo ring current through nonblocking
+/// message passing (rows first, then periodic columns over the extended row
+/// range, so corners arrive consistent). Zonal operations that need whole
+/// rows — the polar Fourier filter — gather the polar rows across the
+/// process row, filter them cooperatively (a balanced share per rank), and
+/// write back the owned segments. With comm == nullptr the model runs
+/// serially.
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "base/field.hpp"
@@ -38,6 +45,7 @@
 #include "ocean/config.hpp"
 #include "ocean/vgrid.hpp"
 #include "par/comm.hpp"
+#include "par/decomp.hpp"
 
 namespace foam::ocean {
 
@@ -51,27 +59,49 @@ struct OceanDiagnostics {
   double frazil_heat = 0.0;   ///< accumulated freeze-clamp heat [J/m^2]
 };
 
+/// One coupling interval's surface forcing, applied atomically through
+/// OceanModel::set_forcing. Null members keep the previously set field;
+/// wind components must be supplied together. Every supplied field is
+/// shape-checked before any is copied, so a malformed bundle can never
+/// leave the model with a half-updated forcing state.
+struct OceanForcing {
+  const Field2Dd* wind_x = nullptr;      ///< zonal wind stress [N/m^2]
+  const Field2Dd* wind_y = nullptr;      ///< meridional wind stress [N/m^2]
+  const Field2Dd* heat = nullptr;        ///< net heat flux [W/m^2, into ocean]
+  const Field2Dd* freshwater = nullptr;  ///< freshwater flux [m/s liquid]
+  const Field2Dd* ice = nullptr;         ///< sea-ice cell fraction [0..1]
+};
+
 class OceanModel {
  public:
   /// The grid and bathymetry must outlive the model. \p comm may be null
-  /// (serial); otherwise rows are decomposed over its ranks and every rank
-  /// must construct the model with the same arguments.
+  /// (serial); otherwise the domain is decomposed over a px * (size/px)
+  /// rank grid (px must divide the communicator size) and every rank must
+  /// construct the model with the same arguments. px = 1 is the historic
+  /// row decomposition.
   OceanModel(const OceanConfig& cfg, const numerics::MercatorGrid& grid,
-             const Field2Dd& bathymetry, par::Comm* comm = nullptr);
+             const Field2Dd& bathymetry, par::Comm* comm = nullptr,
+             int px = 1);
 
   /// Initialize T/S to an analytic stratified climatology and the
   /// velocities to thermal-wind balance.
   void init_climatology();
 
-  // --- forcing (set on full-size fields; only owned rows are read) -------
-  void set_wind_stress(const Field2Dd& taux, const Field2Dd& tauy);
+  // --- forcing (set on full-size fields; only owned cells are read) ------
+  /// Apply one coupling interval's forcing bundle atomically.
+  void set_forcing(const OceanForcing& f);
+  [[deprecated("use set_forcing(OceanForcing)")]] void set_wind_stress(
+      const Field2Dd& taux, const Field2Dd& tauy);
   /// Net surface heat flux [W/m^2, positive into the ocean].
-  void set_heat_flux(const Field2Dd& qnet);
+  [[deprecated("use set_forcing(OceanForcing)")]] void set_heat_flux(
+      const Field2Dd& qnet);
   /// Net freshwater flux [m/s of liquid water, positive into the ocean].
-  void set_freshwater_flux(const Field2Dd& fw);
+  [[deprecated("use set_forcing(OceanForcing)")]] void set_freshwater_flux(
+      const Field2Dd& fw);
   /// Fraction of each cell covered by sea ice (clamps SST; scales stress by
   /// 1/ice_stress_divisor per the paper).
-  void set_ice_fraction(const Field2Dd& ice);
+  [[deprecated("use set_forcing(OceanForcing)")]] void set_ice_fraction(
+      const Field2Dd& ice);
 
   /// Advance one internal (momentum) step dt_mom, subcycling the barotropic
   /// system and taking a tracer step when due.
@@ -88,9 +118,9 @@ class OceanModel {
   const Field2D<int>& levels() const { return levels_; }
 
   // --- state access -------------------------------------------------------
-  /// SST [deg C]: valid on owned rows (serial: everywhere).
+  /// SST [deg C]: valid on owned cells (serial: everywhere).
   Field2Dd sst() const;
-  /// Full-field gather of any 2-D row-decomposed field (collective).
+  /// Full-field gather of any 2-D box-decomposed field (collective).
   Field2Dd gather(const Field2Dd& f) const;
   const Field2Dd& eta() const { return eta_; }
   const Field3Dd& temperature() const { return t_; }
@@ -124,6 +154,11 @@ class OceanModel {
   /// Owned row range [row_lo, row_hi).
   int row_lo() const { return j0_; }
   int row_hi() const { return j1_; }
+  /// Owned column range [col_lo, col_hi).
+  int col_lo() const { return i0_; }
+  int col_hi() const { return i1_; }
+  /// The rank grid this model was decomposed on (1x1 when serial).
+  const par::Decomp2D& decomp() const { return decomp_; }
 
  private:
   bool wet(int i, int j, int k) const { return levels_(i, j) > k; }
@@ -132,6 +167,22 @@ class OceanModel {
 
   void exchange_halo(Field2Dd& f);
   void exchange_halo(Field3Dd& f);
+  /// Gather full x-rows across the process row: \p mine holds this rank's
+  /// owned segment of each of \p nslots rows, slot-major; returns
+  /// nslots * nx values, each slot a complete zonal row (replicated on
+  /// every rank of the row communicator).
+  std::vector<double> row_gather_full(const std::vector<double>& mine,
+                                      int nslots) const;
+  /// Filter \p nslots gathered full rows cooperatively across the process
+  /// row: row-comm rank r filters slots r, r+P, ... in place (each slot's
+  /// grid row given by \p j_of, wet mask filled by \p fill_mask), then the
+  /// filtered rows are re-shared so every rank returns with all slots
+  /// filtered. The filter is deterministic, so the result is bitwise
+  /// independent of which rank filtered which slot.
+  void filter_rows_distributed(
+      std::vector<double>& full, int nslots,
+      const std::function<int(int)>& j_of,
+      const std::function<void(int, int*)>& fill_mask);
   void density();
   void baroclinic_pressure();
   void pressure_forces();  // fills gx_, gy_, fbar_x_, fbar_y_ from pbc_
@@ -162,8 +213,18 @@ class OceanModel {
   Field2Dd depth_;  // actual wet column depth [m]
   numerics::PolarFourierFilter filter_;
 
+  par::Decomp2D decomp_;
+  int pi_ = 0, pj_ = 0;  // this rank's coordinates on the rank grid
   int j0_ = 0;  // owned rows [j0, j1)
   int j1_ = 0;
+  int i0_ = 0;  // owned columns [i0, i1)
+  int i1_ = 0;
+  /// Columns visited by extended-range loops: owned columns plus (when
+  /// px > 1) the wrapped halo column on each side.
+  std::vector<int> xext_;
+  /// Communicator over the ranks sharing this process row (key = pi), used
+  /// by the polar-filter row gather; null when px == 1.
+  std::unique_ptr<par::Comm> row_comm_;
 
   // State (leapfrog: current and previous levels).
   Field3Dd up_, vp_;            // baroclinic deviation velocity [m/s]

@@ -29,6 +29,62 @@ std::vector<int> block_counts(int n, int nranks) {
   return counts;
 }
 
+Decomp2D::Decomp2D(int nx, int ny, int px, int py)
+    : nx_(nx), ny_(ny), px_(px), py_(py) {
+  FOAM_REQUIRE(nx >= 1 && ny >= 1, "Decomp2D grid " << nx << "x" << ny);
+  FOAM_REQUIRE(px >= 1 && py >= 1 && px <= nx && py <= ny,
+               "Decomp2D rank grid " << px << "x" << py << " on a " << nx
+                                     << "x" << ny << " domain");
+}
+
+void Decomp2D::check_rank(int rank) const {
+  FOAM_REQUIRE(rank >= 0 && rank < size(),
+               "Decomp2D rank " << rank << " of " << size());
+}
+
+int Decomp2D::pi_of(int rank) const {
+  check_rank(rank);
+  return rank % px_;
+}
+
+int Decomp2D::pj_of(int rank) const {
+  check_rank(rank);
+  return rank / px_;
+}
+
+int Decomp2D::rank_of(int pi, int pj) const {
+  FOAM_REQUIRE(pi >= 0 && pi < px_ && pj >= 0 && pj < py_,
+               "Decomp2D coords (" << pi << "," << pj << ") on a " << px_
+                                   << "x" << py_ << " rank grid");
+  return pj * px_ + pi;
+}
+
+Range Decomp2D::x_range(int pi) const { return block_range(nx_, px_, pi); }
+
+Range Decomp2D::y_range(int pj) const { return block_range(ny_, py_, pj); }
+
+int Decomp2D::west_of(int rank) const {
+  if (px_ == 1) return -1;
+  const int pi = pi_of(rank);
+  return rank_of((pi + px_ - 1) % px_, pj_of(rank));
+}
+
+int Decomp2D::east_of(int rank) const {
+  if (px_ == 1) return -1;
+  const int pi = pi_of(rank);
+  return rank_of((pi + 1) % px_, pj_of(rank));
+}
+
+int Decomp2D::south_of(int rank) const {
+  const int pj = pj_of(rank);
+  return pj == 0 ? -1 : rank_of(pi_of(rank), pj - 1);
+}
+
+int Decomp2D::north_of(int rank) const {
+  const int pj = pj_of(rank);
+  return pj == py_ - 1 ? -1 : rank_of(pi_of(rank), pj + 1);
+}
+
 std::vector<std::vector<int>> paired_latitudes(int ny, int nranks) {
   FOAM_REQUIRE(ny % 2 == 0, "ny=" << ny << " must be even");
   FOAM_REQUIRE(nranks >= 1 && nranks <= ny / 2,

@@ -33,6 +33,53 @@ int block_owner(int n, int nranks, int i);
 /// Counts per rank under block_range.
 std::vector<int> block_counts(int n, int nranks);
 
+/// Cartesian 2-D block decomposition of an nx * ny grid over a px * py rank
+/// grid. Ranks are numbered x-major: rank r sits at (pi, pj) with
+/// r = pj * px + pi, so a 1 x N grid reproduces the historic row
+/// decomposition rank-for-rank. Each axis is split with block_range, giving
+/// contiguous owned boxes balanced within one row/column.
+///
+/// Neighbor queries encode FOAM's ocean topology: x wraps periodically
+/// (Mercator longitude), y has closed walls. A query returns -1 where no
+/// exchange partner exists (single rank along x; domain wall along y).
+class Decomp2D {
+ public:
+  Decomp2D(int nx, int ny, int px, int py);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int px() const { return px_; }
+  int py() const { return py_; }
+  int size() const { return px_ * py_; }
+
+  // --- rank <-> coordinates ----------------------------------------------
+  int pi_of(int rank) const;
+  int pj_of(int rank) const;
+  int rank_of(int pi, int pj) const;
+
+  // --- owned ranges -------------------------------------------------------
+  /// Owned x (column) range of process column pi.
+  Range x_range(int pi) const;
+  /// Owned y (row) range of process row pj.
+  Range y_range(int pj) const;
+  /// Owned box of a rank, as (x_range, y_range).
+  Range x_range_of_rank(int rank) const { return x_range(pi_of(rank)); }
+  Range y_range_of_rank(int rank) const { return y_range(pj_of(rank)); }
+
+  // --- halo neighbors (-1 = no exchange needed) ---------------------------
+  /// Periodic-x neighbors. With px == 1 a rank is its own x-neighbor and no
+  /// message is needed: both return -1.
+  int west_of(int rank) const;
+  int east_of(int rank) const;
+  /// Closed-wall y neighbors: -1 at the south/north domain edge.
+  int south_of(int rank) const;
+  int north_of(int rank) const;
+
+ private:
+  void check_rank(int rank) const;
+  int nx_, ny_, px_, py_;
+};
+
 /// Paired-latitude assignment: latitudes are assigned to ranks as
 /// north/south mirror pairs (j, ny-1-j) so each rank's Gaussian weights sum
 /// equally — the load-balancing trick used for the parallel Legendre

@@ -15,6 +15,8 @@
 /// downgrade, which is why everything here is header-only (the telemetry
 /// library builds on it without a link cycle through foam_par).
 
+#include <ctime>
+
 #include <chrono>
 #include <cmath>
 #include <string>
@@ -23,6 +25,18 @@
 #include "base/error.hpp"
 
 namespace foam::par {
+
+/// Per-thread CPU seconds (CLOCK_THREAD_CPUTIME_ID). Unlike the wall
+/// clocks below, this only advances while the calling thread executes —
+/// not while it sleeps on a condition variable or loses the core to
+/// another rank — so busy-time measurements taken with it stay meaningful
+/// on hosts with fewer cores than ranks.
+inline double thread_cpu_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         1e-9 * static_cast<double>(ts.tv_nsec);
+}
 
 /// Activity classes matching the paper's colour key, plus an explicit
 /// communication-wait class: time a rank spends blocked on an in-flight

@@ -525,5 +525,98 @@ TEST(ParallelCoupled, MultiRankOceanPlacement) {
   });
 }
 
+TEST(RankLayout, DescribeAndFactories) {
+  EXPECT_EQ(RankLayout::rows(8, 2).describe(), "8+1x2");
+  EXPECT_EQ(RankLayout::grid(4, 2, 4).describe(), "4+2x4");
+  EXPECT_EQ(RankLayout::grid(4, 2, 4).ocean_ranks(), 8);
+  EXPECT_EQ(RankLayout::grid(4, 2, 4).world_size(), 12);
+  EXPECT_EQ(RankLayout::rows(3, 2), RankLayout::grid(3, 1, 2));
+}
+
+TEST(RankLayout, ValidateCatchesBadLayouts) {
+  const ocean::OceanConfig ocn = ocean::OceanConfig::testing(48, 48, 8);
+  EXPECT_NO_THROW(RankLayout::grid(2, 2, 2).validate(6, ocn));
+  // World-size mismatch names both sizes.
+  try {
+    RankLayout::grid(2, 2, 2).validate(4, ocn);
+    FAIL() << "accepted a layout that does not cover the world";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("needs 6 ranks"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("world has 4"), std::string::npos) << msg;
+  }
+  // A rank grid wider than the ocean grid cannot give every rank cells.
+  EXPECT_THROW(RankLayout::grid(1, 64, 1).validate(65, ocn), Error);
+  EXPECT_THROW((RankLayout{0, 1, 1}.validate(1, ocn)), Error);
+}
+
+TEST(RankLayout, DriverRejectsAllAtmWorldWithPointedDiagnostic) {
+  // The old positional API silently accepted n_atm == world.size() and
+  // left the ocean with zero ranks; the layout validation must name the
+  // problem instead of deadlocking or worse.
+  FoamConfig cfg = FoamConfig::testing();
+  par::run(2, [&](par::Comm& world) {
+    ParallelRunOptions opts;
+    opts.n_atm = 2;  // both ranks atmosphere, nothing left for the ocean
+    try {
+      run_coupled_parallel(world, opts, cfg, 0.25);
+      FAIL() << "driver accepted a world with no ocean ranks";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("leaves the ocean without"),
+                std::string::npos)
+          << e.what();
+    }
+  });
+}
+
+TEST(ParallelCoupled, MultiRankOceanDayMatchesSingleOceanBitwise) {
+  // The decomposition-independence contract of the 2-D ocean: a coupled
+  // day on any ocean rank grid gathers to the same SST, bit for bit, as
+  // the single-ocean-rank run — in both exchange modes, with the
+  // MPI-semantics auditor reporting zero findings throughout.
+  FoamConfig cfg = FoamConfig::testing();
+  for (const bool overlap : {false, true}) {
+    Field2Dd ref;
+    par::run(3, [&](par::Comm& world) {  // 2 atm + 1 ocean reference
+      ParallelRunOptions opts;
+      opts.layout = RankLayout::rows(2, 1);
+      opts.overlap = overlap;
+      opts.capture_timelines = false;
+      opts.verify = {};
+      opts.verify.mode = par::VerifyMode::kAudit;
+      opts.fault = {};
+      const auto res = run_coupled_parallel(world, opts, cfg, 1.0);
+      if (world.rank() == 0) {
+        EXPECT_EQ(res.verify_findings, 0);
+      }
+      if (world.rank() == 2) ref = res.final_sst;
+    });
+    ASSERT_GT(ref.size(), 0u);
+    for (const RankLayout layout :
+         {RankLayout::grid(2, 2, 2), RankLayout::rows(2, 3)}) {
+      Field2Dd got;
+      par::run(layout.world_size(), [&](par::Comm& world) {
+        ParallelRunOptions opts;
+        opts.layout = layout;
+        opts.overlap = overlap;
+        opts.capture_timelines = false;
+        opts.verify = {};
+        opts.verify.mode = par::VerifyMode::kAudit;
+        opts.fault = {};
+        const auto res = run_coupled_parallel(world, opts, cfg, 1.0);
+        if (world.rank() == 0) {
+        EXPECT_EQ(res.verify_findings, 0);
+      }
+        if (world.rank() == layout.atm_ranks) got = res.final_sst;
+      });
+      ASSERT_EQ(got.size(), ref.size()) << layout.describe();
+      for (std::size_t n = 0; n < ref.size(); ++n)
+        ASSERT_EQ(got.data()[n], ref.data()[n])
+            << layout.describe() << (overlap ? " overlap" : " blocking")
+            << " SST diverged at cell " << n;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace foam

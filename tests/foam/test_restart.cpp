@@ -7,9 +7,10 @@
 // it, and a stalled rank trips the PR-4 deadlock detector.
 //
 // The small cases (2+1 ranks, 2 simulated days of the testing config) run
-// in the regular suite; the paper-shaped acceptance drill (8+1 ranks,
-// 4 days, kill at day 3) is gated behind FOAM_RESTART_ACCEPTANCE=1 and
-// exercised by the restart-resilience CI job.
+// in the regular suite; the paper-shaped acceptance drills (8+1 ranks /
+// 4 days / kill at day 3, and 8+2x4 ranks / 2 days / ocean-rank kill at
+// day 2) are gated behind FOAM_RESTART_ACCEPTANCE=1 and exercised by the
+// restart-resilience CI job.
 
 #include "foam/checkpoint.hpp"
 
@@ -119,6 +120,35 @@ TEST(Restart, ResumeBitwiseBlockingExchange) { resume_bitwise_case(false); }
 
 TEST(Restart, ResumeBitwiseOverlapExchange) { resume_bitwise_case(true); }
 
+TEST(Restart, ResumeBitwiseTwoDOceanLayout) {
+  // Same contract on a 2-D ocean rank grid: every shard (per-rank box
+  // state, not row blocks) must land bitwise after a resume.
+  const FoamConfig cfg = FoamConfig::testing();
+  const RankLayout layout = RankLayout::grid(2, 2, 2);
+  const std::string pa = testing::TempDir() + "/rs2dA";
+  const std::string pb = testing::TempDir() + "/rs2dB";
+  const auto opts_for = [&](const std::string& prefix, bool resume) {
+    ParallelRunOptions o = mk_opts(2, true, prefix, 1.0, resume);
+    o.layout = layout;
+    return o;
+  };
+  par::run(layout.world_size(), [&](par::Comm& world) {
+    run_coupled_parallel(world, opts_for(pa, false), cfg, 2.0);
+  });
+  par::run(layout.world_size(), [&](par::Comm& world) {
+    run_coupled_parallel(world, opts_for(pb, false), cfg, 1.0);
+  });
+  ASSERT_EQ(ckpt_latest_day(pb), 1);
+  par::run(layout.world_size(), [&](par::Comm& world) {
+    run_coupled_parallel(world, opts_for(pb, true), cfg, 2.0);
+  });
+  ASSERT_EQ(ckpt_latest_day(pb), 2);
+  for (int r = 0; r < layout.world_size(); ++r)
+    EXPECT_EQ(read_file_bytes(ckpt_shard_path(pa, 2, r)),
+              read_file_bytes(ckpt_shard_path(pb, 2, r)))
+        << "day-2 state of rank " << r << " diverged after a 2-D resume";
+}
+
 TEST(Restart, KillAbortsWithDiagnosticAndResumeMatchesFaultFreeRun) {
   const FoamConfig cfg = FoamConfig::testing();
   const std::string pa = testing::TempDir() + "/klA";
@@ -215,6 +245,32 @@ TEST(Restart, ResumeRejectsMismatchedRunShape) {
   }
 }
 
+TEST(Restart, ResumeRejectsMismatchedOceanGridShape) {
+  // Same world size, different ocean rank grid: the manifest carries the
+  // full RankLayout, so 2+1x3 shards cannot seed a 2+3x1 run (the per-rank
+  // boxes differ even though the rank count does not).
+  const FoamConfig cfg = FoamConfig::testing();
+  const std::string pf = testing::TempDir() + "/shape2d";
+  const RankLayout written = RankLayout::rows(2, 3);
+  par::run(written.world_size(), [&](par::Comm& world) {
+    ParallelRunOptions o = mk_opts(2, false, pf, 1.0, false);
+    o.layout = written;
+    run_coupled_parallel(world, o, cfg, 1.0);
+  });
+  try {
+    par::run(written.world_size(), [&](par::Comm& world) {
+      ParallelRunOptions o = mk_opts(2, false, pf, 1.0, true);
+      o.layout = RankLayout::grid(2, 3, 1);
+      run_coupled_parallel(world, o, cfg, 2.0);
+    });
+    FAIL() << "resume accepted shards from a different ocean rank grid";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2+1x3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("-rank run"), std::string::npos) << msg;
+  }
+}
+
 /// Paper-shaped acceptance drill (ISSUE 5): 8 atmosphere ranks + 1 ocean
 /// rank, 4 simulated days, checkpoint cadence 2 days, rank kill at day 3,
 /// resume-from-latest lands bitwise on the fault-free run — in both
@@ -260,6 +316,53 @@ TEST(RestartAcceptance, EightPlusOneKillAtDayThreeResumesBitwise) {
           << "acceptance drill diverged on rank " << r << " (" << tag
           << ")";
   }
+}
+
+/// 8+8 drill for the restart-resilience CI job: the paper-shaped balanced
+/// placement with the ocean on a 2x4 rank grid, an ocean-interior rank
+/// killed at day 2, resume-from-latest audited and bitwise. Gated like the
+/// 8+1 drill above.
+TEST(RestartAcceptance, EightPlusEightOceanRankKillResumesBitwise) {
+  if (std::getenv("FOAM_RESTART_ACCEPTANCE") == nullptr)
+    GTEST_SKIP() << "set FOAM_RESTART_ACCEPTANCE=1 to run the 8+8 drill";
+  const FoamConfig cfg = FoamConfig::testing();
+  const RankLayout layout = RankLayout::grid(8, 2, 4);
+  const std::string pa = testing::TempDir() + "/acc88A";
+  const std::string pb = testing::TempDir() + "/acc88B";
+  const auto opts_for = [&](const std::string& prefix, bool resume) {
+    ParallelRunOptions o = mk_opts(8, true, prefix, 1.0, resume);
+    o.layout = layout;
+    return o;
+  };
+
+  par::run(layout.world_size(), [&](par::Comm& world) {
+    run_coupled_parallel(world, opts_for(pa, false), cfg, 2.0);
+  });
+  try {
+    par::run(layout.world_size(), [&](par::Comm& world) {
+      ParallelRunOptions o = opts_for(pb, false);
+      o.fault = par::FaultPlan::parse("kill:rank=11,day=2");
+      run_coupled_parallel(world, o, cfg, 2.0);
+    });
+    FAIL() << "injected kill did not abort the run";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 11"), std::string::npos)
+        << e.what();
+  }
+  ASSERT_EQ(ckpt_latest_day(pb), 1) << "kill at day 2 must leave day 1";
+
+  std::int64_t findings = -1;
+  par::run(layout.world_size(), [&](par::Comm& world) {
+    ParallelRunOptions o = opts_for(pb, true);
+    o.verify.mode = par::VerifyMode::kAudit;
+    const auto res = run_coupled_parallel(world, o, cfg, 2.0);
+    if (world.rank() == 0) findings = res.verify_findings;
+  });
+  EXPECT_EQ(findings, 0);
+  for (int r = 0; r < layout.world_size(); ++r)
+    EXPECT_EQ(read_file_bytes(ckpt_shard_path(pa, 2, r)),
+              read_file_bytes(ckpt_shard_path(pb, 2, r)))
+        << "8+8 drill diverged on rank " << r;
 }
 
 }  // namespace

@@ -94,7 +94,10 @@ TEST(OceanModel, WindDrivesCirculation) {
   OceanModel m(w.cfg, w.grid, w.bathy);
   m.init_climatology();
   Field2Dd taux(48, 48, 0.3), tauy(48, 48, 0.0);  // strong westerly
-  m.set_wind_stress(taux, tauy);
+  OceanForcing wind;
+  wind.wind_x = &taux;
+  wind.wind_y = &tauy;
+  m.set_forcing(wind);
   m.run_days(5.0);
   // Twin run without wind: the westerly must push the mean surface flow
   // eastward relative to the calm twin.
@@ -118,7 +121,9 @@ TEST(OceanModel, HeatFluxWarmsSurface) {
   OceanModel m(w.cfg, w.grid, w.bathy);
   m.init_climatology();
   Field2Dd q(48, 48, 100.0);  // uniform 100 W/m^2 in
-  m.set_heat_flux(q);
+  OceanForcing heating;
+  heating.heat = &q;
+  m.set_forcing(heating);
   m.run_days(5.0);
   // Twin run without heating isolates the flux response from the model's
   // internal adjustment drift: 100 W/m^2 into a 25 m layer over 5 days is
@@ -137,7 +142,9 @@ TEST(OceanModel, FreezeClampProducesFrazil) {
   OceanModel m(w.cfg, w.grid, w.bathy);
   m.init_climatology();
   Field2Dd q(48, 48, -600.0);  // strong cooling everywhere
-  m.set_heat_flux(q);
+  OceanForcing cooling;
+  cooling.heat = &q;
+  m.set_forcing(cooling);
   m.run_days(5.0);
   const auto d = m.diagnostics();
   EXPECT_GT(d.frazil_heat, 0.0);
@@ -161,7 +168,9 @@ TEST(OceanModel, FreshwaterRaisesEtaAndFreshens) {
   m.init_climatology();
   const double s0 = m.salinity()(24, 24, 0);
   Field2Dd fw(48, 48, 1.0e-7);  // ~8.6 mm/day everywhere
-  m.set_freshwater_flux(fw);
+  OceanForcing rain;
+  rain.freshwater = &fw;
+  m.set_forcing(rain);
   m.run_days(5.0);
   EXPECT_LT(m.salinity()(24, 24, 0), s0);
   EXPECT_GT(m.eta().mean(), 0.0);
@@ -240,15 +249,126 @@ TEST(OceanModel, IceFractionScalesStress) {
   OceanModel iced(w.cfg, w.grid, w.bathy);
   iced.init_climatology();
   Field2Dd taux(48, 48, 0.1), tauy(48, 48, 0.0);
-  no_ice.set_wind_stress(taux, tauy);
-  iced.set_wind_stress(taux, tauy);
+  OceanForcing wind;
+  wind.wind_x = &taux;
+  wind.wind_y = &tauy;
+  no_ice.set_forcing(wind);
   Field2Dd ice(48, 48, 1.0);
-  iced.set_ice_fraction(ice);
+  OceanForcing windy_ice = wind;
+  windy_ice.ice = &ice;
+  iced.set_forcing(windy_ice);
   no_ice.run_days(2.0);
   iced.run_days(2.0);
   // Full ice cover divides the stress by 15: less wind-driven energy.
   EXPECT_LT(iced.diagnostics().mean_kinetic,
             no_ice.diagnostics().mean_kinetic);
+}
+
+TEST(OceanModel, SetForcingIsAtomic) {
+  SmallOcean w;
+  OceanModel m(w.cfg, w.grid, w.bathy);
+  m.init_climatology();
+  Field2Dd good(48, 48, 0.1), bad(24, 24, 1.0);
+  // A bundle with one malformed field must be rejected whole: the valid
+  // wind components must not have been applied.
+  OceanForcing f;
+  f.wind_x = &good;
+  f.wind_y = &good;
+  f.heat = &bad;
+  EXPECT_THROW(m.set_forcing(f), Error);
+  OceanModel calm(w.cfg, w.grid, w.bathy);
+  calm.init_climatology();
+  m.run_days(2.0);
+  calm.run_days(2.0);
+  // Same evolution as the never-forced twin: the wind was not applied.
+  EXPECT_DOUBLE_EQ(m.diagnostics().mean_kinetic,
+                   calm.diagnostics().mean_kinetic);
+  // Wind components must come as a pair.
+  OceanForcing lonely;
+  lonely.wind_x = &good;
+  EXPECT_THROW(m.set_forcing(lonely), Error);
+}
+
+TEST(OceanModel, DeprecatedSettersStillForward) {
+  SmallOcean w;
+  OceanModel via_shim(w.cfg, w.grid, w.bathy);
+  via_shim.init_climatology();
+  OceanModel via_bundle(w.cfg, w.grid, w.bathy);
+  via_bundle.init_climatology();
+  Field2Dd taux(48, 48, 0.2), tauy(48, 48, 0.05), q(48, 48, 50.0);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  via_shim.set_wind_stress(taux, tauy);
+  via_shim.set_heat_flux(q);
+#pragma GCC diagnostic pop
+  OceanForcing f;
+  f.wind_x = &taux;
+  f.wind_y = &tauy;
+  f.heat = &q;
+  via_bundle.set_forcing(f);
+  via_shim.run_days(2.0);
+  via_bundle.run_days(2.0);
+  EXPECT_DOUBLE_EQ(via_shim.diagnostics().mean_kinetic,
+                   via_bundle.diagnostics().mean_kinetic);
+  EXPECT_DOUBLE_EQ(via_shim.diagnostics().mean_sst,
+                   via_bundle.diagnostics().mean_sst);
+}
+
+/// Run `steps` forced steps serially and under the given rank grid, then
+/// require the gathered SST and free surface to match the serial fields
+/// bitwise: decomposition must not change a single bit of the state.
+void expect_layout_bitwise(int nranks, int px, int steps) {
+  SmallOcean w;
+  Field2Dd taux(48, 48, 0.0), tauy(48, 48, 0.02);
+  for (int j = 0; j < 48; ++j)
+    for (int i = 0; i < 48; ++i)
+      taux(i, j) = analytic_zonal_stress(w.grid.lat(j));
+  OceanForcing wind;
+  wind.wind_x = &taux;
+  wind.wind_y = &tauy;
+
+  OceanModel serial(w.cfg, w.grid, w.bathy);
+  serial.init_climatology();
+  serial.set_forcing(wind);
+  for (int s = 0; s < steps; ++s) serial.step();
+  const Field2Dd ref_sst = serial.sst();
+  const Field2Dd& ref_eta = serial.eta();
+
+  par::run(nranks, [&](par::Comm& comm) {
+    OceanModel m(w.cfg, w.grid, w.bathy, &comm, px);
+    m.init_climatology();
+    m.set_forcing(wind);
+    for (int s = 0; s < steps; ++s) m.step();
+    const Field2Dd sst = m.gather(m.sst());
+    const Field2Dd eta = m.gather(m.eta());
+    for (int j = 0; j < 48; ++j) {
+      for (int i = 0; i < 48; ++i) {
+        ASSERT_EQ(sst(i, j), ref_sst(i, j))
+            << "sst differs at (" << i << "," << j << ") px=" << px;
+        ASSERT_EQ(eta(i, j), ref_eta(i, j))
+            << "eta differs at (" << i << "," << j << ") px=" << px;
+      }
+    }
+  });
+}
+
+TEST(OceanModel, TwoByTwoMatchesSerialBitwise) {
+  expect_layout_bitwise(4, 2, 12);
+}
+
+TEST(OceanModel, FourByOneMatchesSerialBitwise) {
+  expect_layout_bitwise(4, 4, 12);
+}
+
+TEST(OceanModel, TwoByThreeMatchesSerialBitwise) {
+  expect_layout_bitwise(6, 2, 8);
+}
+
+TEST(OceanModel, RejectsIndivisibleRankGrid) {
+  SmallOcean w;
+  par::run(3, [&](par::Comm& comm) {
+    EXPECT_THROW(OceanModel(w.cfg, w.grid, w.bathy, &comm, 2), Error);
+  });
 }
 
 TEST(OceanModel, AblationSwitchesRun) {

@@ -48,7 +48,10 @@ TEST_P(OceanTechniqueSweep, StableAndBounded) {
   for (int j = 0; j < 36; ++j)
     for (int i = 0; i < 36; ++i)
       taux(i, j) = analytic_zonal_stress(world().grid.lat(j));
-  m.set_wind_stress(taux, tauy);
+  OceanForcing wind;
+  wind.wind_x = &taux;
+  wind.wind_y = &tauy;
+  m.set_forcing(wind);
   m.run_days(2.0);
   EXPECT_FALSE(has_non_finite(m.temperature()));
   EXPECT_FALSE(has_non_finite(m.salinity()));

@@ -98,5 +98,90 @@ TEST(PairedLatitudes, RejectsBadInputs) {
   EXPECT_THROW(paired_latitudes(40, 0), Error);
 }
 
+TEST(Decomp2D, CoordinateRoundTrip) {
+  const Decomp2D d(48, 40, 3, 4);
+  EXPECT_EQ(d.size(), 12);
+  for (int r = 0; r < d.size(); ++r) {
+    const int pi = d.pi_of(r);
+    const int pj = d.pj_of(r);
+    EXPECT_GE(pi, 0);
+    EXPECT_LT(pi, 3);
+    EXPECT_GE(pj, 0);
+    EXPECT_LT(pj, 4);
+    EXPECT_EQ(d.rank_of(pi, pj), r);
+  }
+  // x-major numbering: rank 1 is one step east of rank 0.
+  EXPECT_EQ(d.pi_of(1), 1);
+  EXPECT_EQ(d.pj_of(1), 0);
+  EXPECT_EQ(d.pi_of(3), 0);
+  EXPECT_EQ(d.pj_of(3), 1);
+}
+
+TEST(Decomp2D, OwnedBoxesTileTheDomain) {
+  const Decomp2D d(37, 29, 4, 3);
+  std::vector<int> hits(37 * 29, 0);
+  for (int r = 0; r < d.size(); ++r) {
+    const Range xr = d.x_range_of_rank(r);
+    const Range yr = d.y_range_of_rank(r);
+    for (int j = yr.lo; j < yr.hi; ++j)
+      for (int i = xr.lo; i < xr.hi; ++i) ++hits[j * 37 + i];
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Decomp2D, HaloNeighborsAtEdges) {
+  const Decomp2D d(48, 48, 3, 2);
+  // Interior-ish rank 1 = (1, 0): periodic x, wall to the south.
+  EXPECT_EQ(d.west_of(1), 0);
+  EXPECT_EQ(d.east_of(1), 2);
+  EXPECT_EQ(d.south_of(1), -1);
+  EXPECT_EQ(d.north_of(1), 4);
+  // Corner rank 0 = (0, 0): x wraps around the dateline.
+  EXPECT_EQ(d.west_of(0), 2);
+  EXPECT_EQ(d.east_of(0), 1);
+  // Top row rank 5 = (2, 1): wall to the north.
+  EXPECT_EQ(d.north_of(5), -1);
+  EXPECT_EQ(d.south_of(5), 2);
+}
+
+TEST(Decomp2D, SingleColumnHasNoXExchange) {
+  const Decomp2D d(48, 48, 1, 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(d.west_of(r), -1);
+    EXPECT_EQ(d.east_of(r), -1);
+  }
+}
+
+TEST(Decomp2D, DegenerateLayoutsMatchRowDecomposition) {
+  // 1 x N must reproduce the historic row decomposition rank-for-rank.
+  const int ny = 41, n = 5;
+  const Decomp2D rows(48, ny, 1, n);
+  for (int r = 0; r < n; ++r) {
+    const Range want = block_range(ny, n, r);
+    const Range got = rows.y_range_of_rank(r);
+    EXPECT_EQ(got.lo, want.lo);
+    EXPECT_EQ(got.hi, want.hi);
+    EXPECT_EQ(rows.x_range_of_rank(r).lo, 0);
+    EXPECT_EQ(rows.x_range_of_rank(r).hi, 48);
+  }
+  // N x 1 splits columns with the same block formula.
+  const Decomp2D cols(48, ny, n, 1);
+  for (int r = 0; r < n; ++r) {
+    const Range want = block_range(48, n, r);
+    EXPECT_EQ(cols.x_range_of_rank(r).lo, want.lo);
+    EXPECT_EQ(cols.x_range_of_rank(r).hi, want.hi);
+    EXPECT_EQ(cols.y_range_of_rank(r).count(), ny);
+  }
+}
+
+TEST(Decomp2D, RejectsBadInputs) {
+  EXPECT_THROW(Decomp2D(48, 48, 0, 1), Error);
+  EXPECT_THROW(Decomp2D(48, 48, 49, 1), Error);   // px > nx
+  EXPECT_THROW(Decomp2D(48, 48, 1, 49), Error);   // py > ny
+  const Decomp2D d(48, 48, 2, 2);
+  EXPECT_THROW(d.pi_of(4), Error);
+  EXPECT_THROW(d.rank_of(2, 0), Error);
+}
+
 }  // namespace
 }  // namespace foam::par
