@@ -158,14 +158,17 @@ double CoupledFoam::work_points() const {
 namespace {
 
 void send_field(par::Comm& comm, int dst, const Field2Dd& f) {
-  comm.send_vec(dst, kTagForcing, f.vec());
+  // One copy into a fresh buffer, handed to the runtime by ownership; the
+  // receiving side moves the same buffer into its field, so a field crosses
+  // the exchange with a single copy (send_vec + recv_vec cost two).
+  comm.isend_move(dst, kTagForcing, std::vector<double>(f.vec()));
 }
 
 void recv_field(par::Comm& comm, int src, Field2Dd& f) {
   std::vector<double> buf;
   comm.recv_vec(src, kTagForcing, buf);
   FOAM_REQUIRE(buf.size() == f.size(), "field size mismatch in exchange");
-  std::copy(buf.begin(), buf.end(), f.vec().begin());
+  f.vec() = std::move(buf);
 }
 
 /// Checkpoint the installed surface boundary condition verbatim. With
@@ -460,9 +463,8 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       FOAM_REQUIRE(sst_buf.size() == sst_o.size() &&
                        frazil_buf.size() == frazil_o.size(),
                    "field size mismatch in exchange");
-      std::copy(sst_buf.begin(), sst_buf.end(), sst_o.vec().begin());
-      std::copy(frazil_buf.begin(), frazil_buf.end(),
-                frazil_o.vec().begin());
+      sst_o.vec() = std::move(sst_buf);
+      frazil_o.vec() = std::move(frazil_buf);
       reply_pending = false;
     };
 
@@ -623,14 +625,19 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       ocn.set_forcing(forcing);
       ocn.run_days(cfg.exchange_seconds * cfg.ocean_accel / 86400.0);
       Field2Dd sst = ocn.gather(ocn.sst());
-      const Field2Dd frazil = ocn.gather(ocn.drain_frazil());
+      Field2Dd frazil = ocn.gather(ocn.drain_frazil());
       if (world.rank() == n_atm) {
-        world.send_vec(0, kTagForcing, sst.vec());
-        world.send_vec(0, kTagForcing, frazil.vec());
+        // The gathered grids leave by ownership handoff (no copy either
+        // side) — but final_sst, the layout-independence observable, must
+        // be kept from the last exchange before its buffer goes.
+        if (ex + 1 == n_exchanges) final_sst = sst;
+        world.isend_move(0, kTagForcing, std::move(sst.vec()));
+        world.isend_move(0, kTagForcing, std::move(frazil.vec()));
+      } else if (ex + 1 == n_exchanges) {
+        final_sst = std::move(sst);
       }
       ocean_cpu += par::thread_cpu_now() - cpu0;
       rec.end_region();
-      if (ex + 1 == n_exchanges) final_sst = std::move(sst);
       day_boundary_audit(ex);
       day_resilience(ex, write_shard);
     }

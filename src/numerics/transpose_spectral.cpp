@@ -72,26 +72,25 @@ void TransposeSpectralTransform::exchange_blocks(
       unpack(src, recv.data() + block * src);
     return;
   }
-  // Overlap path: post every receive up front, launch each outgoing block
-  // the moment it is packed (isend is buffered, so one scratch buffer is
-  // reused), handle the self block locally, then unpack remote blocks in
-  // whatever order they complete while the rest are still in flight.
+  // Overlap path: post every receive up front, hand each outgoing pencil to
+  // the runtime by ownership the moment it is packed (isend_move rendezvous:
+  // the block crosses rank boundaries by pointer, zero memcpy, and lands in
+  // rbufs via the matching irecv_vec move-out), handle the self block
+  // locally, then unpack remote blocks in whatever order they complete
+  // while the rest are still in flight.
   std::vector<std::vector<double>> rbufs(nranks_);
   std::vector<par::Request> rreqs(nranks_);
   for (int src = 0; src < nranks_; ++src) {
     if (src == me) continue;
-    rbufs[src].resize(block);
-    rreqs[src] = comm.irecv_bytes(src, tag, rbufs[src].data(),
-                                  block * sizeof(double));
+    rreqs[src] = comm.irecv_vec(src, tag, rbufs[src]);
   }
-  std::vector<double> scratch(block);
   for (int dst = 0; dst < nranks_; ++dst) {
     if (dst == me) continue;
-    std::fill(scratch.begin(), scratch.end(), 0.0);
-    pack(dst, scratch.data());
-    comm.isend_bytes(dst, tag, scratch.data(), block * sizeof(double));
+    std::vector<double> pencil(block, 0.0);
+    pack(dst, pencil.data());
+    comm.isend_move(dst, tag, std::move(pencil));
   }
-  std::fill(scratch.begin(), scratch.end(), 0.0);
+  std::vector<double> scratch(block, 0.0);
   pack(me, scratch.data());
   unpack(me, scratch.data());
   for (int src; (src = comm.waitany(rreqs)) != -1;)

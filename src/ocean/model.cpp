@@ -285,6 +285,9 @@ template <typename Pack, typename Unpack>
 void exchange_phase(par::Comm& comm, int lo, int hi, int tag_to_lo,
                     int tag_to_hi, std::size_t count, Pack&& pack,
                     Unpack&& unpack) {
+  // The freshly packed boundary strips are handed to the runtime by
+  // ownership (isend_move): the neighbour's irecv_vec moves the same buffer
+  // in, so a halo strip never crosses a memcpy.
   std::vector<double> send_lo, send_hi, recv_lo, recv_hi;
   std::array<par::Request, 4> reqs;
   std::size_t nreq = 0;
@@ -293,12 +296,12 @@ void exchange_phase(par::Comm& comm, int lo, int hi, int tag_to_lo,
   if (lo >= 0) {
     send_lo.resize(count);
     pack(0, send_lo);
-    reqs[nreq++] = comm.isend_vec(lo, tag_to_lo, send_lo);
+    reqs[nreq++] = comm.isend_move(lo, tag_to_lo, std::move(send_lo));
   }
   if (hi >= 0) {
     send_hi.resize(count);
     pack(1, send_hi);
-    reqs[nreq++] = comm.isend_vec(hi, tag_to_hi, send_hi);
+    reqs[nreq++] = comm.isend_move(hi, tag_to_hi, std::move(send_hi));
   }
   comm.waitall(std::span<par::Request>(reqs.data(), nreq));
   if (lo >= 0) unpack(0, recv_lo);

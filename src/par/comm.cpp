@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <thread>
 #include <tuple>
@@ -20,10 +22,89 @@ constexpr int kSplitTag = kMaxUserTag + 2;  // communicator split bookkeeping
 /// Set when any rank throws; blocked receives abort instead of deadlocking.
 std::atomic<bool> g_abort{false};
 
+/// Explicit transport choice (set_comm_transport); -1 = defer to env/default.
+std::atomic<int> g_transport{-1};
+
 /// Thrown by ranks released because *another* rank failed. run() prefers
 /// rethrowing the root-cause exception over these sympathetic aborts.
 struct AbortError : Error {
   using Error::Error;
+};
+
+CommTransport transport_for_run() {
+  const int explicit_choice = g_transport.load(std::memory_order_relaxed);
+  if (explicit_choice >= 0)
+    return static_cast<CommTransport>(explicit_choice);
+  if (const char* env = std::getenv("FOAM_PAR_TRANSPORT")) {
+    if (std::strcmp(env, "mutex") == 0) return CommTransport::kMutex;
+    FOAM_REQUIRE(env[0] == '\0' || std::strcmp(env, "spsc") == 0,
+                 "FOAM_PAR_TRANSPORT must be 'spsc' or 'mutex', got '"
+                     << env << "'");
+  }
+  return CommTransport::kSpsc;
+}
+
+/// One PAUSE-class instruction: tells the core this is a spin-wait (saves
+/// power, yields pipeline slots to the sibling hyperthread).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Backoff policy between matching attempts of a lock-free blocking wait:
+/// spin briefly (latency-critical window), then yield (oversubscribed
+/// hosts), then sleep in slices that double up to 1 ms — bounded so abort
+/// propagation and the deadlock detector stay responsive — polling the
+/// detector at roughly the historic 50 ms mailbox cadence.
+class SpinWaiter {
+ public:
+  void step(verify::Verifier* v, int me_global) {
+    ++iter_;
+    if (iter_ <= kSpins) {
+      // Pausing only helps when the producer can run concurrently; on a
+      // single-CPU host it just burns the timeslice the sender needs, so
+      // skip straight to yielding there.
+      if (!single_cpu()) {
+        cpu_relax();
+        return;
+      }
+      std::this_thread::yield();
+      return;
+    }
+    if (iter_ <= kSpins + kYields) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    if (v != nullptr) {
+      slept_us_ += sleep_us_;
+      if (slept_us_ >= kPollEveryUs) {
+        slept_us_ = 0;
+        v->poll_deadlock(me_global);
+      }
+    }
+    sleep_us_ = std::min(sleep_us_ * 2, kMaxSleepUs);
+  }
+
+ private:
+  static bool single_cpu() {
+    static const bool s = std::thread::hardware_concurrency() <= 1;
+    return s;
+  }
+
+  static constexpr unsigned kSpins = 64;
+  static constexpr unsigned kYields = 192;
+  static constexpr int kMaxSleepUs = 1000;
+  static constexpr long kPollEveryUs = 50 * 1000;
+
+  unsigned iter_ = 0;
+  int sleep_us_ = 50;
+  long slept_us_ = 0;
 };
 
 /// The run's checker when it should observe events, else nullptr. One
@@ -49,6 +130,19 @@ int local_of(const std::vector<int>& members, int g) {
   return -1;
 }
 
+/// Move everything the peers have published into this rank's arrival queue
+/// (spsc transport). Called only by the owning rank's thread; after it
+/// returns, every message sent (with release ordering) before the caller's
+/// last synchronization point is visible in the queue.
+void drain_inbox(detail::Context* ctx, int me_global) {
+  auto& arrivals = ctx->inboxes[me_global].arrivals;
+  for (int src = 0; src < ctx->nranks; ++src) {
+    detail::Channel& ch = ctx->channel(src, me_global);
+    detail::Message m;
+    while (ch.pop_next(m)) arrivals.push_back(std::move(m));
+  }
+}
+
 bool matches(const detail::RequestState& rs, const detail::Message& m) {
   if (m.comm_id != rs.comm_id) return false;
   if (rs.want_src_global != -1 && m.src_global != rs.want_src_global)
@@ -59,9 +153,8 @@ bool matches(const detail::RequestState& rs, const detail::Message& m) {
   return m.tag == rs.tag;
 }
 
-/// Complete \p rs with \p msg. Runs on the posting rank's thread with the
-/// mailbox lock held. \p v (may be null) merges the message's vector clock
-/// into rank \p me_global's clock.
+/// Complete \p rs with \p msg. Runs on the posting rank's thread. \p v (may
+/// be null) merges the message's vector clock into rank \p me_global's.
 void deliver(detail::RequestState& rs, detail::Message& msg,
              verify::Verifier* v, int me_global) {
   if (telemetry::Telemetry* tel = telemetry::current())
@@ -75,8 +168,10 @@ void deliver(detail::RequestState& rs, detail::Message& msg,
                  "message of " << msg.payload.size()
                                << " bytes overflows buffer of "
                                << rs.max_bytes);
-    if (!msg.payload.empty())
+    if (!msg.payload.empty()) {
       std::memcpy(rs.buffer, msg.payload.data(), msg.payload.size());
+      detail::note_payload_copy(msg.payload.size());
+    }
   }
   rs.status.source = local_of(*rs.members, msg.src_global);
   rs.status.tag = msg.tag;
@@ -87,17 +182,19 @@ void deliver(detail::RequestState& rs, detail::Message& msg,
 /// The matching engine: walk pending receives in posting order; each takes
 /// the earliest queued message of its match class (MPI matching semantics —
 /// FIFO within a class, posting order across overlapping wildcard classes).
-/// Caller holds box.mutex; only the owning rank's thread ever calls this,
-/// so the pending list itself needs no lock.
-void progress(detail::Mailbox& box,
+/// \p queue is the owning rank's arrival queue: the mutex transport calls
+/// this under the mailbox lock, the spsc transport needs none (the queue is
+/// owner-thread-only once drained). The pending list is owner-thread-only
+/// on both.
+void progress(std::deque<detail::Message>& queue,
               std::vector<std::shared_ptr<detail::RequestState>>& pend,
               verify::Verifier* v, int me_global) {
   for (auto pit = pend.begin(); pit != pend.end();) {
     detail::RequestState& rs = **pit;
     auto mit = std::find_if(
-        box.queue.begin(), box.queue.end(),
+        queue.begin(), queue.end(),
         [&rs](const detail::Message& m) { return matches(rs, m); });
-    if (mit == box.queue.end()) {
+    if (mit == queue.end()) {
       ++pit;
       continue;
     }
@@ -105,13 +202,13 @@ void progress(detail::Mailbox& box,
     // this wildcard receive, the match is an arbitration; the verifier
     // flags it unless the vector clocks order the two sends.
     if (v != nullptr && (rs.want_src_global == -1 || rs.tag == kAnyTag)) {
-      for (auto oit = box.queue.begin(); oit != box.queue.end(); ++oit) {
+      for (auto oit = queue.begin(); oit != queue.end(); ++oit) {
         if (oit == mit || !matches(rs, *oit)) continue;
         if (v->check_wildcard_pair(me_global, rs, *mit, *oit)) break;
       }
     }
     deliver(rs, *mit, v, me_global);
-    box.queue.erase(mit);
+    queue.erase(mit);
     pit = pend.erase(pit);
   }
 }
@@ -141,6 +238,30 @@ verify::WaitSpec spec_of(const detail::RequestState& rs) {
 
 }  // namespace
 
+const char* comm_transport_name(CommTransport t) {
+  return t == CommTransport::kSpsc ? "spsc" : "mutex";
+}
+
+void set_comm_transport(CommTransport t) {
+  g_transport.store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+CommTransport comm_transport() { return transport_for_run(); }
+
+namespace detail {
+
+void note_payload_copy(std::size_t bytes) {
+  if (telemetry::Telemetry* tel = telemetry::current())
+    tel->comm().payload_memcpy_bytes += bytes;
+}
+
+void note_zero_copy_recv() {
+  if (telemetry::Telemetry* tel = telemetry::current())
+    ++tel->comm().zero_copy_recvs;
+}
+
+}  // namespace detail
+
 Request::~Request() {
   // use_count == 2 means this handle plus the pending list: the user is
   // dropping the only way to ever complete (or safely release the buffer
@@ -160,11 +281,18 @@ Comm::~Comm() {
   // terminate the process (strict escalation happened at detection time).
   try {
     const int me = members_[rank_];
-    detail::Mailbox& box = ctx_->boxes[me];
     auto& pend = ctx_->pending[me];
-    std::lock_guard<std::mutex> lock(box.mutex);
-    progress(box, pend, v, me);
-    v->audit(me, "communicator teardown", comm_id_, box.queue, pend);
+    if (ctx_->transport == CommTransport::kSpsc) {
+      drain_inbox(ctx_, me);
+      auto& arrivals = ctx_->inboxes[me].arrivals;
+      progress(arrivals, pend, v, me);
+      v->audit(me, "communicator teardown", comm_id_, arrivals, pend);
+    } else {
+      detail::Mailbox& box = ctx_->boxes[me];
+      std::lock_guard<std::mutex> lock(box.mutex);
+      progress(box.queue, pend, v, me);
+      v->audit(me, "communicator teardown", comm_id_, box.queue, pend);
+    }
   } catch (...) {  // NOLINT(bugprone-empty-catch)
   }
 }
@@ -178,19 +306,25 @@ std::size_t Comm::verify_quiescent() {
   verify::Verifier& v = ctx_->verifier;
   if (!v.enabled()) return 0;
   barrier();
-  // Sends are buffered (delivered at post), so after the barrier every
-  // message any rank will ever have sent before this point is already in
-  // its destination mailbox: whatever progress() cannot match now is a
-  // genuine leftover.
+  // Sends are buffered (published to the destination at post), so after the
+  // barrier every message any rank will ever have sent before this point is
+  // already in its destination's channels or mailbox: whatever progress()
+  // cannot match after a drain is a genuine leftover.
   const int me = members_[rank_];
+  auto& pend = ctx_->pending[me];
   std::size_t fresh = 0;
-  {
+  if (ctx_->transport == CommTransport::kSpsc) {
+    drain_inbox(ctx_, me);
+    auto& arrivals = ctx_->inboxes[me].arrivals;
+    progress(arrivals, pend, active_verifier(ctx_), me);
+    fresh = v.audit(me, "verify_quiescent", /*comm_id_filter=*/-1, arrivals,
+                    pend);
+  } else {
     detail::Mailbox& box = ctx_->boxes[me];
-    auto& pend = ctx_->pending[me];
     std::lock_guard<std::mutex> lock(box.mutex);
-    progress(box, pend, active_verifier(ctx_), me);
-    fresh = v.audit(me, "verify_quiescent", /*comm_id_filter=*/-1,
-                    box.queue, pend);
+    progress(box.queue, pend, active_verifier(ctx_), me);
+    fresh = v.audit(me, "verify_quiescent", /*comm_id_filter=*/-1, box.queue,
+                    pend);
   }
   const auto total = allreduce_scalar<long long>(
       static_cast<long long>(fresh), ReduceOp::kSum);
@@ -205,7 +339,8 @@ void Comm::stall(double max_seconds, const char* what) {
   verify::Verifier* v = active_verifier(ctx_);
   // Empty spec list: the deadlock detector treats this rank as blocked in a
   // wait nothing can release, so it anchors a definitely-deadlocked set as
-  // soon as the stall outlives the detector's timeout.
+  // soon as the stall outlives the detector's timeout. Messages meanwhile
+  // pile up unread in this rank's channels/mailbox — exactly a wedged node.
   WaitGuard guard(v, me, what, {});
   const auto t0 = std::chrono::steady_clock::now();
   for (;;) {
@@ -238,17 +373,14 @@ int Comm::local_rank_of_global(int g) const {
   return local_of(members_, g);
 }
 
-void Comm::send_internal(int dst, int tag, const void* data,
-                         std::size_t bytes) {
+void Comm::post_message(int dst, int tag, detail::Message&& msg) {
   FOAM_REQUIRE(dst >= 0 && dst < size(), "send to rank " << dst << " of "
                                                          << size());
   check_abort(ctx_);
-  detail::Message msg;
   msg.comm_id = comm_id_;
   msg.src_global = members_[rank_];
   msg.tag = tag;
-  msg.payload.resize(bytes);
-  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  const std::size_t bytes = msg.payload.size();
   if (verify::Verifier* v = active_verifier(ctx_)) {
     if (active_coll_ != nullptr && tag > kMaxUserTag) {
       msg.coll = *active_coll_;
@@ -256,16 +388,50 @@ void Comm::send_internal(int dst, int tag, const void* data,
     }
     v->on_send(members_[rank_], msg);
   }
-  detail::Mailbox& box = ctx_->boxes[members_[dst]];
+  const int dst_global = members_[dst];
   std::size_t depth = 0;
-  {
-    std::lock_guard<std::mutex> lock(box.mutex);
-    box.queue.push_back(std::move(msg));
-    depth = box.queue.size();
+  if (ctx_->transport == CommTransport::kSpsc) {
+    detail::Channel& ch = ctx_->channel(members_[rank_], dst_global);
+    ch.push(std::move(msg));
+    depth = ch.depth_estimate();
+  } else {
+    detail::Mailbox& box = ctx_->boxes[dst_global];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.queue.push_back(std::move(msg));
+      depth = box.queue.size();
+    }
+    box.cv.notify_all();
   }
-  box.cv.notify_all();
   if (telemetry::Telemetry* tel = telemetry::current())
-    tel->comm().on_send(members_[dst], tag > kMaxUserTag, bytes, depth);
+    tel->comm().on_send(dst_global, tag > kMaxUserTag, bytes, depth);
+}
+
+void Comm::send_internal(int dst, int tag, const void* data,
+                         std::size_t bytes) {
+  detail::Message msg;
+  msg.payload.assign(data, bytes);
+  if (telemetry::Telemetry* tel = telemetry::current()) {
+    if (msg.payload.inlined())
+      ++tel->comm().fastpath_msgs;
+    else
+      tel->comm().payload_memcpy_bytes += bytes;
+  }
+  post_message(dst, tag, std::move(msg));
+}
+
+Request Comm::isend_adopted(int dst, int tag, detail::Message&& msg) {
+  FOAM_REQUIRE(tag >= 0 && tag <= kMaxUserTag, "user tag " << tag);
+  const std::size_t bytes = msg.payload.size();
+  if (telemetry::Telemetry* tel = telemetry::current())
+    ++tel->comm().zero_copy_handoffs;
+  post_message(dst, tag, std::move(msg));
+  // Ownership handoff completes locally just like a buffered send.
+  auto rs = std::make_shared<detail::RequestState>();
+  rs->done = true;
+  rs->status.tag = tag;
+  rs->status.bytes = bytes;
+  return Request(std::move(rs));
 }
 
 std::shared_ptr<detail::RequestState> Comm::make_recv_state(int src,
@@ -290,7 +456,6 @@ void Comm::post_recv_state(
 
 void Comm::wait_state(detail::RequestState& rs, const char* what) {
   const int me = members_[rank_];
-  detail::Mailbox& box = ctx_->boxes[me];
   auto& pend = ctx_->pending[me];
   telemetry::Telemetry* tel = telemetry::current();
   std::chrono::steady_clock::time_point t0;
@@ -299,14 +464,28 @@ void Comm::wait_state(detail::RequestState& rs, const char* what) {
   WaitGuard guard(v, me, what, v != nullptr
                                    ? std::vector<verify::WaitSpec>{spec_of(rs)}
                                    : std::vector<verify::WaitSpec>{});
-  std::unique_lock<std::mutex> lock(box.mutex);
-  for (;;) {
-    check_abort(ctx_);
-    if (tel != nullptr) tel->comm().on_mailbox_depth(box.queue.size());
-    progress(box, pend, active_verifier(ctx_), me);
-    if (rs.done) break;
-    if (v != nullptr) v->poll_deadlock(me);
-    box.cv.wait_for(lock, std::chrono::milliseconds(50));
+  if (ctx_->transport == CommTransport::kSpsc) {
+    auto& arrivals = ctx_->inboxes[me].arrivals;
+    SpinWaiter spin;
+    for (;;) {
+      check_abort(ctx_);
+      drain_inbox(ctx_, me);
+      if (tel != nullptr) tel->comm().on_mailbox_depth(arrivals.size());
+      progress(arrivals, pend, active_verifier(ctx_), me);
+      if (rs.done) break;
+      spin.step(v, me);
+    }
+  } else {
+    detail::Mailbox& box = ctx_->boxes[me];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    for (;;) {
+      check_abort(ctx_);
+      if (tel != nullptr) tel->comm().on_mailbox_depth(box.queue.size());
+      progress(box.queue, pend, active_verifier(ctx_), me);
+      if (rs.done) break;
+      if (v != nullptr) v->poll_deadlock(me);
+      box.cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
   }
   if (tel != nullptr) {
     tel->comm().wait_seconds.record(
@@ -331,6 +510,28 @@ detail::Message Comm::recv_internal(int src, int tag) {
   return out;
 }
 
+detail::Message Comm::recv_coll_sized(int src, std::size_t bytes,
+                                      const char* what) {
+  detail::Message msg = recv_internal(src, kCollTag);
+  FOAM_REQUIRE(msg.payload.size() == bytes,
+               what << " size mismatch from rank " << src << ": "
+                    << msg.payload.size() << " vs " << bytes);
+  return msg;
+}
+
+void Comm::recv_coll_into(int src, void* dst, std::size_t bytes,
+                          const char* what) {
+  detail::Message msg = recv_coll_sized(src, bytes, what);
+  // The payload is exclusively ours here (the Message just came off the
+  // wire), so this is the transfer's only copy; adopting raw destination
+  // pointers is impossible, which is why collectives stop at one memcpy
+  // while vector rendezvous (isend_move → recv_vec) reaches zero.
+  if (bytes > 0) {
+    std::memcpy(dst, msg.payload.data(), bytes);
+    detail::note_payload_copy(bytes);
+  }
+}
+
 void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
   FOAM_REQUIRE(tag >= 0 && tag <= kMaxUserTag, "user tag " << tag);
   send_internal(dst, tag, data, bytes);
@@ -351,7 +552,7 @@ RecvStatus Comm::recv_bytes(int src, int tag, void* data,
 Request Comm::isend_bytes(int dst, int tag, const void* data,
                           std::size_t bytes) {
   FOAM_REQUIRE(tag >= 0 && tag <= kMaxUserTag, "user tag " << tag);
-  // Buffered: the payload lands in the destination mailbox now, so the
+  // Buffered: the payload is published to the destination now, so the
   // request is born complete and the source buffer is immediately free.
   send_internal(dst, tag, data, bytes);
   auto rs = std::make_shared<detail::RequestState>();
@@ -383,11 +584,18 @@ RecvStatus Comm::wait(Request& r) {
 bool Comm::test(Request& r, RecvStatus* st) {
   if (!r.state_) return true;
   if (!r.state_->done) {
-    detail::Mailbox& box = ctx_->boxes[members_[rank_]];
-    auto& pend = ctx_->pending[members_[rank_]];
-    std::lock_guard<std::mutex> lock(box.mutex);
-    check_abort(ctx_);
-    progress(box, pend, active_verifier(ctx_), members_[rank_]);
+    const int me = members_[rank_];
+    auto& pend = ctx_->pending[me];
+    if (ctx_->transport == CommTransport::kSpsc) {
+      check_abort(ctx_);
+      drain_inbox(ctx_, me);
+      progress(ctx_->inboxes[me].arrivals, pend, active_verifier(ctx_), me);
+    } else {
+      detail::Mailbox& box = ctx_->boxes[me];
+      std::lock_guard<std::mutex> lock(box.mutex);
+      check_abort(ctx_);
+      progress(box.queue, pend, active_verifier(ctx_), me);
+    }
   }
   if (!r.state_->done) return false;
   if (st) *st = r.state_->status;
@@ -404,7 +612,6 @@ int Comm::waitany(std::span<Request> rs, RecvStatus* st) {
   for (const Request& r : rs) any = any || r.valid();
   if (!any) return -1;
   const int me = members_[rank_];
-  detail::Mailbox& box = ctx_->boxes[me];
   auto& pend = ctx_->pending[me];
   telemetry::Telemetry* tel = telemetry::current();
   std::chrono::steady_clock::time_point t0;
@@ -415,11 +622,7 @@ int Comm::waitany(std::span<Request> rs, RecvStatus* st) {
     for (const Request& r : rs)
       if (r.valid() && !r.state_->done) specs.push_back(spec_of(*r.state_));
   WaitGuard guard(v, me, "waitany", std::move(specs));
-  std::unique_lock<std::mutex> lock(box.mutex);
-  for (;;) {
-    check_abort(ctx_);
-    if (tel != nullptr) tel->comm().on_mailbox_depth(box.queue.size());
-    progress(box, pend, active_verifier(ctx_), me);
+  const auto scan = [&]() -> int {
     for (std::size_t i = 0; i < rs.size(); ++i) {
       if (!rs[i].valid() || !rs[i].state_->done) continue;
       if (st) *st = rs[i].state_->status;
@@ -433,6 +636,29 @@ int Comm::waitany(std::span<Request> rs, RecvStatus* st) {
       }
       return static_cast<int>(i);
     }
+    return -1;
+  };
+  if (ctx_->transport == CommTransport::kSpsc) {
+    auto& arrivals = ctx_->inboxes[me].arrivals;
+    SpinWaiter spin;
+    for (;;) {
+      check_abort(ctx_);
+      drain_inbox(ctx_, me);
+      if (tel != nullptr) tel->comm().on_mailbox_depth(arrivals.size());
+      progress(arrivals, pend, active_verifier(ctx_), me);
+      const int i = scan();
+      if (i >= 0) return i;
+      spin.step(v, me);
+    }
+  }
+  detail::Mailbox& box = ctx_->boxes[me];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    check_abort(ctx_);
+    if (tel != nullptr) tel->comm().on_mailbox_depth(box.queue.size());
+    progress(box.queue, pend, active_verifier(ctx_), me);
+    const int i = scan();
+    if (i >= 0) return i;
     if (v != nullptr) v->poll_deadlock(me);
     box.cv.wait_for(lock, std::chrono::milliseconds(50));
   }
@@ -467,11 +693,7 @@ void Comm::bcast_bytes(void* data, std::size_t bytes, int root) {
     for (int r = 0; r < size(); ++r)
       if (r != root) send_internal(r, kCollTag, data, bytes);
   } else {
-    detail::Message msg = recv_internal(root, kCollTag);
-    FOAM_REQUIRE(msg.payload.size() == bytes,
-                 "bcast size mismatch: " << msg.payload.size() << " vs "
-                                         << bytes);
-    if (bytes > 0) std::memcpy(data, msg.payload.data(), bytes);
+    recv_coll_into(root, data, bytes, "bcast");
   }
 }
 
@@ -492,8 +714,7 @@ void Comm::reduce_impl(const void* in, void* out, std::size_t elem_bytes,
     const auto t0 = std::chrono::steady_clock::now();
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
-      detail::Message msg = recv_internal(r, kCollTag);
-      FOAM_REQUIRE(msg.payload.size() == bytes, "reduce size mismatch");
+      detail::Message msg = recv_coll_sized(r, bytes, "reduce");
       combine(out, msg.payload.data(), count, op);
     }
     if (tel != nullptr)
@@ -513,11 +734,8 @@ void Comm::gather(const double* in, std::size_t count, double* out,
     std::copy(in, in + count, out + static_cast<std::size_t>(root) * count);
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
-      detail::Message msg = recv_internal(r, kCollTag);
-      FOAM_REQUIRE(msg.payload.size() == count * sizeof(double),
-                   "gather size mismatch");
-      std::memcpy(out + static_cast<std::size_t>(r) * count,
-                  msg.payload.data(), msg.payload.size());
+      recv_coll_into(r, out + static_cast<std::size_t>(r) * count,
+                     count * sizeof(double), "gather");
     }
   } else {
     send_internal(root, kCollTag, in, count * sizeof(double));
@@ -540,10 +758,7 @@ void Comm::scatter(const double* in, std::size_t count, double* out,
       }
     }
   } else {
-    detail::Message msg = recv_internal(root, kCollTag);
-    FOAM_REQUIRE(msg.payload.size() == count * sizeof(double),
-                 "scatter size mismatch");
-    std::memcpy(out, msg.payload.data(), msg.payload.size());
+    recv_coll_into(root, out, count * sizeof(double), "scatter");
   }
 }
 
@@ -580,12 +795,9 @@ void Comm::gatherv(const std::vector<double>& in, std::vector<double>& out,
     std::copy(in.begin(), in.end(), out.begin() + offsets[root]);
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
-      detail::Message msg = recv_internal(r, kCollTag);
-      FOAM_REQUIRE(msg.payload.size() ==
-                       static_cast<std::size_t>(counts[r]) * sizeof(double),
-                   "gatherv size mismatch from rank " << r);
-      std::memcpy(out.data() + offsets[r], msg.payload.data(),
-                  msg.payload.size());
+      recv_coll_into(r, out.data() + offsets[r],
+                     static_cast<std::size_t>(counts[r]) * sizeof(double),
+                     "gatherv");
     }
   } else {
     send_internal(root, kCollTag, in.data(), in.size() * sizeof(double));
@@ -608,11 +820,8 @@ void Comm::alltoall(const double* in, double* out,
   }
   for (int r = 0; r < size(); ++r) {
     if (r == rank_) continue;
-    detail::Message msg = recv_internal(r, kCollTag);
-    FOAM_REQUIRE(msg.payload.size() == c * sizeof(double),
-                 "alltoall size mismatch");
-    std::memcpy(out + static_cast<std::size_t>(r) * c, msg.payload.data(),
-                msg.payload.size());
+    recv_coll_into(r, out + static_cast<std::size_t>(r) * c,
+                   c * sizeof(double), "alltoall");
   }
 }
 
@@ -698,7 +907,7 @@ std::unique_ptr<Comm> Comm::split(int color, int key) {
 void run(int nranks, const std::function<void(Comm&)>& fn) {
   FOAM_REQUIRE(nranks > 0, "nranks=" << nranks);
   g_abort.store(false, std::memory_order_relaxed);
-  detail::Context ctx(nranks);
+  detail::Context ctx(nranks, transport_for_run());
   // Every run honors FOAM_PAR_VERIFY out of the box; drivers may override
   // through Comm::set_verify.
   ctx.verifier.configure(CommVerifyOptions::from_env());
@@ -717,6 +926,8 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
         ctx.verifier.suppress();
         errors[r] = std::current_exception();
         g_abort.store(true, std::memory_order_relaxed);
+        // Mutex transport blocks in cv waits; wake everyone. (The spsc
+        // transport needs nothing: its waits poll g_abort.)
         for (auto& box : ctx.boxes) box.cv.notify_all();
       }
     });

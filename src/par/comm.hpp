@@ -6,16 +6,38 @@
 /// FOAM was written against MPI on IBM SP distributed-memory systems. This
 /// runtime reproduces the programming model — SPMD ranks, tagged
 /// point-to-point messages, communicators and the collective operations the
-/// model uses — with each rank hosted on an OS thread and messages copied
-/// between per-rank mailboxes. Model code sees only the interface, exactly
-/// as it would see MPI: no component shares mutable state with another
-/// except through Comm.
+/// model uses — with each rank hosted on an OS thread. Model code sees only
+/// the interface, exactly as it would see MPI: no component shares mutable
+/// state with another except through Comm.
 ///
-/// Semantics:
+/// Two interchangeable transports carry the messages (CommTransport):
+///  * kSpsc (default) — one lock-free SPSC channel per directed rank pair:
+///    a bounded cache-line-padded ring whose slots inline payloads up to
+///    Payload::kInlineBytes (no heap allocation on the small-message fast
+///    path), spilling to an unbounded lock-free overflow queue when a burst
+///    outruns the ring, with per-channel sequence numbers merging the two
+///    lanes back into exact FIFO. Blocked receives spin briefly, then
+///    yield, then sleep in short slices — no mutex or condition variable
+///    anywhere on the message path.
+///  * kMutex — the historic per-rank mutex/condition-variable mailbox,
+///    kept as the A/B baseline for one release (FOAM_PAR_TRANSPORT=mutex).
+///
+/// Because ranks share one address space, large transfers can skip the
+/// copy-in/copy-out entirely: isend_move hands the sender's vector to the
+/// runtime by pointer ownership (rendezvous handoff), and recv_vec /
+/// irecv_vec move that buffer straight into the receiving vector when the
+/// element types match — zero payload memcpy end to end. Ownership rule:
+/// after isend_move the buffer belongs to the runtime (the sender's vector
+/// is left empty and must not be aliased); after a move-out delivery it
+/// belongs to the receiver, which frees it naturally. Mismatched receives
+/// (recv_bytes, different element type) fall back to one copy-out.
+///
+/// Semantics (identical on both transports):
 ///  * send() / isend() are buffered (always complete locally, like
-///    MPI_Bsend): the payload is copied into the destination mailbox at post
-///    time, so the source buffer may be reused immediately and a send
-///    Request is born complete.
+///    MPI_Bsend): the payload is published to the destination's channel at
+///    post time, so the source buffer may be reused immediately and a send
+///    Request is born complete. isend_move completes locally too — the
+///    handoff transfers ownership instead of copying.
 ///  * recv() blocks until a matching message arrives; irecv() posts a
 ///    pending receive completed by wait/test/waitall/waitany. Matching is by
 ///    (communicator, source, tag) with kAnySource / kAnyTag wildcards, FIFO
@@ -49,6 +71,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "par/spsc.hpp"
 #include "par/verify/verify.hpp"
 
 namespace foam::par {
@@ -60,6 +83,19 @@ inline constexpr int kMaxUserTag = (1 << 28) - 1;
 /// Reduction operators for reduce/allreduce.
 enum class ReduceOp { kSum, kMin, kMax };
 
+/// Which point-to-point substrate a parallel run uses (see file comment).
+enum class CommTransport : int { kSpsc = 0, kMutex = 1 };
+
+const char* comm_transport_name(CommTransport t);
+
+/// Process-global transport for subsequent par::run launches. Precedence:
+/// the last explicit set_comm_transport wins, else FOAM_PAR_TRANSPORT
+/// (spsc|mutex), else kSpsc.
+void set_comm_transport(CommTransport t);
+
+/// The transport the next par::run will use under the precedence above.
+CommTransport comm_transport();
+
 /// Status of a completed receive.
 struct RecvStatus {
   int source = 0;  ///< rank (within the communicator) of the sender
@@ -69,11 +105,125 @@ struct RecvStatus {
 
 namespace detail {
 
+/// Unique runtime code per element type, for typed buffer handoff (a
+/// moved-out vector must be reinterpreted only as its original type).
+template <typename T>
+struct TypeTag {
+  static constexpr char tag = 0;
+};
+template <typename T>
+inline std::uintptr_t type_code_of() {
+  return reinterpret_cast<std::uintptr_t>(&TypeTag<T>::tag);
+}
+
+/// A message payload: small payloads live inline (no heap allocation — the
+/// slot of a lock-free channel carries the bytes), large copied payloads
+/// live in a heap buffer, and moved payloads (isend_move) keep the sender's
+/// own vector alive through a type-erased owner so the receiving side can
+/// move it out again without ever copying the bytes.
+class Payload {
+ public:
+  /// Largest payload carried inline in a channel slot.
+  static constexpr std::size_t kInlineBytes = 256;
+
+  Payload() = default;
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  Payload(Payload&& o) noexcept { steal(o); }
+  Payload& operator=(Payload&& o) noexcept {
+    if (this != &o) {
+      reset();
+      steal(o);
+    }
+    return *this;
+  }
+  ~Payload() { reset(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::byte* data() const {
+    return ext_ != nullptr ? static_cast<const std::byte*>(ext_) : inline_;
+  }
+  /// True when the bytes ride inline in the containing slot (fast path).
+  bool inlined() const { return owner_ == nullptr; }
+  /// True when the payload owns a handed-off buffer (rendezvous path).
+  bool owned() const { return owner_ != nullptr; }
+
+  /// Copy \p bytes in: inline when small, one heap buffer otherwise.
+  void assign(const void* src, std::size_t bytes) {
+    reset();
+    size_ = bytes;
+    if (bytes == 0) return;
+    if (bytes <= kInlineBytes) {
+      std::memcpy(inline_, src, bytes);
+      return;
+    }
+    auto* h = new std::vector<std::byte>(bytes);
+    std::memcpy(h->data(), src, bytes);
+    ext_ = h->data();
+    owner_ = OwnerPtr(h, [](void* p) {
+      delete static_cast<std::vector<std::byte>*>(p);
+    });
+  }
+
+  /// Adopt \p v without copying: the vector's heap buffer becomes the
+  /// payload and travels by pointer. \p v is left empty.
+  template <typename T>
+  void adopt(std::vector<T>&& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    reset();
+    auto* h = new std::vector<T>(std::move(v));
+    size_ = h->size() * sizeof(T);
+    ext_ = h->data();
+    owner_ = OwnerPtr(h, [](void* p) { delete static_cast<std::vector<T>*>(p); });
+    type_code_ = type_code_of<T>();
+  }
+
+  /// Move an adopted buffer of matching element type out into \p dst (the
+  /// zero-copy completion of a rendezvous handoff). False when the payload
+  /// was not handed off as a vector<T> — the caller copies instead.
+  template <typename T>
+  bool try_move_out(std::vector<T>& dst) {
+    if (owner_ == nullptr || type_code_ != type_code_of<T>()) return false;
+    dst = std::move(*static_cast<std::vector<T>*>(owner_.get()));
+    reset();
+    return true;
+  }
+
+ private:
+  using OwnerPtr = std::unique_ptr<void, void (*)(void*)>;
+
+  void reset() {
+    owner_.reset();
+    ext_ = nullptr;
+    size_ = 0;
+    type_code_ = 0;
+  }
+  void steal(Payload& o) {
+    size_ = o.size_;
+    type_code_ = o.type_code_;
+    ext_ = o.ext_;
+    owner_ = std::move(o.owner_);
+    if (ext_ == nullptr && size_ > 0) std::memcpy(inline_, o.inline_, size_);
+    o.ext_ = nullptr;
+    o.size_ = 0;
+    o.type_code_ = 0;
+  }
+
+  std::size_t size_ = 0;
+  std::uintptr_t type_code_ = 0;  ///< nonzero iff owner_ is a vector<T>
+  void* ext_ = nullptr;           ///< heap bytes, or nullptr for inline
+  OwnerPtr owner_{nullptr, [](void*) {}};
+  alignas(std::max_align_t) std::byte inline_[kInlineBytes];
+};
+
 struct Message {
   int comm_id = 0;
   int src_global = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
+  /// Per-channel FIFO sequence (spsc transport: merges ring + spill lanes).
+  std::uint64_t channel_seq = 0;
   // --- verify piggyback (filled only when the verifier is enabled) ---
   /// Sender's vector clock at send time (wildcard-race detection).
   std::vector<std::uint32_t> vclock;
@@ -85,6 +235,60 @@ struct Message {
   verify::CollDesc coll;
 };
 
+/// Ring capacity (messages) of one directed channel; bursts beyond it take
+/// the unbounded spill lane, so senders never block (buffered semantics).
+inline constexpr std::size_t kChannelRingSlots = 64;
+
+/// One directed rank pair's lock-free lane (spsc transport). The producer
+/// stamps every message with a running sequence number; the consumer merges
+/// the bounded ring and the overflow queue back into exact send order by
+/// popping whichever lane holds the next sequence.
+struct Channel {
+  SpscRing<Message, kChannelRingSlots> ring;
+  SpscQueue<Message> spill;
+  std::uint64_t send_seq = 0;  ///< producer-owned
+  std::uint64_t next_seq = 0;  ///< consumer-owned
+  /// Consumer's progress, published for the producer's depth estimate.
+  std::atomic<std::uint64_t> consumed{0};
+
+  /// Producer: always completes locally (ring first, spill on overflow).
+  void push(Message&& m) {
+    m.channel_seq = send_seq++;
+    if (!ring.try_push(std::move(m))) spill.push(std::move(m));
+  }
+
+  /// Consumer: pop the next message in send order, if one has arrived.
+  bool pop_next(Message& out) {
+    Message* rf = ring.front();
+    if (rf != nullptr && rf->channel_seq == next_seq) {
+      out = std::move(*rf);
+      ring.pop();
+    } else {
+      Message* sf = spill.front();
+      if (sf == nullptr || sf->channel_seq != next_seq) return false;
+      out = std::move(*sf);
+      spill.pop();
+    }
+    ++next_seq;
+    consumed.store(next_seq, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Producer-side estimate of undelivered messages in this channel.
+  std::size_t depth_estimate() const {
+    return static_cast<std::size_t>(
+        send_seq - consumed.load(std::memory_order_relaxed));
+  }
+};
+
+/// Per-rank arrival state (spsc transport). Owner-thread-only: messages are
+/// drained from the rank's inbound channels into this queue, where the
+/// matching engine consumes them — no lock anywhere.
+struct Inbox {
+  std::deque<Message> arrivals;
+};
+
+/// Per-rank shared mailbox (mutex transport — the A/B baseline).
 struct Mailbox {
   std::mutex mutex;
   std::condition_variable cv;
@@ -116,9 +320,30 @@ struct RequestState {
 };
 
 struct Context {
-  explicit Context(int nranks)
-      : boxes(nranks), pending(nranks), verifier(nranks) {}
-  std::vector<Mailbox> boxes;
+  Context(int nranks, CommTransport t)
+      : transport(t), nranks(nranks), pending(nranks), verifier(nranks) {
+    if (t == CommTransport::kSpsc) {
+      channels = std::vector<Channel>(
+          static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
+      inboxes = std::vector<Inbox>(static_cast<std::size_t>(nranks));
+    } else {
+      boxes = std::vector<Mailbox>(static_cast<std::size_t>(nranks));
+    }
+  }
+
+  Channel& channel(int src_global, int dst_global) {
+    return channels[static_cast<std::size_t>(dst_global) *
+                        static_cast<std::size_t>(nranks) +
+                    static_cast<std::size_t>(src_global)];
+  }
+
+  const CommTransport transport;
+  const int nranks;
+  /// Directed channels, dst-major so one rank's inbound lanes are adjacent
+  /// (spsc transport only).
+  std::vector<Channel> channels;
+  std::vector<Inbox> inboxes;  ///< per-rank arrivals (spsc transport only)
+  std::vector<Mailbox> boxes;  ///< per-rank mailboxes (mutex transport only)
   /// Pending nonblocking receives per global rank, in posting order.
   /// Touched only by the owning rank's thread.
   std::vector<std::vector<std::shared_ptr<RequestState>>> pending;
@@ -149,6 +374,30 @@ void combine(void* acc_v, const void* in_v, std::size_t count, ReduceOp op) {
 }
 
 using CombineFn = void (*)(void*, const void*, std::size_t, ReduceOp);
+
+// Telemetry hooks for the payload path (defined in comm.cpp so templated
+// delivery code in this header stays free of the telemetry dependency).
+void note_payload_copy(std::size_t bytes);
+void note_zero_copy_recv();
+
+/// Deliver \p p into \p v: move the buffer out when the sender handed it
+/// off as the same element type (zero-copy), else resize-and-copy.
+template <typename T>
+void payload_to_vec(Payload& p, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (p.try_move_out(v)) {
+    note_zero_copy_recv();
+    return;
+  }
+  FOAM_REQUIRE(p.size() % sizeof(T) == 0,
+               "recv_vec size " << p.size() << " not multiple of "
+                                << sizeof(T));
+  v.resize(p.size() / sizeof(T));
+  if (!v.empty()) {
+    std::memcpy(v.data(), p.data(), p.size());
+    note_payload_copy(p.size());
+  }
+}
 
 }  // namespace detail
 
@@ -190,6 +439,9 @@ class Comm {
   int rank() const { return rank_; }
   int size() const { return static_cast<int>(members_.size()); }
 
+  /// The transport this run was launched with.
+  CommTransport transport() const { return ctx_->transport; }
+
   // --- semantics verification -------------------------------------------
 
   /// Install verification options for the whole run (collective: every
@@ -197,13 +449,13 @@ class Comm {
   /// a barrier, so the new mode is in force on every rank).
   void set_verify(const CommVerifyOptions& opts);
 
-  /// Collective quiescence audit: barrier, then each rank checks that its
-  /// mailbox holds no unmatched user messages and that it has no pending
-  /// incomplete receives (with buffered sends, everything ever sent before
-  /// the barrier has already been delivered, so leftovers are real).
-  /// Returns the global number of new findings (allreduce). In strict mode
-  /// throws on every rank when that number is non-zero. No-op returning 0
-  /// when verification is off.
+  /// Collective quiescence audit: barrier, then each rank drains its
+  /// inbound channels and checks that they hold no unmatched user messages
+  /// and that it has no pending incomplete receives (with buffered sends,
+  /// everything ever sent before the barrier has already been published to
+  /// its destination, so leftovers are real). Returns the global number of
+  /// new findings (allreduce). In strict mode throws on every rank when
+  /// that number is non-zero. No-op returning 0 when verification is off.
   std::size_t verify_quiescent();
 
   /// The run's shared checker (finding counts for drivers and tests).
@@ -240,7 +492,9 @@ class Comm {
     return recv_bytes(src, tag, &value, sizeof(T));
   }
 
-  /// Vector send/recv; the receive resizes to the incoming length.
+  /// Vector send/recv; the receive resizes to the incoming length. When
+  /// the sender used isend_move with the same element type, the receive is
+  /// a zero-copy buffer move-out.
   template <typename T>
   void send_vec(int dst, int tag, const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -255,6 +509,20 @@ class Comm {
   /// the request is born complete and \p data may be reused immediately.
   /// Returned for API symmetry with irecv (wait/waitall accept it).
   Request isend_bytes(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Zero-copy send (rendezvous handoff): the vector's heap buffer is
+  /// handed to the runtime by pointer — no payload memcpy — and \p v is
+  /// left empty. The buffer now belongs to the runtime and then to the
+  /// receiver; the sender must hold no aliases into it. Completes locally
+  /// like isend (the request is born complete). Pair with recv_vec /
+  /// irecv_vec of the same element type for a fully zero-copy transfer.
+  template <typename T>
+  Request isend_move(int dst, int tag, std::vector<T>&& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    detail::Message msg;
+    msg.payload.adopt(std::move(v));
+    return isend_adopted(dst, tag, std::move(msg));
+  }
 
   /// Post a receive into \p data (capacity \p max_bytes); \p src may be
   /// kAnySource and \p tag kAnyTag. The buffer must stay alive until the
@@ -277,9 +545,10 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     return isend_bytes(dst, tag, v.data(), v.size() * sizeof(T));
   }
-  /// Post a receive that resizes \p v to the incoming length at completion.
-  /// The vector must stay alive (and must not be resized by the caller)
-  /// until the request completes.
+  /// Post a receive that resizes \p v to the incoming length at completion
+  /// (or moves the sender's buffer in, when it was handed off with
+  /// isend_move of the same element type). The vector must stay alive (and
+  /// must not be resized by the caller) until the request completes.
   template <typename T>
   Request irecv_vec(int src, int tag, std::vector<T>& v);
 
@@ -392,11 +661,27 @@ class Comm {
   void send_internal(int dst, int tag, const void* data, std::size_t bytes);
   detail::Message recv_internal(int src, int tag);
 
+  /// Stamp, verify-annotate and publish \p msg to \p dst's channel or
+  /// mailbox. The one funnel every send takes, on either transport.
+  void post_message(int dst, int tag, detail::Message&& msg);
+  /// isend_move back half (transport + telemetry, out of the template).
+  Request isend_adopted(int dst, int tag, detail::Message&& msg);
+
+  /// Receive one collective-round message from \p src and require its
+  /// payload to be exactly \p bytes long (\p what labels the diagnostic).
+  /// The shared front half of every collective's gather/scatter loop.
+  detail::Message recv_coll_sized(int src, std::size_t bytes,
+                                  const char* what);
+  /// recv_coll_sized plus the copy-out into \p dst — the shared back half
+  /// of the gather/scatter/bcast/alltoall delivery loops.
+  void recv_coll_into(int src, void* dst, std::size_t bytes,
+                      const char* what);
+
   /// Build a pending-receive state (matching fields validated/translated).
   std::shared_ptr<detail::RequestState> make_recv_state(int src, int tag);
   /// Append to this rank's pending list (posting order = matching order).
   void post_recv_state(const std::shared_ptr<detail::RequestState>& rs);
-  /// Block until \p rs completes (drives matching against the mailbox).
+  /// Block until \p rs completes (drives matching against the inbox).
   /// \p what labels the wait in deadlock diagnostics.
   void wait_state(detail::RequestState& rs, const char* what = "wait");
 
@@ -442,16 +727,11 @@ template <typename T>
 RecvStatus Comm::recv_vec(int src, int tag, std::vector<T>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   detail::Message msg = recv_internal(src, tag);
-  FOAM_REQUIRE(msg.payload.size() % sizeof(T) == 0,
-               "recv_vec size " << msg.payload.size() << " not multiple of "
-                                << sizeof(T));
-  v.resize(msg.payload.size() / sizeof(T));
-  if (!v.empty())
-    std::memcpy(v.data(), msg.payload.data(), msg.payload.size());
   RecvStatus st;
   st.source = local_rank_of_global(msg.src_global);
   st.tag = msg.tag;
   st.bytes = msg.payload.size();
+  detail::payload_to_vec(msg.payload, v);
   return st;
 }
 
@@ -463,12 +743,7 @@ Request Comm::irecv_vec(int src, int tag, std::vector<T>& v) {
   auto rs = make_recv_state(src, tag);
   std::vector<T>* dst = &v;
   rs->sink = [dst](detail::Message& msg) {
-    FOAM_REQUIRE(msg.payload.size() % sizeof(T) == 0,
-                 "irecv_vec size " << msg.payload.size()
-                                   << " not multiple of " << sizeof(T));
-    dst->resize(msg.payload.size() / sizeof(T));
-    if (!dst->empty())
-      std::memcpy(dst->data(), msg.payload.data(), msg.payload.size());
+    detail::payload_to_vec(msg.payload, *dst);
   };
   post_recv_state(rs);
   return Request(std::move(rs));

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file spsc.hpp
+/// Lock-free single-producer / single-consumer queues for the foam::par
+/// messaging runtime.
+///
+/// FOAM ranks are threads in one address space, and every directed pair of
+/// ranks has exactly one producer (the sender's thread) and one consumer
+/// (the receiver's thread). That makes the classic wait-free SPSC shapes
+/// sufficient for the whole point-to-point substrate — no CAS loops, no
+/// mutexes, one release store per push and one acquire load per pop:
+///
+///  * SpscRing<T, N> — a bounded power-of-two ring (Lamport queue) with
+///    cache-line-padded head/tail so producer and consumer never false-share
+///    their hot indices. Slots are plain T; the producer writes the slot
+///    *before* publishing it with a release store of the tail, the consumer
+///    acquires the tail before reading, so slot contents are fully ordered
+///    without slot-level atomics (and ThreadSanitizer agrees).
+///  * SpscQueue<T> — an unbounded linked SPSC queue (stub-node design):
+///    the producer appends at the tail with a release store of `next`, the
+///    consumer walks `next` pointers with acquire loads. Used as the
+///    overflow lane when a ring fills: pushes always complete locally, so
+///    the MPI_Bsend-style "buffered send" contract of foam::par survives
+///    bursts larger than the ring without blocking the sender.
+///
+/// Index caching: both shapes keep a producer-local cache of the consumer
+/// index (and vice versa), refreshed only when the cached view would refuse
+/// the operation. An uncontended push/pop therefore touches a single shared
+/// cache line.
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace foam::par {
+
+/// Destructive-interference granularity for the padding below. A fixed 64
+/// rather than std::hardware_destructive_interference_size: the constant is
+/// part of the layout, and GCC warns (-Winterference-size, fatal under
+/// FOAM_WERROR) that the library value shifts with -mtune. 64 is right for
+/// x86-64 and current ARM server cores; a wrong guess costs padding, not
+/// correctness.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Bounded lock-free SPSC ring over value type T. Capacity must be a power
+/// of two. Exactly one thread may push, exactly one may pop/peek.
+template <typename T, std::size_t Capacity>
+class SpscRing {
+  static_assert(Capacity >= 2 && (Capacity & (Capacity - 1)) == 0,
+                "SpscRing capacity must be a power of two");
+
+ public:
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  static constexpr std::size_t capacity() { return Capacity; }
+
+  /// Producer: publish \p v if a slot is free. On false, \p v is untouched
+  /// (the caller re-routes it, e.g. to an overflow queue).
+  bool try_push(T&& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= Capacity) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= Capacity) return false;
+    }
+    slots_[tail & kMask] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: the oldest unconsumed slot, or nullptr when empty. The
+  /// pointer stays valid until the matching pop().
+  T* front() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return nullptr;
+    }
+    return &slots_[head & kMask];
+  }
+
+  /// Consumer: release the slot returned by front(). The slot's value is
+  /// left moved-from (the caller consumed it through the front pointer).
+  void pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    slots_[head & kMask] = T{};  // drop payloads eagerly, not a ring later
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  /// Either side: racy size estimate (monitoring / backpressure hints).
+  std::size_t size_estimate() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  static constexpr std::size_t kMask = Capacity - 1;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // consumer-owned
+  alignas(kCacheLine) std::size_t head_cache_ = 0;        // producer-local
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // producer-owned
+  alignas(kCacheLine) std::size_t tail_cache_ = 0;        // consumer-local
+  alignas(kCacheLine) T slots_[Capacity];
+};
+
+/// Unbounded lock-free SPSC queue (stub-node linked list). push() always
+/// succeeds; one heap allocation per element, so it is the overflow lane,
+/// not the fast path.
+template <typename T>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Node), tail_(head_) {}
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+  ~SpscQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Producer: append (always succeeds; allocates).
+  void push(T&& v) {
+    Node* n = new Node;
+    n->value = std::move(v);
+    tail_->next.store(n, std::memory_order_release);
+    tail_ = n;
+  }
+
+  /// Consumer: the oldest unconsumed value, or nullptr when empty. Valid
+  /// until the matching pop().
+  T* front() {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    return next != nullptr ? &next->value : nullptr;
+  }
+
+  /// Consumer: release the value returned by front().
+  void pop() {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    delete head_;
+    head_ = next;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  alignas(kCacheLine) Node* head_;  // consumer-owned (stub node)
+  alignas(kCacheLine) Node* tail_;  // producer-owned
+};
+
+}  // namespace foam::par

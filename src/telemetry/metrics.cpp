@@ -94,6 +94,13 @@ void CommStats::snapshot(
                    static_cast<double>(dest_mailbox_hwm));
   out.emplace_back("comm.requests_waited",
                    static_cast<double>(requests_waited));
+  out.emplace_back("comm.fastpath_msgs", static_cast<double>(fastpath_msgs));
+  out.emplace_back("comm.zero_copy_handoffs",
+                   static_cast<double>(zero_copy_handoffs));
+  out.emplace_back("comm.zero_copy_recvs",
+                   static_cast<double>(zero_copy_recvs));
+  out.emplace_back("comm.payload_memcpy_bytes",
+                   static_cast<double>(payload_memcpy_bytes));
   out.emplace_back("comm.wait_seconds.count",
                    static_cast<double>(wait_seconds.count()));
   out.emplace_back("comm.wait_seconds.sum", wait_seconds.sum());

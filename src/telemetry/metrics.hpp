@@ -129,6 +129,18 @@ struct CommStats {
   std::uint64_t dest_mailbox_hwm = 0;
   /// Requests (and blocking receives) this rank waited on.
   std::uint64_t requests_waited = 0;
+  /// Messages sent on the small-message fast path (payload inlined in the
+  /// channel slot, no heap allocation).
+  std::uint64_t fastpath_msgs = 0;
+  /// isend_move rendezvous handoffs posted (buffer ownership transferred
+  /// by pointer, no send-side copy).
+  std::uint64_t zero_copy_handoffs = 0;
+  /// Receives completed by moving a handed-off buffer out (no recv copy).
+  std::uint64_t zero_copy_recvs = 0;
+  /// Payload bytes that crossed a memcpy anywhere on the message path
+  /// (send-side staging of large copies, recv-side copy-out). The
+  /// rendezvous path is gated on contributing nothing here.
+  std::uint64_t payload_memcpy_bytes = 0;
 
   void on_send(int peer_global, bool internal, std::size_t bytes,
                std::size_t dest_depth);

@@ -569,6 +569,35 @@ TEST(RankLayout, DriverRejectsAllAtmWorldWithPointedDiagnostic) {
   });
 }
 
+TEST(ParallelCoupled, TransportsProduceBitwiseIdenticalDay) {
+  // The messaging transport must be invisible to the science: a coupled
+  // day on the lock-free SPSC runtime and on the legacy mutex mailboxes
+  // lands on the same SST bit for bit, in both exchange modes.
+  FoamConfig cfg = FoamConfig::testing();
+  for (const bool overlap : {false, true}) {
+    Field2Dd sst[2];
+    for (const par::CommTransport t :
+         {par::CommTransport::kSpsc, par::CommTransport::kMutex}) {
+      par::set_comm_transport(t);
+      par::run(3, [&](par::Comm& world) {
+        ParallelRunOptions opts;
+        opts.layout = RankLayout::rows(2, 1);
+        opts.overlap = overlap;
+        opts.capture_timelines = false;
+        const auto res = run_coupled_parallel(world, opts, cfg, 1.0);
+        if (world.rank() == 2) sst[static_cast<int>(t)] = res.final_sst;
+      });
+    }
+    par::set_comm_transport(par::CommTransport::kSpsc);
+    ASSERT_GT(sst[0].size(), 0u);
+    ASSERT_EQ(sst[0].size(), sst[1].size());
+    for (std::size_t n = 0; n < sst[0].size(); ++n)
+      ASSERT_EQ(sst[0].data()[n], sst[1].data()[n])
+          << (overlap ? "overlap" : "blocking")
+          << " SST diverged across transports at cell " << n;
+  }
+}
+
 TEST(ParallelCoupled, MultiRankOceanDayMatchesSingleOceanBitwise) {
   // The decomposition-independence contract of the 2-D ocean: a coupled
   // day on any ocean rank grid gathers to the same SST, bit for bit, as
