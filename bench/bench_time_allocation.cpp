@@ -38,6 +38,7 @@
 #include "bench_json.hpp"
 #include "foam/coupled.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/observe.hpp"
 
 using namespace foam;
 
@@ -52,26 +53,36 @@ double run_placement(int n_atm, int n_ocean, double days, bool overlap,
                      bool engine, telemetry::TraceLevel level,
                      bench::BenchJson& json,
                      ParallelRunResult* capture = nullptr, int rep = 0,
-                     bool audit = false) {
+                     bool audit = false,
+                     const telemetry::ObservabilityOptions* observe =
+                         nullptr) {
   FoamConfig cfg = FoamConfig::paper_default();
   cfg.atm.emulate_full_core_cost = true;
   cfg.atm.emulate_transforms_per_level = 40;  // full 18-level core cost
   cfg.atm.spectral_engine = engine;
   const int world = n_atm + n_ocean;
+  const char* obs_label = observe == nullptr ? "off"
+                          : observe->profile ? "profile"
+                                             : "live";
   double atm_busy_out = 0.0, ocean_busy_out = 0.0, wait_out = 0.0,
          atm_share_out = 0.0;
   std::printf(
       "\n--- placement: %d atmosphere + %d ocean ranks, %.2f day, "
-      "%s exchange, %s transforms, telemetry %s, verify %s ---\n",
+      "%s exchange, %s transforms, telemetry %s, verify %s, observe %s "
+      "---\n",
       n_atm, n_ocean, days, overlap ? "overlap" : "blocking",
       engine ? "engine" : "reference", telemetry::trace_level_name(level),
-      audit ? "audit" : "off");
+      audit ? "audit" : "off", obs_label);
   par::run(world, [&](par::Comm& comm) {
     ParallelRunOptions opts;
     opts.n_atm = n_atm;
     opts.overlap = overlap;
     opts.telemetry.level = level;
     opts.verify.mode = audit ? par::VerifyMode::kAudit : par::VerifyMode::kOff;
+    // Explicitly off when the caller passed nothing: the bench must not
+    // inherit FOAM_OBSERVE from the environment or the A/B is polluted.
+    opts.observe = observe != nullptr ? *observe
+                                      : telemetry::ObservabilityOptions{};
     const auto res = run_coupled_parallel(comm, opts, cfg, days);
     // A correct coupled schedule must audit clean: any unmatched send,
     // leaked request or wildcard race in the exchange protocol is a bug.
@@ -152,7 +163,8 @@ double run_placement(int n_atm, int n_ocean, double days, bool overlap,
       {"exchange", overlap ? "overlap" : "blocking"},
       {"spectral", engine ? "engine" : "reference"},
       {"telemetry", telemetry::trace_level_name(level)},
-      {"verify", audit ? "audit" : "off"}};
+      {"verify", audit ? "audit" : "off"},
+      {"observe", obs_label}};
   if (rep > 0) jcfg.push_back({"rep", rep});
   json.add("atm_busy_seconds", atm_busy_out, "s", jcfg);
   json.add("atm_busy_share", atm_share_out, "fraction", jcfg);
@@ -311,6 +323,88 @@ int main() {
   FOAM_REQUIRE(busy_audit <= busy_off * 1.05 + 0.2,
                "par-verify audit overhead above budget: "
                    << busy_audit << "s vs " << busy_off << "s off");
+
+  // --- live observability gate: heartbeat + status feed vs plain run on
+  // the shared busy_off baseline. The hot path adds three relaxed stores
+  // per coupling exchange plus a day-boundary snapshot publish; budget 1%
+  // of busy time (+0.2 s scheduler slack), min-of-3 as above.
+  telemetry::ObservabilityOptions live;
+  live.heartbeat = true;
+  live.status = true;
+  double busy_live = 0.0;
+  for (int rep = 1; rep <= 3; ++rep) {
+    const double b = run_placement(4, 1, days, /*overlap=*/true,
+                                   /*engine=*/true, TraceLevel::kOff, json,
+                                   nullptr, rep, /*audit=*/false, &live);
+    busy_live = rep == 1 ? b : std::min(busy_live, b);
+  }
+  const double live_overhead =
+      busy_off > 0.0 ? (busy_live - busy_off) / busy_off : 0.0;
+  std::printf("\nobservability overhead (heartbeat+status vs off, 4+1 "
+              "overlap): %.2fs vs %.2fs busy (%+.2f%%)\n",
+              busy_live, busy_off, 100.0 * live_overhead);
+  json.add("observe_live_overhead", live_overhead, "fraction",
+           {{"atm_ranks", 4}, {"ocean_ranks", 1}});
+  FOAM_REQUIRE(busy_live <= busy_off * 1.01 + 0.2,
+               "heartbeat+status overhead above budget: "
+                   << busy_live << "s vs " << busy_off << "s off");
+
+  // --- sampling profiler gate: 1 kHz sampling on top of the live feed.
+  // The rank-side cost is one relaxed store per span begin/end (the packed
+  // leaf word); the monitor's try-lock sampling runs off the hot path.
+  // Budget 3% of busy time. The captured run also gates *attribution*: the
+  // sample histogram, scaled by the measured effective interval, must land
+  // within 10% (+50 ms) of the exact flat-timeline totals for rank 0's
+  // top-3 regions.
+  telemetry::ObservabilityOptions prof = live;
+  prof.profile = true;
+  prof.profile_interval_seconds = 1e-3;
+  double busy_prof = 0.0;
+  ParallelRunResult profres;
+  for (int rep = 1; rep <= 3; ++rep) {
+    const double b = run_placement(4, 1, days, /*overlap=*/true,
+                                   /*engine=*/true, TraceLevel::kOff, json,
+                                   &profres, rep, /*audit=*/false, &prof);
+    busy_prof = rep == 1 ? b : std::min(busy_prof, b);
+  }
+  const double prof_overhead =
+      busy_off > 0.0 ? (busy_prof - busy_off) / busy_off : 0.0;
+  std::printf("\nprofiler overhead (sampling vs off, 4+1 overlap): "
+              "%.2fs vs %.2fs busy (%+.2f%%)\n",
+              busy_prof, busy_off, 100.0 * prof_overhead);
+  json.add("observe_profile_overhead", prof_overhead, "fraction",
+           {{"atm_ranks", 4}, {"ocean_ranks", 1}});
+  FOAM_REQUIRE(busy_prof <= busy_off * 1.03 + 0.2,
+               "sampling profiler overhead above budget: "
+                   << busy_prof << "s vs " << busy_off << "s off");
+
+  FOAM_REQUIRE(profres.profile_interval_seconds > 0.0 &&
+                   !profres.profile.empty(),
+               "profiled run returned no samples");
+  std::vector<std::pair<double, par::Region>> exact;
+  for (int reg = 0; reg < par::kRegionCount; ++reg) {
+    const auto region = static_cast<par::Region>(reg);
+    const double t = profres.region_seconds(0, region);
+    if (t >= 0.2) exact.emplace_back(t, region);
+  }
+  std::sort(exact.rbegin(), exact.rend());
+  if (exact.size() > 3) exact.resize(3);
+  FOAM_REQUIRE(!exact.empty(), "no rank-0 region reached 0.2 s");
+  std::printf("profiler attribution vs exact timelines (rank 0, interval "
+              "%.3g ms):\n",
+              profres.profile_interval_seconds * 1e3);
+  for (const auto& [t, region] : exact) {
+    const double sampled = profres.profile_seconds(0, region);
+    std::printf("  %-12s exact %.3fs  sampled %.3fs  (%+.1f%%)\n",
+                par::region_name(region), t, sampled,
+                t > 0.0 ? 100.0 * (sampled - t) / t : 0.0);
+    json.add("profile_attribution_error", std::abs(sampled - t) / t,
+             "fraction", {{"rank", 0}, {"region", par::region_name(region)}});
+    FOAM_REQUIRE(std::abs(sampled - t) <= 0.10 * t + 0.05,
+                 "profiler attribution off for region "
+                     << par::region_name(region) << ": sampled " << sampled
+                     << "s vs exact " << t << "s");
+  }
 
   // --- paper-scale audited day: the 8+1 placement under audit mode, with
   // the zero-findings assertion inside run_placement as the acceptance

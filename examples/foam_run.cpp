@@ -30,6 +30,8 @@
 #include "foam/checkpoint.hpp"
 #include "foam/run_config.hpp"
 #include "par/timers.hpp"
+#include "telemetry/observe.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace foam;
@@ -58,6 +60,13 @@ int main(int argc, char** argv) {
       std::printf("restored from %s at %s\n", plan.restart_path.c_str(),
                   model.now().to_string().c_str());
     }
+    // Serial observability: the single "rank" heartbeats per report chunk,
+    // so status.json (run.observe_dir / FOAM_OBSERVE) tracks progress and
+    // an abort still leaves a postmortem trace behind.
+    telemetry::Telemetry tel;
+    telemetry::ScopedSession session(tel);
+    telemetry::ScopedRankObserver obs(plan.observe, 0, 1, "serial",
+                                      plan.days);
     par::Stopwatch wall;
     const double report_every = std::max(1.0, plan.days / 10.0);
     const std::int64_t ckpt_every =
@@ -68,6 +77,10 @@ int main(int argc, char** argv) {
     while (done < plan.days - 1e-9) {
       model.run_days(std::min(report_every, plan.days - done));
       done = static_cast<double>(model.now().seconds()) / 86400.0;
+      if (obs) {
+        obs->beat(done);
+        obs->publish_self();
+      }
       const auto diag = model.ocean_model().diagnostics();
       std::printf("  %s | SST %.2f C | atm T %.1f K | precip %.2f mm/day\n",
                   model.now().to_string().c_str(), diag.mean_sst,
@@ -82,6 +95,10 @@ int main(int argc, char** argv) {
         ckpt_write_latest(plan.checkpoint.path_prefix, day);
         std::printf("  checkpoint: day %lld\n", static_cast<long long>(day));
       }
+    }
+    if (obs) {
+      obs->finish_rank();
+      obs->finish_run(done);
     }
     std::printf("completed at %.0fx real time\n",
                 plan.days * 86400.0 / wall.seconds());

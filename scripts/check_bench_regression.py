@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over the BENCH_*.json documents.
+
+Compares freshly emitted bench JSON against the committed baselines in
+bench/baselines/ and fails (exit 1) when a critical-path metric regresses
+beyond the tolerance. Rows are matched by (metric, config) — the config
+dict pins placement, exchange mode, trace level, verify mode, observe
+mode and rep, so A/B variants never cross-compare.
+
+Only critical-path metrics gate: time-unit ("s") metrics whose name marks
+them as busy/wall/latency work, and higher-is-better ratio metrics
+("x"-unit speedups). Share/fraction metrics (overheads, attribution
+errors) are asserted by the benches themselves with absolute slack and
+are too noisy to diff across CI hosts, so they are reported but never
+gate. Rows missing from the baseline (new metrics) are skipped — the
+baseline refresh picks them up.
+
+CI hosts are noisy; each comparison carries an absolute slack floor on
+top of the relative tolerance (seconds-unit: 0.3 s) so quick-mode runs
+only trip on genuine order-of-magnitude regressions, not scheduler
+jitter.
+
+Usage:
+  python3 scripts/check_bench_regression.py \
+      --baseline-dir bench/baselines --tolerance 0.15 BENCH_*.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Substrings that mark a metric as critical-path when its unit is "s".
+TIME_CRITICAL = ("busy", "wall", "latency")
+# Substrings that mark a higher-is-better metric (unit "x" or ratio).
+HIGHER_BETTER = ("speedup", "throughput")
+
+ABS_SLACK_SECONDS = 0.3
+
+
+def row_key(row):
+    config = row.get("config", {}) or {}
+    return (row.get("metric", ""), tuple(sorted(config.items())))
+
+
+def classify(row):
+    """Return 'lower', 'higher', or None (not gated)."""
+    metric = row.get("metric", "")
+    unit = row.get("unit", "")
+    if any(s in metric for s in HIGHER_BETTER) or unit == "x":
+        return "higher"
+    if unit == "s" and any(s in metric for s in TIME_CRITICAL):
+        return "lower"
+    return None
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("results", [])
+    out = {}
+    for row in rows:
+        out[row_key(row)] = row
+    return out
+
+
+def describe(row):
+    config = row.get("config", {}) or {}
+    bits = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+    return f"{row.get('metric', '?')} [{bits}]"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="relative regression tolerance (0.15 = 15%%)")
+    ap.add_argument("files", nargs="+", help="freshly emitted BENCH_*.json")
+    args = ap.parse_args()
+
+    regressions = []
+    compared = skipped = 0
+    for path in args.files:
+        base_path = os.path.join(args.baseline_dir, os.path.basename(path))
+        if not os.path.exists(base_path):
+            print(f"-- no baseline for {os.path.basename(path)}, skipping")
+            continue
+        current = load_rows(path)
+        baseline = load_rows(base_path)
+        for key, row in sorted(current.items()):
+            direction = classify(row)
+            if direction is None:
+                continue
+            base = baseline.get(key)
+            if base is None:
+                skipped += 1
+                continue
+            cur_v = float(row.get("value", 0.0))
+            base_v = float(base.get("value", 0.0))
+            compared += 1
+            if direction == "lower":
+                limit = base_v * (1.0 + args.tolerance) + ABS_SLACK_SECONDS
+                bad = cur_v > limit
+                delta = (cur_v - base_v) / base_v if base_v > 0 else 0.0
+            else:
+                limit = base_v * (1.0 - args.tolerance)
+                # Ratio floor: a speedup below ~1 already fails its own
+                # bench gate; the guard only needs the relative drop.
+                bad = base_v > 0 and cur_v < limit
+                delta = (cur_v - base_v) / base_v if base_v > 0 else 0.0
+            mark = "REGRESSION" if bad else "ok"
+            print(f"{mark:>10}  {describe(row)}: {cur_v:.4g} vs baseline "
+                  f"{base_v:.4g} ({delta:+.1%}, {direction} is better)")
+            if bad:
+                regressions.append((describe(row), cur_v, base_v))
+
+    print(f"\ncompared {compared} critical-path metric(s), "
+          f"{skipped} not in baseline, {len(regressions)} regression(s) "
+          f"at {args.tolerance:.0%} tolerance")
+    if regressions:
+        for desc, cur_v, base_v in regressions:
+            print(f"  FAIL {desc}: {cur_v:.4g} vs {base_v:.4g}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -277,6 +277,13 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
   telemetry::Tracer& rec = tel.tracer();
   set_log_rank(world.rank());
 
+  // Live observability (flight recorder / heartbeat / profiler / status
+  // feed). Declared after the session so its destructor — which captures
+  // this rank's live trace when unwinding an abort — still sees it.
+  telemetry::ScopedRankObserver obs(
+      opts.observe, world.rank(), world.size(),
+      layout.describe() + (opts.overlap ? " overlap" : " blocking"), days);
+
   const auto exchange_steps =
       static_cast<std::int64_t>(cfg.exchange_seconds / cfg.atm.dt);
   const auto total_steps = static_cast<std::int64_t>(
@@ -568,6 +575,14 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       }
       rec.end_region();
       day_boundary_audit(ex);
+      // Heartbeat every exchange; publish the trace snapshot once per day
+      // (before the resilience hook, so an injected stall or kill there is
+      // observed against a fresh beat).
+      if (obs) {
+        obs->beat(static_cast<double>(ex + 1) /
+                  static_cast<double>(exchanges_per_day));
+        if ((ex + 1) % exchanges_per_day == 0) obs->publish_self();
+      }
       day_resilience(ex, write_shard);
     }
     // Drain the reply still in flight after the last interval so the
@@ -639,14 +654,33 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       ocean_cpu += par::thread_cpu_now() - cpu0;
       rec.end_region();
       day_boundary_audit(ex);
+      if (obs) {
+        obs->beat(static_cast<double>(ex + 1) /
+                  static_cast<double>(exchanges_per_day));
+        if ((ex + 1) % exchanges_per_day == 0) obs->publish_self();
+      }
       day_resilience(ex, write_shard);
     }
     tel.metrics().gauge("driver.ocean_cpu_seconds").set(ocean_cpu);
   }
 
+  // This rank's loop is done: final snapshot publish + watchdog opt-out
+  // before the potentially-blocking final audit.
+  if (obs) obs->finish_rank();
+
   // Final drain audit: by run end every message ever sent must have been
   // received and every request completed (collective; no-op when off).
   world.verify_quiescent();
+
+  // Surface ring-buffer drops instead of silently truncating traces; the
+  // counter lands in the metric gather below so drivers and tests see it.
+  if (const std::uint64_t dropped_spans = rec.dropped(); dropped_spans > 0) {
+    tel.metrics().counter("telemetry.dropped_spans").add(dropped_spans);
+    FOAM_LOG_WARN << "telemetry: span ring dropped " << dropped_spans
+                  << " span(s) on rank " << world.rank()
+                  << "; oldest spans are missing from the trace (raise "
+                     "TelemetryOptions::max_spans)";
+  }
 
   ParallelRunResult result;
   result.wall_seconds = wall.seconds();
@@ -684,6 +718,17 @@ ParallelRunResult run_coupled_parallel(par::Comm& world,
       result.metrics[r] = telemetry::deserialize_samples(streams[r].data(),
                                                          streams[r].size());
   }
+
+  if (obs && opts.observe.profile) {
+    // Every rank has published its final snapshot (finish_rank above), so
+    // the sample words resolve against complete name tables.
+    world.barrier();
+    result.profile = obs->profile_snapshot();
+    result.profile_interval_seconds = obs->profile_effective_interval();
+  }
+  if (obs && world.rank() == 0)
+    obs->finish_run(static_cast<double>(n_exchanges) /
+                    static_cast<double>(exchanges_per_day));
   return result;
 }
 

@@ -38,6 +38,7 @@
 #include "par/fault.hpp"
 #include "par/timers.hpp"
 #include "par/verify/verify.hpp"
+#include "telemetry/observe.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace foam {
@@ -157,6 +158,23 @@ struct ParallelRunResult {
   /// ranks only (empty elsewhere). The same field for every rank layout of
   /// a given config — the decomposition-independence observable.
   Field2Dd final_sst;
+
+  /// Sampling-profiler histogram (ObservabilityOptions::profile): sample
+  /// counts per (rank, innermost open span). Empty when profiling is off.
+  std::vector<telemetry::ProfileEntry> profile;
+  /// Measured seconds between profiler samples (the effective interval —
+  /// multiply sample counts by this for time attribution).
+  double profile_interval_seconds = 0.0;
+
+  /// Profiler-attributed seconds rank \p rank spent with a span of region
+  /// class \p r innermost — the sampled counterpart of region_seconds.
+  double profile_seconds(int rank, par::Region r) const {
+    double sum = 0.0;
+    for (const telemetry::ProfileEntry& e : profile)
+      if (e.rank == rank && e.region == r)
+        sum += static_cast<double>(e.samples) * profile_interval_seconds;
+    return sum;
+  }
 };
 
 /// Checkpoint policy for the parallel driver (see foam/checkpoint.hpp for
@@ -242,6 +260,12 @@ struct ParallelRunOptions {
   /// chosen simulated-day boundary. Disarmed by default unless FOAM_FAULT
   /// is set (par/fault.hpp).
   par::FaultPlan fault = par::FaultPlan::from_env();
+  /// Live observability: flight recorder, heartbeat/watchdog, sampling
+  /// profiler, status feed (telemetry/observe.hpp). All off by default
+  /// unless FOAM_OBSERVE / FOAM_OBSERVE_WATCHDOG / FOAM_TELEMETRY=profile
+  /// are set.
+  telemetry::ObservabilityOptions observe =
+      telemetry::ObservabilityOptions::from_env();
 };
 
 /// Run the coupled model SPMD on \p world. Must be called by every rank of

@@ -22,7 +22,7 @@ const std::set<std::string>& known_keys() {
       "coupling.ocean_accel", "run.days",
       "run.history_path",  "run.restart_path",
       "run.checkpoint_prefix", "run.checkpoint_every_days",
-      "run.checkpoint_resume",
+      "run.checkpoint_resume", "run.observe_dir",
   };
   return keys;
 }
@@ -88,6 +88,16 @@ RunPlan run_plan_from(const Config& cfg) {
                "run.checkpoint_every_days must be positive");
   FOAM_REQUIRE(!plan.checkpoint.resume || plan.checkpoint.enabled(),
                "run.checkpoint_resume requires run.checkpoint_prefix");
+  // run.observe_dir turns on the full live-observability trio (status
+  // feed, heartbeat, flight recorder) into the given directory, on top of
+  // whatever the FOAM_OBSERVE* environment already requested.
+  if (const std::string dir = cfg.get_string("run.observe_dir", "");
+      !dir.empty()) {
+    plan.observe.flight_recorder = true;
+    plan.observe.heartbeat = true;
+    plan.observe.status = true;
+    plan.observe.dir = dir;
+  }
   return plan;
 }
 

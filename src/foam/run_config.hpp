@@ -19,6 +19,7 @@
 ///   run.days run.history_path run.restart_path
 ///   run.checkpoint_prefix ("" = off) run.checkpoint_every_days (1)
 ///   run.checkpoint_resume (false)
+///   run.observe_dir ("" = off; enables status.json + flight recorder)
 
 #include <string>
 
@@ -42,6 +43,10 @@ struct RunPlan {
   /// maintains the same `<prefix>.latest.foam` pointer as the parallel
   /// shards, so "resume from the newest complete checkpoint" is one flag.
   CheckpointOptions checkpoint;
+  /// Live observability (status feed / flight recorder): defaults to the
+  /// FOAM_OBSERVE* environment; run.observe_dir overrides and enables.
+  telemetry::ObservabilityOptions observe =
+      telemetry::ObservabilityOptions::from_env();
 };
 
 RunPlan run_plan_from(const Config& cfg);

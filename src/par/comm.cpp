@@ -9,6 +9,7 @@
 #include <thread>
 #include <tuple>
 
+#include "telemetry/observe.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace foam::par {
@@ -336,6 +337,7 @@ std::size_t Comm::verify_quiescent() {
 
 void Comm::stall(double max_seconds, const char* what) {
   const int me = members_[rank_];
+  telemetry::observe_comm_op(what);
   verify::Verifier* v = active_verifier(ctx_);
   // Empty spec list: the deadlock detector treats this rank as blocked in a
   // wait nothing can release, so it anchors a definitely-deadlocked set as
@@ -457,6 +459,9 @@ void Comm::post_recv_state(
 void Comm::wait_state(detail::RequestState& rs, const char* what) {
   const int me = members_[rank_];
   auto& pend = ctx_->pending[me];
+  // RAII wait marker: while this frame is live the rank is parked in a
+  // tracked wait, so the watchdog blames whoever it is waiting for.
+  const telemetry::ScopedCommWait obs_wait(what);
   telemetry::Telemetry* tel = telemetry::current();
   std::chrono::steady_clock::time_point t0;
   if (tel != nullptr) t0 = std::chrono::steady_clock::now();
@@ -925,6 +930,17 @@ void run(int nranks, const std::function<void(Comm&)>& fn) {
       } catch (...) {
         ctx.verifier.suppress();
         errors[r] = std::current_exception();
+        // Flight-recorder backstop for failures that escape without an
+        // observer-attached frame; AbortError is sympathetic, not a cause.
+        try {
+          std::rethrow_exception(errors[r]);
+        } catch (const AbortError&) {  // NOLINT(bugprone-empty-catch)
+        } catch (const std::exception& e) {
+          telemetry::observe_abort(e.what());
+        } catch (...) {
+          telemetry::observe_abort("unknown exception in rank " +
+                                   std::to_string(r));
+        }
         g_abort.store(true, std::memory_order_relaxed);
         // Mutex transport blocks in cv waits; wake everyone. (The spsc
         // transport needs nothing: its waits poll g_abort.)

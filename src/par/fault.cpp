@@ -6,6 +6,7 @@
 #include "base/error.hpp"
 #include "base/logging.hpp"
 #include "par/comm.hpp"
+#include "telemetry/observe.hpp"
 
 namespace foam::par {
 
@@ -85,12 +86,25 @@ void maybe_inject_fault(Comm& world, FaultPlan& plan, double day) {
     std::ostringstream msg;
     msg << "fault injection: rank " << fired.rank
         << " killed at simulated day " << day;
+    // Leave the injected fault as this rank's open span (faults fire at
+    // day boundaries where nothing else is open) and dump *with the kill
+    // as the recorded reason* before the exception starts unwinding.
+    if (telemetry::Telemetry* tel = telemetry::current())
+      tel->tracer().begin_span("fault.kill (injected)");
+    telemetry::observe_abort(msg.str());
     throw Error(msg.str());
   }
   FOAM_LOG_ERROR << "fault injection: stalling rank " << fired.rank
                  << " at simulated day " << day << " for up to "
                  << fired.stall_seconds << "s";
+  telemetry::Telemetry* tel = telemetry::current();
+  if (tel != nullptr) tel->tracer().begin_span("fault.stall (injected)");
+  // Publish the stall span before parking so the watchdog/flight-recorder
+  // postmortem names it even though this rank never runs again.
+  telemetry::observe_comm_op("stall");
+  telemetry::observe_publish();
   world.stall(fired.stall_seconds, "fault.stall (injected)");
+  if (tel != nullptr) tel->tracer().end_span();
 }
 
 }  // namespace foam::par

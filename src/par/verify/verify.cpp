@@ -6,6 +6,7 @@
 
 #include "base/logging.hpp"
 #include "par/comm.hpp"
+#include "telemetry/observe.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace foam::par {
@@ -344,6 +345,9 @@ void Verifier::poll_deadlock(int me_global) {
   // The abort unwinds every rank through half-finished operations; stop
   // recording so that teardown noise doesn't bury the real diagnostic.
   suppressed_.store(true, std::memory_order_relaxed);
+  // Land the flight-recorder postmortem while every stuck rank's last
+  // published snapshot is still reachable, before the unwind starts.
+  telemetry::observe_abort(os.str());
   throw Error(os.str());
 }
 

@@ -1,89 +1,156 @@
 #include "telemetry/chrome_trace.hpp"
 
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
+#include <utility>
 
 namespace foam::telemetry {
 
-namespace {
-
-void append_quoted(std::string& out, const std::string& s) {
-  out += '"';
+void json_quote(std::ostream& os, std::string_view s) {
+  os << '"';
   for (const char ch : s) {
-    if (ch == '"' || ch == '\\') out += '\\';
+    if (ch == '"' || ch == '\\') os << '\\';
     if (static_cast<unsigned char>(ch) >= 0x20) {
-      out += ch;
+      os << ch;
     } else {
       char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-      out += buf;
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(ch)));
+      os << buf;
     }
   }
-  out += '"';
+  os << '"';
 }
 
-void append_num(std::string& out, double v) {
+namespace {
+
+void put_num(std::ostream& os, double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.3f", v);
-  out += buf;
+  os << buf;
 }
 
 }  // namespace
 
-std::string chrome_trace_json(const std::vector<RankTrace>& ranks) {
-  std::string out = "{\n\"traceEvents\": [";
+void chrome_trace_events(std::ostream& os,
+                         const std::vector<RankTrace>& ranks) {
   bool first = true;
   const auto sep = [&] {
-    if (!first) out += ',';
+    if (!first) os << ',';
     first = false;
-    out += "\n";
+    os << '\n';
   };
   for (std::size_t rank = 0; rank < ranks.size(); ++rank) {
     sep();
-    out += R"({"name": "thread_name", "ph": "M", "pid": 0, "tid": )";
-    out += std::to_string(rank);
-    out += R"(, "args": {"name": "rank )" + std::to_string(rank) + "\"}}";
+    os << R"({"name": "thread_name", "ph": "M", "pid": 0, "tid": )" << rank
+       << R"(, "args": {"name": "rank )" << rank << "\"}}";
   }
   for (std::size_t rank = 0; rank < ranks.size(); ++rank) {
     const RankTrace& t = ranks[rank];
     for (const SpanRec& s : t.spans) {
       sep();
-      out += R"({"name": )";
+      os << R"({"name": )";
       const bool known =
           s.name_id >= 0 && s.name_id < static_cast<int>(t.names.size());
-      append_quoted(out, known ? t.names[static_cast<std::size_t>(s.name_id)]
-                               : std::string("?"));
-      out += R"(, "cat": )";
-      append_quoted(out, par::region_name(s.region));
+      json_quote(os, known ? t.names[static_cast<std::size_t>(s.name_id)]
+                           : std::string("?"));
+      os << R"(, "cat": )";
+      json_quote(os, par::region_name(s.region));
       if (s.t1 == s.t0) {
         // Zero-duration spans are point events (Tracer::instant); Chrome's
         // "i" phase renders them as thread-scoped markers.
-        out += R"(, "ph": "i", "s": "t", "ts": )";
-        append_num(out, s.t0 * 1e6);
+        os << R"(, "ph": "i", "s": "t", "ts": )";
+        put_num(os, s.t0 * 1e6);
       } else {
-        out += R"(, "ph": "X", "ts": )";
-        append_num(out, s.t0 * 1e6);
-        out += R"(, "dur": )";
-        append_num(out, (s.t1 - s.t0) * 1e6);
+        os << R"(, "ph": "X", "ts": )";
+        put_num(os, s.t0 * 1e6);
+        os << R"(, "dur": )";
+        put_num(os, (s.t1 - s.t0) * 1e6);
       }
-      out += R"(, "pid": 0, "tid": )";
-      out += std::to_string(rank);
-      out += '}';
+      os << R"(, "pid": 0, "tid": )" << rank << '}';
     }
   }
-  out += "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
-  return out;
+}
+
+void chrome_trace_stream(std::ostream& os,
+                         const std::vector<RankTrace>& ranks) {
+  os << "{\n\"traceEvents\": [";
+  chrome_trace_events(os, ranks);
+  os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+std::string chrome_trace_json(const std::vector<RankTrace>& ranks) {
+  std::ostringstream os;
+  chrome_trace_stream(os, ranks);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// AtomicJsonFile
+// ---------------------------------------------------------------------------
+
+AtomicJsonFile::CFileBuf::int_type AtomicJsonFile::CFileBuf::overflow(
+    int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) return 0;
+  return std::fputc(traits_type::to_char_type(ch), f_) == EOF
+             ? traits_type::eof()
+             : ch;
+}
+
+std::streamsize AtomicJsonFile::CFileBuf::xsputn(const char* s,
+                                                 std::streamsize n) {
+  return static_cast<std::streamsize>(
+      std::fwrite(s, 1, static_cast<std::size_t>(n), f_));
+}
+
+AtomicJsonFile::AtomicJsonFile(std::string path)
+    : path_(std::move(path)), tmp_(path_ + ".tmp"), os_(nullptr) {
+  f_ = std::fopen(tmp_.c_str(), "w");
+  if (f_ != nullptr) {
+    buf_ = std::make_unique<CFileBuf>(f_);
+    os_.rdbuf(buf_.get());
+  }
+}
+
+AtomicJsonFile::~AtomicJsonFile() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    std::remove(tmp_.c_str());
+  }
+}
+
+bool AtomicJsonFile::commit(std::string* error) {
+  if (f_ == nullptr) {
+    if (error != nullptr) *error = "cannot open " + tmp_;
+    return false;
+  }
+  std::FILE* f = f_;
+  f_ = nullptr;
+  // The crash-safety contract is durability at rename time: the data must
+  // be on disk before the name points at it (same pattern as the history
+  // and checkpoint writers).
+  bool ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok && std::rename(tmp_.c_str(), path_.c_str()) != 0) ok = false;
+  if (!ok) {
+    if (error != nullptr)
+      *error = "writing " + path_ + ": " + std::strerror(errno);
+    std::remove(tmp_.c_str());
+  }
+  return ok;
 }
 
 bool write_chrome_trace(const std::string& path,
                         const std::vector<RankTrace>& ranks) {
-  const std::string doc = chrome_trace_json(ranks);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fwrite(doc.data(), 1, doc.size(), f);
-  std::fclose(f);
-  return true;
+  AtomicJsonFile out(path);
+  if (!out.ok()) return false;
+  chrome_trace_stream(out.stream(), ranks);
+  return out.commit();
 }
 
 // ---------------------------------------------------------------------------

@@ -11,22 +11,89 @@
 /// the UI labels rows "rank N". Nested spans render as nested slices
 /// because their [ts, ts+dur] intervals nest on the same tid.
 ///
+/// The writer streams through a std::ostream (no whole-document string is
+/// ever assembled) and write_chrome_trace lands its output crash-safely:
+/// stream to `<path>.tmp`, fsync, then atomically rename — the same
+/// contract as the history/checkpoint files, so a reader never observes a
+/// torn trace. chrome_trace_events exposes the bare event stream for
+/// embedding in larger documents (the flight recorder's postmortem dump).
+///
 /// json_validate is a dependency-free JSON well-formedness checker used by
 /// the tests and the bench self-gate ("the trace loads back").
 
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <streambuf>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
 
 namespace foam::telemetry {
 
-/// Render the gathered traces (index = world rank / tid) as a Chrome
-/// trace-event JSON document.
+/// Write \p s to \p os as a JSON string (quoted, escaped).
+void json_quote(std::ostream& os, std::string_view s);
+
+/// Stream the contents of the "traceEvents" array — the events themselves,
+/// separated by commas, without the enclosing brackets — so callers can
+/// embed the same merged timeline in a larger JSON document.
+void chrome_trace_events(std::ostream& os,
+                         const std::vector<RankTrace>& ranks);
+
+/// Stream the gathered traces (index = world rank / tid) as a complete
+/// Chrome trace-event JSON document.
+void chrome_trace_stream(std::ostream& os,
+                         const std::vector<RankTrace>& ranks);
+
+/// chrome_trace_stream into a string (tests and the bench self-gate; the
+/// file writer below streams instead of building this).
 std::string chrome_trace_json(const std::vector<RankTrace>& ranks);
 
-/// Write chrome_trace_json to \p path. Returns false if the file cannot
-/// be opened (benches must not fail on a read-only directory).
+/// Crash-safe JSON artifact writer: stream() writes to `<path>.tmp`;
+/// commit() flushes, fsyncs and atomically renames over \p path. An
+/// uncommitted writer removes its temporary on destruction, so failures
+/// never leave a torn document where a reader could pick it up.
+class AtomicJsonFile {
+ public:
+  explicit AtomicJsonFile(std::string path);
+  ~AtomicJsonFile();
+  AtomicJsonFile(const AtomicJsonFile&) = delete;
+  AtomicJsonFile& operator=(const AtomicJsonFile&) = delete;
+
+  /// False when the temporary could not be opened (callers on read-only
+  /// directories skip writing instead of failing the run).
+  bool ok() const { return f_ != nullptr; }
+  std::ostream& stream() { return os_; }
+
+  /// Flush + fsync + rename. Returns false (with \p error filled when
+  /// non-null) on any failure; the temporary is removed either way.
+  bool commit(std::string* error = nullptr);
+
+ private:
+  class CFileBuf final : public std::streambuf {
+   public:
+    explicit CFileBuf(std::FILE* f) : f_(f) {}
+
+   protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char* s, std::streamsize n) override;
+
+   private:
+    std::FILE* f_;
+  };
+
+  std::string path_;
+  std::string tmp_;
+  std::FILE* f_ = nullptr;
+  std::unique_ptr<CFileBuf> buf_;
+  std::ostream os_;
+};
+
+/// Write the merged Chrome trace to \p path crash-safely (tmp -> fsync ->
+/// atomic rename). Returns false if the file cannot be opened or committed
+/// (benches must not fail on a read-only directory).
 bool write_chrome_trace(const std::string& path,
                         const std::vector<RankTrace>& ranks);
 

@@ -1,0 +1,202 @@
+#pragma once
+
+/// \file observe.hpp
+/// Live run observability: flight recorder, per-rank heartbeat/watchdog,
+/// sampling profiler, and the machine-readable run status feed.
+///
+/// Ranks are threads in one process (foam::par), so the whole layer is one
+/// process-global RunObserver shared by every rank of the active run:
+///
+///  * **Heartbeat** — each rank publishes a monotonic beat (simulated day,
+///    beat count, timestamp, last comm op) into a per-rank slot using plain
+///    relaxed atomics: one or two stores per coupling exchange, no locks on
+///    the rank's hot path.
+///  * **Flight recorder** — once per day boundary each rank also publishes
+///    a snapshot of its tracer ring + metrics under the slot's mutex. On
+///    abort (FaultPlan kill, deadlock detector, uncaught exception, fatal
+///    signal) observe_abort() merges every reachable rank's snapshot — plus
+///    the aborting rank's *live* trace including open spans — into a single
+///    Perfetto-loadable `postmortem.<ts>.trace.json` with a
+///    `foamPostmortem` metadata block, a sibling counters file, and a final
+///    "aborted" status.json. All writes are tmp → fsync → atomic rename.
+///  * **Watchdog** — a monitor thread checks heartbeat ages against a
+///    configurable deadline; a stalled rank gets a diagnostic naming the
+///    stuck region + last comm op, and the flight recorder dumps *before*
+///    the verifier's deadlock abort tears the run down.
+///  * **Sampling profiler** — the monitor samples each rank's packed
+///    innermost-open-span word (Tracer::profile_leaf) at a fixed interval;
+///    profile_snapshot() resolves the samples to a span-attributed
+///    histogram. Time attribution multiplies sample counts by the
+///    *effective* interval (measured from real tick timestamps, not the
+///    nominal one) so sleep overshoot does not bias the totals.
+///  * **Status feed** — the monitor periodically rewrites `status.json`
+///    (atomic rename): state, simulated day, days/hour, ETA, per-rank
+///    heartbeat ages, top counters. This is the artifact the planned
+///    foam_serve daemon will stream per request.
+///
+/// Everything is off by default; ObservabilityOptions::from_env() maps
+/// FOAM_OBSERVE / FOAM_OBSERVE_WATCHDOG / FOAM_TELEMETRY=profile onto it.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "par/timers.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace foam::telemetry {
+
+/// Which observability pieces a run enables (ParallelRunOptions carries
+/// one; everything defaults off so plain runs pay nothing).
+struct ObservabilityOptions {
+  /// Arm the flight recorder: abort hooks + fatal-signal handlers write a
+  /// merged postmortem trace + counters into `dir`.
+  bool flight_recorder = false;
+  /// Publish per-rank heartbeats (implied by watchdog/status).
+  bool heartbeat = false;
+  /// Stall deadline in seconds; > 0 enables the watchdog (implies
+  /// heartbeat). Should be shorter than the verifier's audit timeout so
+  /// the dump lands before the deadlock abort.
+  double watchdog_seconds = 0.0;
+  /// Periodically rewrite `status.json` in `dir`.
+  bool status = false;
+  double status_interval_seconds = 0.25;
+  /// Sampling profiler (FOAM_TELEMETRY=profile).
+  bool profile = false;
+  double profile_interval_seconds = 1e-3;
+  /// Directory receiving status.json and postmortem artifacts.
+  std::string dir = ".";
+
+  bool any() const {
+    return flight_recorder || heartbeat || watchdog_seconds > 0.0 || status ||
+           profile;
+  }
+
+  /// Environment mapping: FOAM_OBSERVE=<dir|1> enables flight recorder +
+  /// heartbeat + status feed (value "1" or empty keeps dir "."),
+  /// FOAM_OBSERVE_WATCHDOG=<seconds> arms the watchdog, and
+  /// FOAM_TELEMETRY=profile turns on the sampling profiler.
+  static ObservabilityOptions from_env();
+};
+
+/// One row of the profiler histogram: samples observed with \p name as the
+/// innermost open span on \p rank (name is a region name for region spans).
+struct ProfileEntry {
+  int rank = 0;
+  std::string name;
+  par::Region region = par::Region::kOther;
+  std::uint64_t samples = 0;
+};
+
+/// The shared per-run observer. Created by the first ScopedRankObserver,
+/// destroyed by the last; rank threads talk to their slot, the monitor
+/// thread multiplexes profiler/status/watchdog duties.
+class RunObserver {
+ public:
+  RunObserver(const ObservabilityOptions& opts, int nranks,
+              std::string run_desc, double total_days);
+  ~RunObserver();
+  RunObserver(const RunObserver&) = delete;
+  RunObserver& operator=(const RunObserver&) = delete;
+
+  /// Heartbeat from the calling rank: lock-free, call once per exchange.
+  void beat(double day);
+
+  /// Publish the calling rank's trace + metrics snapshot into its slot
+  /// (slot mutex; call at day boundaries, not per exchange).
+  void publish_self();
+
+  /// The calling rank finished its loop cleanly: final publish + mark the
+  /// slot done so the watchdog ignores teardown skew.
+  void finish_rank();
+
+  /// Stop the profiler and resolve its samples (idempotent; joins the
+  /// monitor). Sorted by rank, then descending samples.
+  std::vector<ProfileEntry> profile_snapshot();
+  /// Measured seconds between profiler ticks (use for time attribution).
+  double profile_effective_interval() const;
+
+  /// Rank 0 declares the run complete; writes the final "finished"
+  /// status.json.
+  void finish_run(double final_day);
+
+  /// Flight-recorder dump (first call wins; later calls no-op and return
+  /// false). Returns true when the postmortem artifacts were written.
+  bool dump(const std::string& reason);
+
+  const ObservabilityOptions& options() const { return opts_; }
+  std::string status_path() const;
+
+  /// Path of the most recent postmortem trace written by any observer in
+  /// this process (empty if none) — a test/driver convenience.
+  static std::string last_postmortem_path();
+
+ private:
+  friend class ScopedRankObserver;
+  friend class ScopedCommWait;
+  friend void observe_comm_op(const char* what);
+  struct Impl;
+  void attach_rank(int rank);
+  void detach_rank(int rank);
+  void set_comm_op(const char* what);
+  void comm_wait(int delta);
+  void join_monitor();
+  void monitor_loop();
+  void check_watchdog();
+  /// Rewrite status.json; \p final_day < 0 means "derive from heartbeats".
+  void write_status(double final_day);
+
+  ObservabilityOptions opts_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Per-rank RAII attachment: the first rank in creates the process-global
+/// RunObserver, the last one out destroys it. Construct *after* the rank's
+/// ScopedSession so the observer can reach the tracer; the destructor fires
+/// a flight-recorder dump when it runs during exception unwind (the
+/// "aborted by exception" hook — it still has the live tracer in scope).
+class ScopedRankObserver {
+ public:
+  ScopedRankObserver(const ObservabilityOptions& opts, int rank, int nranks,
+                     const std::string& run_desc, double total_days);
+  ~ScopedRankObserver();
+  ScopedRankObserver(const ScopedRankObserver&) = delete;
+  ScopedRankObserver& operator=(const ScopedRankObserver&) = delete;
+
+  explicit operator bool() const { return obs_ != nullptr; }
+  RunObserver* operator->() const { return obs_.get(); }
+  RunObserver* get() const { return obs_.get(); }
+
+ private:
+  std::shared_ptr<RunObserver> obs_;
+  int rank_ = -1;
+};
+
+/// Record the calling rank's current comm operation in its heartbeat slot
+/// (string literal only — stored as a raw pointer). No-op when the rank is
+/// not attached to an observer.
+void observe_comm_op(const char* what);
+
+/// RAII marker for a tracked blocking comm wait (Comm::wait_state wraps
+/// each one). The watchdog uses it to tell a wedged rank (stuck *outside*
+/// any wait) from the peers blocked waiting on it, and blames the former.
+class ScopedCommWait {
+ public:
+  explicit ScopedCommWait(const char* what);
+  ~ScopedCommWait();
+  ScopedCommWait(const ScopedCommWait&) = delete;
+  ScopedCommWait& operator=(const ScopedCommWait&) = delete;
+};
+
+/// Publish the calling rank's snapshot if attached (fault hooks use this
+/// right before parking a rank).
+void observe_publish();
+
+/// Abort hook: trigger the flight-recorder dump on the active observer, if
+/// any. Safe to call from any thread, including ones never attached.
+/// Returns true if a dump was written by this call.
+bool observe_abort(const std::string& reason);
+
+}  // namespace foam::telemetry

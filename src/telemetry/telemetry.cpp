@@ -175,6 +175,16 @@ void Tracer::reset() {
   head_ = 0;
   dropped_ = 0;
   flat_.reset();
+  update_leaf();
+}
+
+void Tracer::update_leaf() {
+  // Relaxed suffices: the profiler only needs an eventually-current view
+  // of "what is this rank doing", never ordering with other state.
+  leaf_.store(stack_.empty()
+                  ? 0
+                  : pack_leaf(stack_.back().name_id, stack_.back().region),
+              std::memory_order_relaxed);
 }
 
 double Tracer::now() const {
@@ -212,12 +222,14 @@ par::Region Tracer::current_region() const {
 void Tracer::begin_region(par::Region r) {
   stack_.push_back({intern(par::region_name(r)), r, true, now()});
   if (record_flat_) flat_.begin(r);
+  update_leaf();
 }
 
 void Tracer::end_region() { finish_top(/*expect_region=*/true); }
 
 void Tracer::begin_span(const char* name) {
   stack_.push_back({intern(name), current_region(), false, now()});
+  update_leaf();
 }
 
 void Tracer::end_span() { finish_top(/*expect_region=*/false); }
@@ -254,6 +266,7 @@ void Tracer::finish_top(bool expect_region) {
     }
     if (!resumed) flat_.end();
   }
+  update_leaf();
 }
 
 std::vector<SpanRec> Tracer::spans() const {
@@ -270,12 +283,33 @@ std::vector<SpanRec> Tracer::spans() const {
   return out;
 }
 
-RankTrace Tracer::trace() const {
+RankTrace Tracer::trace(bool include_open) const {
   RankTrace t;
   t.names = names_;
   t.spans = spans();
   t.dropped = dropped_;
+  if (include_open && !stack_.empty()) {
+    // Open spans become as-if-ended-now records so a postmortem timeline
+    // shows the work in flight at the moment of the dump.
+    const double t1 = now();
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      const Open& e = stack_[i];
+      t.spans.push_back({e.name_id, e.region, static_cast<std::int32_t>(i),
+                         e.t0, std::max(e.t0, t1)});
+    }
+  }
   return t;
+}
+
+std::vector<std::string> Tracer::open_span_names() const {
+  std::vector<std::string> out;
+  out.reserve(stack_.size());
+  for (const Open& e : stack_)
+    out.push_back(e.name_id >= 0 &&
+                          e.name_id < static_cast<std::int32_t>(names_.size())
+                      ? names_[static_cast<std::size_t>(e.name_id)]
+                      : std::string("?"));
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -314,9 +348,14 @@ ScopedRegion::~ScopedRegion() {
 
 ScopedSpan::ScopedSpan(const char* name) {
   Telemetry* t = t_current;
-  if (t != nullptr && t->tracer().level() == TraceLevel::kFull) {
-    tracer_ = &t->tracer();
-    tracer_->begin_span(name);
+  if (t == nullptr) return;
+  Tracer& tr = t->tracer();
+  // Liveness pulse at every level — below kFull this is the span's only
+  // side effect, and the only sub-region progress signal the watchdog has.
+  tr.pulse();
+  if (tr.level() == TraceLevel::kFull) {
+    tracer_ = &tr;
+    tr.begin_span(name);
   }
 }
 

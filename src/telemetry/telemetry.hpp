@@ -29,8 +29,16 @@
 ///    gathered traces into one Perfetto-loadable timeline.
 ///
 /// Tracer and session are strictly per-thread (one rank = one thread in
-/// foam::par); nothing here takes a lock.
+/// foam::par); nothing here takes a lock. The two concessions to cross-
+/// thread observation are single relaxed atomics the observability
+/// monitor thread reads while the owning rank keeps them current: the
+/// packed "innermost open span" word (profile_leaf, one store per span
+/// begin/end) and the liveness pulse (activity, one increment per
+/// FOAM_TRACE_SCOPE entry at *every* trace level — so the watchdog sees
+/// progress even when the production kRegions level records nothing
+/// finer than one long region span).
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -87,6 +95,26 @@ struct RankTrace {
   bool has_nested() const;
 };
 
+/// Packed "innermost open span" word for the sampling profiler: zero when
+/// no span is open, else pack_leaf(name_id, region) of the top of the span
+/// stack. The low bit marks a valid word so name_id 0 / kAtmosphere packs
+/// to a non-zero value.
+inline std::uint64_t pack_leaf(std::int32_t name_id, par::Region region) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(name_id))
+          << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+              static_cast<int>(region)))
+          << 1) |
+         1U;
+}
+inline bool leaf_open(std::uint64_t leaf) { return (leaf & 1U) != 0; }
+inline std::int32_t leaf_name_id(std::uint64_t leaf) {
+  return static_cast<std::int32_t>(leaf >> 32);
+}
+inline par::Region leaf_region(std::uint64_t leaf) {
+  return static_cast<par::Region>((leaf >> 1) & 0x7FU);
+}
+
 /// Flat double-stream encoding of a RankTrace for Comm::gatherv, mirroring
 /// ActivityRecorder::serialize. deserialize validates the stream and
 /// throws foam::Error on malformed input.
@@ -142,8 +170,26 @@ class Tracer {
   const std::vector<std::string>& names() const { return names_; }
   std::uint64_t dropped() const { return dropped_; }
 
-  /// Snapshot the recorded spans as a portable RankTrace.
-  RankTrace trace() const;
+  /// Snapshot the recorded spans as a portable RankTrace. With
+  /// \p include_open the currently open (unfinished) spans are appended
+  /// as if they ended now — the flight recorder uses this so a postmortem
+  /// names what each rank was doing when the run died.
+  RankTrace trace(bool include_open = false) const;
+
+  /// Names of the open spans, outermost first (postmortem diagnostics).
+  std::vector<std::string> open_span_names() const;
+
+  /// Packed innermost-open-span word for the sampling profiler (see
+  /// pack_leaf). Safe to read from another thread.
+  const std::atomic<std::uint64_t>& profile_leaf() const { return leaf_; }
+
+  /// Liveness pulse: bumped by ScopedSpan entry at every trace level (one
+  /// relaxed increment — no interning, no clock read, no recording), so a
+  /// rank computing inside one long region span still advances a signal
+  /// the watchdog can fold into its progress signature. Safe to read from
+  /// another thread.
+  void pulse() { activity_.fetch_add(1, std::memory_order_relaxed); }
+  const std::atomic<std::uint64_t>& activity() const { return activity_; }
 
  private:
   struct Open {
@@ -156,6 +202,7 @@ class Tracer {
   std::int32_t intern(const char* name);
   void finish_top(bool expect_region);
   void push_completed(const SpanRec& s);
+  void update_leaf();
 
   TraceLevel level_;
   std::size_t cap_;
@@ -168,6 +215,8 @@ class Tracer {
   std::vector<std::string> names_;
   std::map<std::string, std::int32_t, std::less<>> name_ids_;
   par::ActivityRecorder flat_;
+  std::atomic<std::uint64_t> leaf_{0};
+  std::atomic<std::uint64_t> activity_{0};
 };
 
 /// The per-rank telemetry context: tracer + metrics + comm stats.

@@ -2,13 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "par/comm.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/observe.hpp"
 
 namespace foam::telemetry {
 namespace {
@@ -424,6 +428,224 @@ TEST(JsonValidate, RejectsMalformedDocuments) {
         "[01]", "\"\\x\"", "\"unterminated", "nul", "+1", "[1 2]",
         "{\"a\" 1}"}) {
     EXPECT_FALSE(json_validate(bad)) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe trace file writer
+// ---------------------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+TEST(ChromeTrace, FileWriterIsAtomicAndMatchesStringExport) {
+  RankTrace t;
+  t.names = {"atmosphere", "work"};
+  t.spans = {{1, par::Region::kAtmosphere, 1, 0.001, 0.002},
+             {0, par::Region::kAtmosphere, 0, 0.0, 0.01}};
+  const std::string path = testing::TempDir() + "/atomic_trace.json";
+  ASSERT_TRUE(write_chrome_trace(path, {t}));
+  const std::string doc = slurp(path);
+  std::string err;
+  EXPECT_TRUE(json_validate(doc, &err)) << err;
+  // The streamed file is byte-identical to the string exporter and the
+  // temporary is gone after the atomic rename.
+  EXPECT_EQ(doc, chrome_trace_json({t}));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST(ChromeTrace, AbandonedAtomicFileLeavesNothingBehind) {
+  const std::string path = testing::TempDir() + "/abandoned.json";
+  {
+    AtomicJsonFile out(path);
+    ASSERT_TRUE(out.ok());
+    out.stream() << "{ torn";  // never committed
+  }
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+// ---------------------------------------------------------------------------
+// Profiler leaf word + open-span capture
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, PublishesPackedInnermostOpenSpan) {
+  Tracer tr(full_opts());
+  EXPECT_FALSE(leaf_open(tr.profile_leaf().load()));
+  tr.begin_region(par::Region::kOcean);
+  {
+    const std::uint64_t v = tr.profile_leaf().load();
+    ASSERT_TRUE(leaf_open(v));
+    EXPECT_EQ(leaf_region(v), par::Region::kOcean);
+  }
+  tr.begin_span("barotropic");
+  {
+    const std::uint64_t v = tr.profile_leaf().load();
+    ASSERT_TRUE(leaf_open(v));
+    EXPECT_EQ(leaf_region(v), par::Region::kOcean);
+    EXPECT_EQ(tr.names()[static_cast<std::size_t>(leaf_name_id(v))],
+              "barotropic");
+  }
+  tr.end_span();
+  tr.end_region();
+  EXPECT_FALSE(leaf_open(tr.profile_leaf().load()));
+}
+
+TEST(Tracer, TraceCanIncludeOpenSpans) {
+  Tracer tr(full_opts());
+  tr.begin_region(par::Region::kAtmosphere);
+  tr.begin_span("in_flight");
+  const RankTrace closed = tr.trace();
+  EXPECT_TRUE(closed.spans.empty());
+  const RankTrace live = tr.trace(/*include_open=*/true);
+  ASSERT_EQ(live.spans.size(), 2u);
+  EXPECT_EQ(live.names[static_cast<std::size_t>(live.spans[1].name_id)],
+            "in_flight");
+  EXPECT_GE(live.spans[1].t1, live.spans[1].t0);
+  const auto open = tr.open_span_names();
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_EQ(open[0], "atmosphere");
+  EXPECT_EQ(open[1], "in_flight");
+  tr.end_span();
+  tr.end_region();
+}
+
+// ---------------------------------------------------------------------------
+// RunObserver: status feed, flight recorder, sampling profiler
+// ---------------------------------------------------------------------------
+
+ObservabilityOptions status_opts(const std::string& dir) {
+  ObservabilityOptions o;
+  o.status = true;
+  o.status_interval_seconds = 0.02;
+  o.dir = dir;
+  return o;
+}
+
+TEST(RunObserver, StatusFeedTracksRunLifecycle) {
+  const std::string dir = testing::TempDir();
+  Telemetry tel(full_opts());
+  ScopedSession session(tel);
+  {
+    ScopedRankObserver obs(status_opts(dir), 0, 1, "1+0 test", 10.0);
+    ASSERT_TRUE(static_cast<bool>(obs));
+    obs->beat(2.5);
+    obs->publish_self();
+    // The monitor rewrites status.json on its own cadence; wait for a
+    // "running" snapshot that has seen the beat.
+    std::string doc;
+    for (int i = 0; i < 200; ++i) {
+      if (file_exists(obs->status_path())) {
+        doc = slurp(obs->status_path());
+        if (doc.find("\"running\"") != std::string::npos &&
+            doc.find("\"beats\": 1") != std::string::npos)
+          break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::string err;
+    EXPECT_TRUE(json_validate(doc, &err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("\"state\": \"running\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"run\": \"1+0 test\""), std::string::npos) << doc;
+    obs->finish_rank();
+    obs->finish_run(10.0);
+    doc = slurp(obs->status_path());
+    EXPECT_TRUE(json_validate(doc, &err)) << err;
+    EXPECT_NE(doc.find("\"state\": \"finished\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"simulated_day\": 10"), std::string::npos) << doc;
+  }
+}
+
+TEST(RunObserver, FlightRecorderDumpsOnceWithOpenSpans) {
+  const std::string dir = testing::TempDir();
+  Telemetry tel(full_opts());
+  ScopedSession session(tel);
+  ObservabilityOptions o;
+  o.flight_recorder = true;
+  o.status = true;
+  o.dir = dir;
+  {
+    ScopedRankObserver obs(o, 0, 1, "dump test", 1.0);
+    ASSERT_TRUE(static_cast<bool>(obs));
+    tel.tracer().begin_region(par::Region::kOcean);
+    tel.tracer().begin_span("stuck_here");
+    obs->beat(0.5);
+    EXPECT_TRUE(observe_abort("synthetic failure for the dump test"));
+    EXPECT_FALSE(observe_abort("second abort must not re-dump"));
+    tel.tracer().end_span();
+    tel.tracer().end_region();
+
+    const std::string path = RunObserver::last_postmortem_path();
+    ASSERT_FALSE(path.empty());
+    const std::string doc = slurp(path);
+    std::string err;
+    EXPECT_TRUE(json_validate(doc, &err)) << err;
+    // The postmortem names the abort reason and the aborting rank's open
+    // span, is Perfetto-loadable, and left no temporary behind.
+    EXPECT_NE(doc.find("synthetic failure for the dump test"),
+              std::string::npos);
+    EXPECT_NE(doc.find("stuck_here"), std::string::npos);
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_FALSE(file_exists(path + ".tmp"));
+    // The sibling counters file validates too.
+    std::string cpath = path;
+    cpath.replace(cpath.find(".trace.json"), std::string::npos,
+                  ".counters.json");
+    EXPECT_TRUE(json_validate(slurp(cpath), &err)) << err;
+    // The final status snapshot records the abort.
+    const std::string status = slurp(obs->status_path());
+    EXPECT_TRUE(json_validate(status, &err)) << err;
+    EXPECT_NE(status.find("\"state\": \"aborted\""), std::string::npos)
+        << status;
+  }
+}
+
+TEST(RunObserver, ProfilerSamplesInnermostOpenSpan) {
+  Telemetry tel(full_opts());
+  ScopedSession session(tel);
+  ObservabilityOptions o;
+  o.profile = true;
+  o.profile_interval_seconds = 2e-4;
+  {
+    ScopedRankObserver obs(o, 0, 1, "profile test", 1.0);
+    ASSERT_TRUE(static_cast<bool>(obs));
+    tel.tracer().begin_region(par::Region::kOcean);
+    // Busy-spin long enough for hundreds of samples to land.
+    volatile double sink = 0.0;
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(120);
+    while (std::chrono::steady_clock::now() < until) sink = sink + 1.0;
+    tel.tracer().end_region();
+    obs->publish_self();
+
+    const auto prof = obs->profile_snapshot();
+    ASSERT_FALSE(prof.empty());
+    std::uint64_t ocean_samples = 0;
+    for (const ProfileEntry& e : prof) {
+      EXPECT_EQ(e.rank, 0);
+      if (e.region == par::Region::kOcean && e.name == "ocean")
+        ocean_samples += e.samples;
+    }
+    EXPECT_GT(ocean_samples, 50u);
+    // The measured interval is close to (never much below) the nominal.
+    EXPECT_GT(obs->profile_effective_interval(), 1e-4);
+    EXPECT_LT(obs->profile_effective_interval(), 1e-2);
   }
 }
 
